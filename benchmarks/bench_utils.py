@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness (imported by the bench modules).
+
+Each benchmark regenerates one table or figure of the paper, prints the
+rendered comparison (visible with ``pytest benchmarks/ --benchmark-only
+-s``), and asserts the qualitative agreements the reproduction claims —
+who wins, by roughly what factor, where the knees fall.
+
+Monte-Carlo benchmarks run once per session (``pedantic`` with a single
+round); the analytic ones are cheap enough to time normally.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time ``func`` with exactly one execution and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

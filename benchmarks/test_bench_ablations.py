@@ -1,0 +1,123 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. Eq. 7 closed form versus the exact Eq. 6 summation (finite universe).
+2. Yield-model family sensitivity of the required coverage.
+3. Shifted-Poisson versus the restrictive n0 = 1 (Wadsack) distribution.
+"""
+
+import numpy as np
+from bench_utils import run_once
+
+from repro.core.coverage_solver import required_coverage
+from repro.core.reject_rate import field_reject_rate, field_reject_rate_exact
+from repro.core.wadsack import wadsack_reject_rate_shipped
+from repro.utils.tables import TextTable
+from repro.yieldmodels.models import (
+    MurphyYield,
+    NegativeBinomialYield,
+    PoissonYield,
+    PriceYield,
+    SeedsYield,
+)
+
+
+def _closed_vs_exact():
+    rows = []
+    for n_faults in (500, 5_000, 50_000):
+        for f in (0.3, 0.6, 0.9):
+            closed = field_reject_rate(f, 0.2, 8.0)
+            exact = field_reject_rate_exact(f, 0.2, 8.0, n_faults)
+            rows.append((n_faults, f, closed, exact, abs(closed / exact - 1)))
+    return rows
+
+
+def test_bench_eq7_vs_exact(benchmark):
+    """The Eq. 7 closed form error shrinks as N grows (paper: 'quite
+    accurate' for n0 << N)."""
+    rows = run_once(benchmark, _closed_vs_exact)
+    table = TextTable(
+        ["N", "f", "Eq. 7 r(f)", "exact Eq. 6 r(f)", "rel err"],
+        title="Ablation: closed form vs exact finite-universe summation",
+    )
+    for row in rows:
+        table.add_row(list(row))
+    print()
+    print(table.render())
+
+    by_universe = {}
+    for n_faults, f, closed, exact, err in rows:
+        by_universe.setdefault(n_faults, []).append(err)
+    sizes = sorted(by_universe)
+    # Error decreases with universe size and is tiny at LSI scale.
+    assert max(by_universe[sizes[-1]]) < 0.005
+    assert max(by_universe[sizes[-1]]) < max(by_universe[sizes[0]])
+
+
+def _yield_model_sensitivity():
+    models = [
+        PoissonYield(),
+        MurphyYield(),
+        SeedsYield(),
+        PriceYield(levels=3),
+        NegativeBinomialYield(clustering=2.0),
+    ]
+    d0, area = 2.0, 1.0
+    rows = []
+    for model in models:
+        y = model.evaluate(d0, area)
+        f = required_coverage(y, 8.0, 0.005)
+        rows.append((model.name, y, f))
+    return rows
+
+
+def test_bench_yield_model_sensitivity(benchmark):
+    """Swapping the yield model moves y and hence the required coverage;
+    clustered models are more optimistic than Poisson."""
+    rows = run_once(benchmark, _yield_model_sensitivity)
+    table = TextTable(
+        ["yield model", "y(D0=2, A=1)", "required f (n0=8, r=0.005)"],
+        title="Ablation: yield-model family sensitivity",
+    )
+    for row in rows:
+        table.add_row(list(row))
+    print()
+    print(table.render())
+
+    yields = {name: y for name, y, _ in rows}
+    coverages = {name: f for name, _, f in rows}
+    assert yields["poisson"] < yields["negative_binomial"]
+    # Higher yield -> lower required coverage.
+    assert coverages["negative_binomial"] <= coverages["poisson"]
+
+
+def _distribution_ablation():
+    rows = []
+    for f in (0.5, 0.8, 0.95):
+        rows.append(
+            (
+                f,
+                field_reject_rate(f, 0.07, 8.0),
+                wadsack_reject_rate_shipped(f, 0.07),
+            )
+        )
+    return rows
+
+
+def test_bench_shifted_poisson_vs_single_fault(benchmark):
+    """The restrictive one-fault-per-chip model (Wadsack == n0 = 1)
+    overstates the reject rate by an order of magnitude at high coverage."""
+    rows = run_once(benchmark, _distribution_ablation)
+    table = TextTable(
+        ["f", "r(f) shifted Poisson n0=8", "r(f) single-fault model"],
+        title="Ablation: fault-count distribution",
+    )
+    for row in rows:
+        table.add_row(list(row))
+    print()
+    print(table.render())
+
+    for f, ours, single in rows:
+        assert single > ours
+    # At 95 percent coverage the gap is at least 10x.
+    f, ours, single = rows[-1]
+    assert single / ours > 10

@@ -1,0 +1,34 @@
+"""Section 7 benchmark — required coverage vs Wadsack, with MC validation."""
+
+from bench_utils import run_once
+
+from repro.experiments import example
+
+
+def test_bench_example(benchmark):
+    result = run_once(benchmark, example.run, mc_lot_size=2000)
+    print()
+    print(example.render(result))
+
+    # Paper: ~80% for r=0.01 and ~95% for r=0.001.
+    assert abs(result.required[0.01] - 0.80) < 0.02
+    assert abs(result.required[0.001] - 0.95) < 0.02
+
+    # Wadsack demands 99 / 99.9 percent — the "almost unachievable" goals.
+    assert result.wadsack[0.01] > 0.985
+    assert result.wadsack[0.001] > 0.998
+
+    # The headline claim: the paper's model saves >= 15 points of coverage.
+    assert result.wadsack[0.01] - result.required[0.01] > 0.15
+
+    # MC validation: observed reject rate decreases with program coverage
+    # and the calibrated prediction tracks within the right order of
+    # magnitude at every coverage.
+    observed = [row["observed_reject_rate"] for row in result.mc_rows]
+    assert all(b <= a + 1e-9 for a, b in zip(observed, observed[1:]))
+    for row in result.mc_rows:
+        if row["observed_escapes"] >= 10:  # enough statistics to compare
+            ratio = row["observed_reject_rate"] / max(
+                row["predicted_reject_rate"], 1e-9
+            )
+            assert 0.2 < ratio < 5.0, row

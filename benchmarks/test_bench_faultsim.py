@@ -1,0 +1,54 @@
+"""Throughput benchmarks of the simulation substrate itself.
+
+Not a paper artifact — these time the engines that every Monte-Carlo
+experiment leans on, so regressions in the substrate show up here rather
+than as mysteriously slow experiments.
+"""
+
+import pytest
+
+from repro.atpg.random_gen import random_patterns
+from repro.circuit.generators import c17
+from repro.experiments import config
+from repro.faults.collapse import collapse_equivalent
+from repro.faults.fault_sim import FaultSimulator
+from repro.simulator.parallel_sim import CompiledCircuit
+from repro.simulator.values import pack_patterns
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return config.make_chip()
+
+
+def test_bench_good_simulation(benchmark, chip):
+    """64-pattern good-machine pass over the canonical chip."""
+    compiled = CompiledCircuit(chip)
+    patterns = random_patterns(chip, 64, seed=1)
+    words = pack_patterns(chip.inputs, patterns)
+    out = benchmark(compiled.simulate, words)
+    assert len(out) == len(chip.outputs)
+
+
+def test_bench_fault_simulation_collapsed(benchmark, chip):
+    """Collapsed-universe fault simulation of 64 patterns."""
+    simulator = FaultSimulator(chip)
+    faults = collapse_equivalent(chip)
+    patterns = random_patterns(chip, 64, seed=2)
+    result = benchmark.pedantic(
+        simulator.run, args=(patterns,), kwargs={"faults": faults},
+        rounds=1, iterations=1,
+    )
+    assert result.coverage > 0.5
+
+
+def test_bench_c17_exhaustive_fault_sim(benchmark):
+    """Full-universe exhaustive fault simulation of c17 (the unit case)."""
+    net = c17()
+    simulator = FaultSimulator(net)
+    patterns = [
+        {name: (i >> k) & 1 for k, name in enumerate(net.inputs)}
+        for i in range(32)
+    ]
+    result = benchmark(simulator.run, patterns)
+    assert result.coverage == 1.0

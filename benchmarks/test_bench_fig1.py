@@ -1,0 +1,29 @@
+"""Fig. 1 benchmark — r(f) curves and the 0.5-percent spot coverages."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig1
+
+
+def test_bench_fig1(benchmark):
+    result = run_once(benchmark, fig1.run)
+    print()
+    print(fig1.render(result))
+
+    # Paper spot values hold to within ~1 point of coverage.
+    for key, paper_value in result.paper_spot_values.items():
+        ours = result.spot_values[key]
+        assert abs(ours - paper_value) < 0.015, (key, ours, paper_value)
+
+    # Monotonicity: every curve decreases with coverage.
+    for curve in result.curves.values():
+        assert all(b <= a + 1e-12 for a, b in zip(curve, curve[1:]))
+
+    # Ordering: at fixed yield, larger n0 gives lower r for f > 0.
+    mid = len(result.coverages) // 2
+    assert (
+        result.curves[(0.80, 10.0)][mid] < result.curves[(0.80, 2.0)][mid]
+    )
+    assert (
+        result.curves[(0.20, 10.0)][mid] < result.curves[(0.20, 2.0)][mid]
+    )

@@ -1,0 +1,33 @@
+"""Figs. 2-4 benchmark — required-coverage families for three reject rates."""
+
+import numpy as np
+from bench_utils import run_once
+
+from repro.experiments import fig234
+from repro.paperdata import FIG234_REJECT_RATES
+
+
+def test_bench_fig234(benchmark):
+    result = run_once(benchmark, fig234.run)
+    print()
+    print(fig234.render(result))
+
+    # Fig. 4 spot value: y=0.3, n0=8, r=0.001 -> about 85 percent.
+    assert abs(result.fig4_spot_value - 0.85) < 0.02
+
+    for rate in FIG234_REJECT_RATES:
+        curves = result.families[rate]
+        # Within a figure: higher n0 -> lower required coverage everywhere.
+        for lighter, heavier in zip(curves, curves[1:]):
+            assert (heavier.coverages <= lighter.coverages + 1e-9).all()
+        # Each curve decreases with yield.
+        for curve in curves:
+            assert (np.diff(curve.coverages) <= 1e-9).all()
+
+    # Across figures: stricter reject rates demand more coverage.
+    for n0_index in range(3):
+        f_100 = result.families[0.01][n0_index].coverages
+        f_200 = result.families[0.005][n0_index].coverages
+        f_1000 = result.families[0.001][n0_index].coverages
+        assert (f_200 >= f_100 - 1e-9).all()
+        assert (f_1000 >= f_200 - 1e-9).all()

@@ -1,0 +1,27 @@
+"""Fig. 5 benchmark — n0 determination from first-fail data."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig5
+from repro.paperdata import PAPER_N0_FIT, PAPER_N0_SLOPE
+
+
+def test_bench_fig5(benchmark):
+    result = run_once(benchmark, fig5.run)
+    print()
+    print(fig5.render(result))
+
+    # On the paper's own Table 1 data we must recover the paper's numbers.
+    assert abs(result.paper_n0_least_squares - PAPER_N0_FIT) < 1.0
+    assert abs(result.paper_n0_slope - PAPER_N0_SLOPE) < 0.1
+    # The paper notes n0 = 3 or 4 "disagrees significantly"; our fit too.
+    assert result.paper_n0_least_squares > 5.0
+
+    # The Monte-Carlo calibration must produce a physical estimate whose
+    # P(f) curve fits the simulated lot tightly.
+    assert result.mc_n0_least_squares >= 1.0
+    assert result.mc_fit_rms < 0.05
+
+    # Effective n0 never exceeds the true mean fault count (equivalence
+    # inside a defect footprint only reduces the apparent count).
+    assert result.mc_n0_least_squares <= result.mc_true_n0 * 1.25

@@ -1,0 +1,31 @@
+"""Fig. 6 benchmark — q0(n) approximation accuracy tiers."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig6
+from repro.paperdata import FIG6_N_VALUES
+
+
+def test_bench_fig6(benchmark):
+    result = run_once(benchmark, fig6.run)
+    print()
+    print(fig6.render(result))
+
+    for n in FIG6_N_VALUES:
+        # A.2 "still coincides with the exact value" — under 3 percent
+        # everywhere plotted, and an order of magnitude better than A.3
+        # once n is large.
+        assert result.max_rel_error_corrected[n] < 0.03
+        if n >= 8:
+            assert (
+                result.max_rel_error_corrected[n]
+                < result.max_rel_error_simple[n] / 10
+            )
+
+    # "For n <= 4 all three values are the same" (to plotting accuracy).
+    assert result.max_rel_error_simple[2] < 0.02
+    assert result.max_rel_error_simple[4] < 0.06
+
+    # The A.3 error grows with n — the reason the Appendix exists.
+    errors = [result.max_rel_error_simple[n] for n in FIG6_N_VALUES]
+    assert all(b > a for a, b in zip(errors, errors[1:]))

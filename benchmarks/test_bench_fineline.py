@@ -1,0 +1,25 @@
+"""Section 8 benchmark — the fine-line shrink prediction."""
+
+from bench_utils import run_once
+
+from repro.experiments import fineline
+
+
+def test_bench_fineline(benchmark):
+    result = run_once(benchmark, fineline.run)
+    print()
+    print(fineline.render(result))
+
+    # Shrinking lowers the required coverage monotonically.
+    combined = [s.required_coverage for s in result.combined]
+    assert all(b <= a + 1e-12 for a, b in zip(combined, combined[1:]))
+
+    # Both effects are real: the combined requirement falls faster than
+    # yield-only (the n0 mechanism contributes).
+    frozen = [s.required_coverage for s in result.yield_only]
+    assert combined[-1] < frozen[-1]
+    assert frozen[-1] < frozen[0]  # yield-only effect alone also helps
+
+    # Fab cross-check: finer features -> larger empirical n0.
+    n0s = [row["empirical_n0"] for row in result.fab_rows]
+    assert all(b > a for a, b in zip(n0s, n0s[1:]))

@@ -1,0 +1,47 @@
+"""Benchmark: calibration-error risk (the paper's safe-estimate advice)."""
+
+from bench_utils import run_once
+
+from repro.core.sensitivity import analyze_sensitivity, miscalibration_risk
+from repro.utils.tables import TextTable
+
+
+def _risk_table():
+    y, true_n0, target = 0.07, 8.0, 0.005
+    rows = []
+    for calibrated in (4.0, 6.0, 8.0, 10.0, 12.0, 16.0):
+        realized = miscalibration_risk(y, calibrated, true_n0, target)
+        rows.append((calibrated, realized, realized / target))
+    report = analyze_sensitivity(y, true_n0, target)
+    return rows, report
+
+
+def test_bench_miscalibration(benchmark):
+    rows, report = run_once(benchmark, _risk_table)
+    table = TextTable(
+        ["calibrated n0", "realized r", "x target"],
+        title=(
+            "Miscalibration risk (true n0 = 8, y = 0.07, target r = 0.005)"
+        ),
+    )
+    for row in rows:
+        table.add_row(list(row))
+    print()
+    print(table.render())
+    print(
+        f"local sensitivity at the design point: df/dn0 = "
+        f"{report.d_coverage_d_n0:+.4f}, df/dy = {report.d_coverage_d_yield:+.4f}"
+    )
+
+    # Underestimates are safe (realized <= target), overestimates are not.
+    for calibrated, realized, _ in rows:
+        if calibrated < 8.0:
+            assert realized <= 0.005 * (1 + 1e-6)
+        if calibrated > 8.0:
+            assert realized > 0.005
+    # The risk is monotone in the calibration error.
+    realized_rates = [realized for _, realized, _ in rows]
+    assert all(b > a for a, b in zip(realized_rates, realized_rates[1:]))
+    # Required coverage falls with n0 and with yield.
+    assert report.d_coverage_d_n0 < 0
+    assert report.d_coverage_d_yield < 0

@@ -1,0 +1,35 @@
+"""Table 1 benchmark — the first-fail lot record, fit and regeneration."""
+
+import numpy as np
+from bench_utils import run_once
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, table1.run)
+    print()
+    print(table1.render(result))
+
+    # Eq. 9 at the paper's n0 = 8 fits the published rows: RMS < 0.05 and
+    # every row beyond the first within 0.05 absolute (the first row is
+    # the one the paper's own slope reading smooths over).
+    deltas = [
+        model - point.fraction_failed
+        for point, model in zip(result.paper_points, result.model_fractions)
+    ]
+    assert float(np.sqrt(np.mean(np.square(deltas)))) < 0.05
+    for delta in deltas[1:]:
+        assert abs(delta) < 0.05
+
+    # Monte-Carlo lot: paper-like conditions.
+    assert 0.02 <= result.lot.empirical_yield() <= 0.15
+    assert result.lot.empirical_n0() > 4.0
+
+    # Regenerated fail curve: monotone, steep early rise, plateau near 1-y
+    # (the Table 1 / Fig. 5 shape).
+    fractions = [p.fraction_failed for p in result.mc_points]
+    assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+    assert fractions[0] > 0.5          # steep rise: most rejects are early
+    plateau = 1 - result.lot.empirical_yield()
+    assert abs(fractions[-1] - plateau) < 0.12

@@ -1,0 +1,44 @@
+"""Quickstart: from process data to a fault-coverage requirement.
+
+The paper's headline use case in ten lines: you know (or have estimated)
+your chip's yield and its average fault count per defective chip; the
+model tells you what stuck-at coverage your test program needs for a
+target outgoing quality level.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import QualityModel
+
+
+def main() -> None:
+    # The paper's Section 7 chip: ~25 000 transistors, 7 percent yield,
+    # n0 = 8 calibrated from production first-fail data.
+    model = QualityModel(yield_=0.07, n0=8.0)
+
+    print("Chip: yield = 7%, n0 = 8 (faults per defective chip)\n")
+
+    for target in (0.01, 0.005, 0.001):
+        needed = model.required_coverage(target)
+        wadsack = model.wadsack_required_coverage(target)
+        print(
+            f"target reject rate {target:>6.3f}: "
+            f"need {needed:6.1%} coverage "
+            f"(prior art demanded {wadsack:6.1%})"
+        )
+
+    print()
+    # What quality does an existing 90-percent-coverage test set deliver?
+    coverage = 0.90
+    print(
+        f"a {coverage:.0%}-coverage test set ships "
+        f"{model.escapes_per_million(coverage):,.0f} bad chips per million"
+    )
+    print(
+        f"fraction of production passing the tests: "
+        f"{model.shipped_fraction(coverage):.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+PEP 660 editable installs need to build a wheel; offline machines without
+``wheel`` can fall back to ``pip install -e . --no-build-isolation``, which
+uses this legacy entry point.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro — reproduction of "LSI Product Quality and Fault Coverage".
+
+Agrawal, Seth & Agrawal, 18th Design Automation Conference (DAC), 1981.
+
+The package has two halves:
+
+* the **analytic model** (:mod:`repro.core`, :mod:`repro.yieldmodels`) —
+  the paper's contribution relating stuck-at fault coverage to field
+  reject rate through a shifted-Poisson fault distribution; and
+* the **validation stack** (:mod:`repro.circuit`, :mod:`repro.simulator`,
+  :mod:`repro.faults`, :mod:`repro.atpg`, :mod:`repro.defects`,
+  :mod:`repro.manufacturing`, :mod:`repro.tester`) — a gate-level fault
+  simulator plus a Monte-Carlo wafer fab and first-fail tester that
+  regenerate the paper's experimental data (Table 1, Fig. 5) the way the
+  authors obtained theirs from the LAMP simulator and a Sentry tester.
+
+:mod:`repro.experiments` regenerates every figure and table.
+"""
+
+from repro.core.quality import QualityModel
+from repro.core.fault_distribution import FaultDistribution
+from repro.core.estimation import CoveragePoint
+
+__version__ = "1.0.0"
+
+__all__ = ["QualityModel", "FaultDistribution", "CoveragePoint", "__version__"]

@@ -1,0 +1,25 @@
+"""Test pattern generation.
+
+* :mod:`repro.atpg.random_gen` — uniform and weighted random patterns, the
+  cheap front-end every 1980s test flow started with;
+* :mod:`repro.atpg.podem` — a PODEM implementation (Goel 1981, same DAC
+  era) for the hard faults random patterns miss;
+* :mod:`repro.atpg.compaction` — reverse-order fault-simulation compaction.
+
+Together these produce the ordered test sequences whose cumulative
+coverage profile drives the paper's calibration experiment.
+"""
+
+from repro.atpg.random_gen import random_patterns, weighted_random_patterns
+from repro.atpg.podem import PodemGenerator, PodemResult
+from repro.atpg.scoap import ScoapAnalysis
+from repro.atpg.compaction import compact_reverse
+
+__all__ = [
+    "random_patterns",
+    "weighted_random_patterns",
+    "PodemGenerator",
+    "PodemResult",
+    "ScoapAnalysis",
+    "compact_reverse",
+]

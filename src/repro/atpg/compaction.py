@@ -1,0 +1,53 @@
+"""Static test-set compaction by reverse-order fault simulation.
+
+Deterministic generators emit one pattern per target fault, but late
+patterns usually detect many earlier targets incidentally.  Simulating the
+sequence in reverse order and keeping only patterns that detect a
+not-yet-covered fault removes the redundant prefix — the classical cheap
+compaction every production flow applied before committing tester time.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.circuit.netlist import Netlist
+from repro.faults.fault_sim import FaultSimulator
+from repro.faults.model import StuckAtFault, full_fault_universe
+
+__all__ = ["compact_reverse"]
+
+
+def compact_reverse(
+    netlist: Netlist,
+    patterns: Sequence[Mapping[str, int]],
+    faults: Sequence[StuckAtFault] | None = None,
+) -> list[Mapping[str, int]]:
+    """Return a subsequence of ``patterns`` with the same fault coverage.
+
+    Patterns are considered in reverse; one is kept iff it detects at least
+    one fault not detected by the patterns already kept.  The kept patterns
+    are returned in their original relative order.
+    """
+    if not patterns:
+        raise ValueError("need at least one pattern")
+    if faults is None:
+        faults = full_fault_universe(netlist)
+    simulator = FaultSimulator(netlist)
+
+    undetected = list(faults)
+    kept_indices: list[int] = []
+    for idx in range(len(patterns) - 1, -1, -1):
+        if not undetected:
+            break
+        result = simulator.run([patterns[idx]], faults=undetected)
+        detected_now = {
+            fault
+            for fault, det in zip(result.faults, result.first_detect)
+            if det is not None
+        }
+        if detected_now:
+            kept_indices.append(idx)
+            undetected = [f for f in undetected if f not in detected_now]
+    kept_indices.reverse()
+    return [patterns[i] for i in kept_indices]

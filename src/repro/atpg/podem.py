@@ -1,0 +1,339 @@
+"""PODEM deterministic test generation (Goel, 1981).
+
+Path-Oriented DEcision Making: decisions are made only on primary inputs;
+internal values follow by forward implication.  The composite (good,
+faulty) three-valued encoding makes the D-calculus explicit — a signal
+carries ``D`` when its good value is 1 and faulty value 0.
+
+The implementation is a conventional iterative PODEM with a decision stack
+and a backtrack limit.  It handles stem and fanout-branch faults, and
+returns either a complete test pattern, a proof of untestability (decision
+space exhausted), or an abort (limit hit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+from repro.faults.model import StuckAtFault
+from repro.utils.rng import make_rng
+
+__all__ = ["PodemGenerator", "PodemResult", "PodemStatus"]
+
+_X = 2  # the unknown value in three-valued simulation
+
+
+def _eval3(gate_type: GateType, values: list[int]) -> int:
+    """Three-valued {0, 1, X} gate evaluation."""
+    if gate_type is GateType.BUF:
+        return values[0]
+    if gate_type is GateType.NOT:
+        v = values[0]
+        return _X if v == _X else 1 - v
+    if gate_type in (GateType.AND, GateType.NAND):
+        if any(v == 0 for v in values):
+            out = 0
+        elif any(v == _X for v in values):
+            return _X
+        else:
+            out = 1
+        return 1 - out if gate_type is GateType.NAND else out
+    if gate_type in (GateType.OR, GateType.NOR):
+        if any(v == 1 for v in values):
+            out = 1
+        elif any(v == _X for v in values):
+            return _X
+        else:
+            out = 0
+        return 1 - out if gate_type is GateType.NOR else out
+    # XOR / XNOR
+    if any(v == _X for v in values):
+        return _X
+    out = 0
+    for v in values:
+        out ^= v
+    return 1 - out if gate_type is GateType.XNOR else out
+
+
+class PodemStatus(Enum):
+    """Outcome of one PODEM invocation."""
+
+    DETECTED = "detected"
+    UNTESTABLE = "untestable"
+    ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class PodemResult:
+    """Result of :meth:`PodemGenerator.generate`."""
+
+    status: PodemStatus
+    pattern: dict[str, int] | None
+    backtracks: int
+
+    @property
+    def found(self) -> bool:
+        return self.status is PodemStatus.DETECTED
+
+
+class PodemGenerator:
+    """Deterministic stuck-at test generator for one netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        backtrack_limit: int = 1000,
+        seed=None,
+        guide=None,
+    ):
+        """``guide`` may be a :class:`repro.atpg.scoap.ScoapAnalysis`;
+        backtrace then follows the cheapest-controllability X input instead
+        of the shallowest, which cuts backtracks on reconvergent logic."""
+        netlist.validate()
+        if backtrack_limit < 1:
+            raise ValueError(f"backtrack_limit must be >= 1, got {backtrack_limit}")
+        self.netlist = netlist
+        self.backtrack_limit = backtrack_limit
+        self._rng = make_rng(seed)
+        self._guide = guide
+        self._order = netlist.topological_order()
+        self._is_input = {
+            name: netlist.gate(name).gate_type is GateType.INPUT
+            for name in netlist.signals
+        }
+        self._output_set = set(netlist.outputs)
+        # Static controllability proxy: logic level (shallower = easier).
+        self._level = netlist.levels()
+
+    # ----------------------------------------------------------- simulation
+
+    def _simulate(
+        self, pi_values: dict[str, int], fault: StuckAtFault
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """Forward three-valued simulation of good and faulty machines."""
+        good: dict[str, int] = {}
+        faulty: dict[str, int] = {}
+        for name in self._order:
+            gate = self.netlist.gate(name)
+            if gate.gate_type is GateType.INPUT:
+                value = pi_values.get(name, _X)
+                good[name] = value
+                faulty[name] = value
+            else:
+                good[name] = _eval3(
+                    gate.gate_type, [good[s] for s in gate.inputs]
+                )
+                faulty_ins = [faulty[s] for s in gate.inputs]
+                if fault.is_branch and fault.gate == name:
+                    faulty_ins[fault.pin] = fault.value
+                faulty[name] = _eval3(gate.gate_type, faulty_ins)
+            if not fault.is_branch and fault.signal == name:
+                faulty[name] = fault.value
+        return good, faulty
+
+    @staticmethod
+    def _detected(good: dict[str, int], faulty: dict[str, int], outputs) -> bool:
+        return any(
+            good[o] != _X and faulty[o] != _X and good[o] != faulty[o]
+            for o in outputs
+        )
+
+    def _d_frontier(
+        self,
+        fault: StuckAtFault,
+        good: dict[str, int],
+        faulty: dict[str, int],
+    ) -> list[str]:
+        """Gates with a D/D' on an input whose output is still unresolved.
+
+        "Unresolved" means either the good or the faulty side is X — with
+        the composite encoding the faulty machine often settles first (a
+        stuck controlling value forces the gate), yet the gate can still
+        develop a D once the good side is driven to the opposite value.
+
+        For a branch fault, the divergence is injected inside the sink
+        gate's evaluation and never appears on any *signal*; the sink gate
+        is therefore a frontier member by construction once the stem is
+        activated (good stem value opposite the stuck value).
+        """
+        frontier = []
+        activated_branch_sink = None
+        if (
+            fault.is_branch
+            and good[fault.signal] != _X
+            and good[fault.signal] != fault.value
+        ):
+            activated_branch_sink = fault.gate
+        for name in self._order:
+            gate = self.netlist.gate(name)
+            if gate.gate_type is GateType.INPUT:
+                continue
+            if good[name] != _X and faulty[name] != _X:
+                continue
+            if name == activated_branch_sink:
+                frontier.append(name)
+                continue
+            for s in gate.inputs:
+                if good[s] != _X and faulty[s] != _X and good[s] != faulty[s]:
+                    frontier.append(name)
+                    break
+        return frontier
+
+    # ------------------------------------------------------------ objective
+
+    def _objective(
+        self,
+        fault: StuckAtFault,
+        good: dict[str, int],
+        faulty: dict[str, int],
+    ) -> tuple[str, int] | None:
+        """Next (signal, value) goal: activate the fault, then propagate."""
+        site = fault.signal
+        if good[site] == _X:
+            return site, 1 - fault.value
+        if good[site] == fault.value:
+            return None  # activation conflict: good value equals stuck value
+        if fault.is_branch:
+            # The branch carries the stem's good value; activation needs no
+            # separate goal, propagation starts at the sink gate.
+            pass
+        frontier = self._d_frontier(fault, good, faulty)
+        # Prefer frontier gates closest to an output (deepest level), but
+        # fall back to shallower ones — a deep gate may have no X input in
+        # the good machine (its unresolved side is the faulty one) while a
+        # shallower frontier gate still offers a decision.
+        for gate_name in sorted(frontier, key=lambda n: -self._level[n]):
+            gate = self.netlist.gate(gate_name)
+            ctrl = gate.gate_type.controlling_value
+            for s in gate.inputs:
+                if good[s] == _X:
+                    desired = 1 if ctrl is None else 1 - ctrl
+                    return s, desired
+        return None
+
+    def _backtrace(
+        self, signal: str, value: int, good: dict[str, int]
+    ) -> tuple[str, int]:
+        """Walk an X-path from the objective back to an unassigned PI."""
+        while not self._is_input[signal]:
+            gate = self.netlist.gate(signal)
+            if gate.gate_type.inverting:
+                value = 1 - value
+            x_inputs = [s for s in gate.inputs if good[s] == _X]
+            if not x_inputs:
+                # No X input left: the objective is already implied;
+                # pick any input to keep making progress.
+                x_inputs = list(gate.inputs)
+            if self._guide is not None:
+                # SCOAP-guided: cheapest controllability for the value we
+                # want on this input.
+                signal = min(
+                    x_inputs,
+                    key=lambda s: self._guide.controllability(s, value),
+                )
+            else:
+                # Easiest-first: shallowest X input (level proxy).
+                signal = min(x_inputs, key=lambda s: self._level[s])
+        return signal, value
+
+    # ------------------------------------------------------------ main loop
+
+    def generate(self, fault: StuckAtFault) -> PodemResult:
+        """Find a test pattern for ``fault``, or prove none exists.
+
+        Unassigned primary inputs in a successful pattern are filled with
+        random values (they are don't-cares for this fault).
+        """
+        if fault.signal not in self.netlist:
+            raise KeyError(f"fault site {fault.signal!r} not in netlist")
+        pi_values: dict[str, int] = {}
+        # Decision stack: (pi_name, first_value, tried_both)
+        stack: list[tuple[str, int, bool]] = []
+        backtracks = 0
+
+        while True:
+            good, faulty = self._simulate(pi_values, fault)
+            if self._detected(good, faulty, self._output_set):
+                pattern = {
+                    name: pi_values.get(name, int(self._rng.integers(2)))
+                    for name in self.netlist.inputs
+                }
+                return PodemResult(PodemStatus.DETECTED, pattern, backtracks)
+
+            objective = self._objective(fault, good, faulty)
+            if objective is not None and self._d_frontier_possible(
+                fault, good, faulty
+            ):
+                pi, value = self._backtrace(*objective, good)
+                if pi not in pi_values:
+                    pi_values[pi] = value
+                    stack.append((pi, value, False))
+                    continue
+                # Backtrace landed on an assigned PI: treat as conflict.
+
+            # Conflict: undo decisions until an untried alternative exists.
+            while stack:
+                pi, value, tried_both = stack.pop()
+                if tried_both:
+                    del pi_values[pi]
+                    continue
+                backtracks += 1
+                if backtracks > self.backtrack_limit:
+                    return PodemResult(PodemStatus.ABORTED, None, backtracks)
+                pi_values[pi] = 1 - value
+                stack.append((pi, 1 - value, True))
+                break
+            else:
+                return PodemResult(PodemStatus.UNTESTABLE, None, backtracks)
+
+    def _d_frontier_possible(
+        self,
+        fault: StuckAtFault,
+        good: dict[str, int],
+        faulty: dict[str, int],
+    ) -> bool:
+        """Cheap X-path check: fault not yet blocked everywhere."""
+        site = fault.signal
+        if good[site] != _X and good[site] == fault.value:
+            return False
+        if good[site] != _X:
+            # Activated: require a non-empty D-frontier or a D already at a PO.
+            if self._detected(good, faulty, self._output_set):
+                return True
+            return bool(self._d_frontier(fault, good, faulty))
+        return True
+
+    # ---------------------------------------------------------- test suites
+
+    def generate_suite(
+        self, faults, max_aborts: int | None = None
+    ) -> tuple[list[dict[str, int]], dict[str, list[StuckAtFault]]]:
+        """Generate patterns for a fault list.
+
+        Returns ``(patterns, report)`` where ``report`` buckets the faults
+        into ``"detected"``, ``"untestable"`` (provably redundant — the
+        paper's Section 1 discusses exactly these), and ``"aborted"``.
+        """
+        patterns: list[dict[str, int]] = []
+        report: dict[str, list[StuckAtFault]] = {
+            "detected": [],
+            "untestable": [],
+            "aborted": [],
+        }
+        aborts = 0
+        for fault in faults:
+            result = self.generate(fault)
+            if result.status is PodemStatus.DETECTED:
+                patterns.append(result.pattern)
+                report["detected"].append(fault)
+            elif result.status is PodemStatus.UNTESTABLE:
+                report["untestable"].append(fault)
+            else:
+                report["aborted"].append(fault)
+                aborts += 1
+                if max_aborts is not None and aborts >= max_aborts:
+                    break
+        return patterns, report

@@ -1,0 +1,201 @@
+"""SCOAP testability analysis (Goldstein 1979).
+
+Combinational controllabilities ``CC0(s)``/``CC1(s)`` — the effort to
+drive signal ``s`` to 0/1 — and observability ``CO(s)`` — the effort to
+propagate ``s`` to a primary output.  All three are classic unit-cost
+measures: primary inputs cost 1 to control, primary outputs cost 0 to
+observe, and every gate traversal adds 1.
+
+Uses here:
+
+* rank faults by *detection difficulty* ``CC(needed) + CO(site)`` — the
+  resistant-fault report a test engineer triages from;
+* guide PODEM's backtrace (choose the cheapest X input for the desired
+  value instead of the shallowest);
+* derive per-input weights for weighted-random generation that bias
+  toward the values hard logic needs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+from repro.faults.model import StuckAtFault
+
+__all__ = ["ScoapAnalysis"]
+
+_INF = math.inf
+
+
+def _parity_costs(pairs: list[tuple[float, float]]) -> tuple[float, float]:
+    """Min-cost (even-parity-of-ones, odd-parity) assignment over inputs.
+
+    ``pairs[i] = (cost of input i at 0, cost at 1)``; returns the cheapest
+    total cost to make the number of 1-inputs even, and odd — the dynamic
+    program behind n-input XOR controllability.
+    """
+    even, odd = 0.0, _INF
+    for cost0, cost1 in pairs:
+        even, odd = (
+            min(even + cost0, odd + cost1),
+            min(even + cost1, odd + cost0),
+        )
+    return even, odd
+
+
+class ScoapAnalysis:
+    """SCOAP controllability/observability numbers for one netlist."""
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self.cc0: dict[str, float] = {}
+        self.cc1: dict[str, float] = {}
+        self.co: dict[str, float] = {}
+        self._compute_controllability()
+        self._compute_observability()
+
+    # ------------------------------------------------------ controllability
+
+    def _compute_controllability(self) -> None:
+        for name in self.netlist.topological_order():
+            gate = self.netlist.gate(name)
+            gtype = gate.gate_type
+            if gtype is GateType.INPUT:
+                self.cc0[name] = 1.0
+                self.cc1[name] = 1.0
+                continue
+            in0 = [self.cc0[s] for s in gate.inputs]
+            in1 = [self.cc1[s] for s in gate.inputs]
+            if gtype is GateType.BUF:
+                c0, c1 = in0[0], in1[0]
+            elif gtype is GateType.NOT:
+                c0, c1 = in1[0], in0[0]
+            elif gtype is GateType.AND:
+                c0, c1 = min(in0), sum(in1)
+            elif gtype is GateType.NAND:
+                c0, c1 = sum(in1), min(in0)
+            elif gtype is GateType.OR:
+                c0, c1 = sum(in0), min(in1)
+            elif gtype is GateType.NOR:
+                c0, c1 = min(in1), sum(in0)
+            else:  # XOR / XNOR
+                even, odd = _parity_costs(list(zip(in0, in1)))
+                if gtype is GateType.XOR:
+                    c0, c1 = even, odd
+                else:
+                    c0, c1 = odd, even
+            self.cc0[name] = c0 + 1.0
+            self.cc1[name] = c1 + 1.0
+
+    # ------------------------------------------------------- observability
+
+    def _side_input_cost(self, gate, exclude_pin: int) -> float:
+        """Cost to hold every other input at a propagation-enabling value."""
+        gtype = gate.gate_type
+        total = 0.0
+        for pin, source in enumerate(gate.inputs):
+            if pin == exclude_pin:
+                continue
+            if gtype in (GateType.AND, GateType.NAND):
+                total += self.cc1[source]
+            elif gtype in (GateType.OR, GateType.NOR):
+                total += self.cc0[source]
+            else:  # XOR family: any fixed value propagates; pick cheaper
+                total += min(self.cc0[source], self.cc1[source])
+        return total
+
+    def _compute_observability(self) -> None:
+        self.co = {name: _INF for name in self.netlist.signals}
+        for out in self.netlist.outputs:
+            self.co[out] = 0.0
+        # Reverse topological order: a stem's observability is the best of
+        # its branches'.
+        for name in reversed(self.netlist.topological_order()):
+            gate = self.netlist.gate(name)
+            if gate.gate_type is GateType.INPUT:
+                continue
+            out_co = self.co[name]
+            if out_co == _INF:
+                continue
+            for pin, source in enumerate(gate.inputs):
+                through = out_co + self._side_input_cost(gate, pin) + 1.0
+                if through < self.co[source]:
+                    self.co[source] = through
+
+    # ------------------------------------------------------------- queries
+
+    def controllability(self, signal: str, value: int) -> float:
+        """CC0 or CC1 of a signal."""
+        if value not in (0, 1):
+            raise ValueError(f"value must be 0/1, got {value!r}")
+        table = self.cc1 if value else self.cc0
+        try:
+            return table[signal]
+        except KeyError:
+            raise KeyError(f"no signal {signal!r}") from None
+
+    def observability(self, signal: str) -> float:
+        """CO of a signal (``inf`` for logic with no output path)."""
+        try:
+            return self.co[signal]
+        except KeyError:
+            raise KeyError(f"no signal {signal!r}") from None
+
+    def fault_difficulty(self, fault: StuckAtFault) -> float:
+        """SCOAP detection difficulty: activate + observe.
+
+        Activating ``s-a-v`` needs the site at ``1-v``; branch faults are
+        observed through their sink gate, approximated by the stem's CO
+        plus the sink's side-input cost.
+        """
+        activate = self.controllability(fault.signal, 1 - fault.value)
+        if not fault.is_branch:
+            return activate + self.observability(fault.signal)
+        gate = self.netlist.gate(fault.gate)
+        through = (
+            self.co[fault.gate]
+            if self.co[fault.gate] != _INF
+            else _INF
+        )
+        if through == _INF:
+            return _INF
+        return activate + through + self._side_input_cost(gate, fault.pin) + 1.0
+
+    def hardest_faults(self, faults, count: int = 10) -> list[StuckAtFault]:
+        """The ``count`` faults with the highest detection difficulty."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        ranked = sorted(
+            faults, key=lambda f: (-self.fault_difficulty(f), f.sort_key)
+        )
+        return ranked[:count]
+
+    def input_weights(self) -> dict[str, float]:
+        """Per-input 1-probabilities for weighted-random generation.
+
+        Heuristic: an input that is cheap to justify either way stays at
+        0.5; an input whose 1-side feeds expensive logic (CC1 demand
+        downstream) is biased toward 1, and symmetrically for 0.  The
+        demand signal used is the relative magnitude of the fanout gates'
+        side-input requirements.
+        """
+        weights: dict[str, float] = {}
+        for name in self.netlist.inputs:
+            demand_one = 0.0
+            demand_zero = 0.0
+            for sink, _pin in self.netlist.fanout(name):
+                gtype = self.netlist.gate(sink).gate_type
+                if gtype in (GateType.AND, GateType.NAND):
+                    demand_one += 1.0  # side inputs must be 1 to propagate
+                elif gtype in (GateType.OR, GateType.NOR):
+                    demand_zero += 1.0
+            total = demand_one + demand_zero
+            if total == 0.0:
+                weights[name] = 0.5
+            else:
+                # Squash into [0.25, 0.75] — never starve either value.
+                weights[name] = 0.25 + 0.5 * (demand_one / total)
+        return weights

@@ -1,0 +1,51 @@
+"""Gate-level combinational netlist substrate.
+
+The paper's experiment needs a circuit with a well-defined single-stuck-at
+fault universe and a test sequence with a known cumulative-coverage profile.
+This package provides the circuit half: gate types, a netlist container
+with levelization and validation, an ISCAS-style ``.bench`` reader/writer,
+a library of canned arithmetic blocks, and parameterized synthetic circuit
+generators used to stand in for the paper's proprietary 25 000-transistor
+LSI chip.
+
+Sequential elements are handled by the full-scan convention: a ``DFF`` in a
+``.bench`` file becomes a pseudo-primary-input (its output) plus a
+pseudo-primary-output (its data input), which is how stuck-at test
+generation treated scan designs in the LSSD era the paper belongs to.
+"""
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Gate, Netlist
+from repro.circuit.bench import parse_bench, parse_bench_file, write_bench
+from repro.circuit.library import (
+    ripple_carry_adder,
+    carry_lookahead_adder,
+    parity_tree,
+    multiplexer,
+    comparator,
+    decoder,
+    majority,
+)
+from repro.circuit.generators import random_circuit, array_multiplier, simple_alu, c17
+from repro.circuit.scan import ScanPlan
+
+__all__ = [
+    "GateType",
+    "Gate",
+    "Netlist",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "ripple_carry_adder",
+    "carry_lookahead_adder",
+    "parity_tree",
+    "multiplexer",
+    "comparator",
+    "decoder",
+    "majority",
+    "random_circuit",
+    "array_multiplier",
+    "simple_alu",
+    "c17",
+    "ScanPlan",
+]

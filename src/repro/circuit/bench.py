@@ -1,0 +1,117 @@
+"""ISCAS-style ``.bench`` netlist reader and writer.
+
+Format (ISCAS-85/89 convention)::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G17)
+    G17 = NAND(G10, G16)
+    G10 = BUFF(G1)
+
+``DFF`` gates are accepted and converted to the full-scan model: the flop's
+output becomes a pseudo-primary input, its data input a pseudo-primary
+output.  This matches how stuck-at coverage was computed for scan designs
+in the paper's era and keeps the simulators purely combinational.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+
+__all__ = ["parse_bench", "parse_bench_file", "write_bench"]
+
+_TYPE_ALIASES = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+}
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^(\S+)\s*=\s*([A-Za-z]+)\s*\(\s*(.*?)\s*\)$")
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` text into a validated :class:`Netlist`."""
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: list[tuple[str, str, list[str]]] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind, signal = decl.group(1).upper(), decl.group(2)
+            (inputs if kind == "INPUT" else outputs).append(signal)
+            continue
+        gate = _GATE_RE.match(line)
+        if gate:
+            out, type_name, arg_text = gate.groups()
+            args = [a.strip() for a in arg_text.split(",")] if arg_text else []
+            gates.append((out, type_name.upper(), args))
+            continue
+        raise ValueError(f"{name}:{line_no}: unparseable line: {raw!r}")
+
+    netlist = Netlist(name)
+    scan_outputs: list[str] = []
+
+    for signal in inputs:
+        netlist.add_input(signal)
+
+    for out, type_name, args in gates:
+        if type_name == "DFF":
+            if len(args) != 1:
+                raise ValueError(f"DFF {out!r} must have exactly one input")
+            # Full-scan conversion: flop output is a controllable input,
+            # flop data input is an observable output.
+            netlist.add_input(out)
+            scan_outputs.append(args[0])
+            continue
+        if type_name not in _TYPE_ALIASES:
+            raise ValueError(f"unknown gate type {type_name!r} for {out!r}")
+        netlist.add_gate(out, _TYPE_ALIASES[type_name], args)
+
+    netlist.set_outputs(outputs + scan_outputs)
+    netlist.validate()
+    return netlist
+
+
+def parse_bench_file(path: str | Path) -> Netlist:
+    """Parse a ``.bench`` file; the netlist is named after the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialize a netlist to ``.bench`` text (round-trips via parse_bench)."""
+    type_names = {
+        GateType.AND: "AND",
+        GateType.NAND: "NAND",
+        GateType.OR: "OR",
+        GateType.NOR: "NOR",
+        GateType.XOR: "XOR",
+        GateType.XNOR: "XNOR",
+        GateType.NOT: "NOT",
+        GateType.BUF: "BUFF",
+    }
+    lines = [f"# {netlist.name}"]
+    lines.extend(f"INPUT({signal})" for signal in netlist.inputs)
+    lines.extend(f"OUTPUT({signal})" for signal in netlist.outputs)
+    for gate in netlist:
+        if gate.gate_type is GateType.INPUT:
+            continue
+        args = ", ".join(gate.inputs)
+        lines.append(f"{gate.name} = {type_names[gate.gate_type]}({args})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,325 @@
+"""Synthetic circuit generators.
+
+The paper's experimental chip (25 000 transistors) is proprietary; these
+generators produce circuits with comparable structural variety — random
+logic clouds, arithmetic arrays, and composed "chips" — so the Monte-Carlo
+experiments exercise a realistic stuck-at fault universe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.bench import parse_bench
+from repro.circuit.gates import GateType
+from repro.circuit.library import (
+    carry_lookahead_adder,
+    comparator,
+    multiplexer,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.circuit.netlist import Netlist
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "random_circuit",
+    "array_multiplier",
+    "simple_alu",
+    "c17",
+    "merge_netlists",
+    "synthetic_chip",
+]
+
+_RANDOM_GATE_TYPES = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+    GateType.NOT,
+    GateType.BUF,
+]
+
+
+def random_circuit(
+    num_inputs: int,
+    num_gates: int,
+    num_outputs: int,
+    max_fanin: int = 4,
+    seed=None,
+    name: str | None = None,
+) -> Netlist:
+    """Generate a random combinational DAG.
+
+    Gates are appended one at a time; each picks a random type and draws its
+    inputs from the signals created so far, biased toward recent signals so
+    the circuit develops depth rather than staying a two-level cloud.
+    Outputs are drawn from the deepest quarter of the gate list, preferring
+    signals with no fanout (so most logic is observable).
+    """
+    if num_inputs < 2:
+        raise ValueError(f"need >= 2 inputs, got {num_inputs}")
+    if num_gates < 1:
+        raise ValueError(f"need >= 1 gate, got {num_gates}")
+    if num_outputs < 1:
+        raise ValueError(f"need >= 1 output, got {num_outputs}")
+    if max_fanin < 2:
+        raise ValueError(f"max_fanin must be >= 2, got {max_fanin}")
+    rng = make_rng(seed)
+    net = Netlist(name or f"rand_{num_inputs}x{num_gates}")
+
+    signals = []
+    for i in range(num_inputs):
+        net.add_input(f"i{i}")
+        signals.append(f"i{i}")
+
+    for g in range(num_gates):
+        gate_type = _RANDOM_GATE_TYPES[rng.integers(len(_RANDOM_GATE_TYPES))]
+        if gate_type in (GateType.NOT, GateType.BUF):
+            fanin = 1
+        else:
+            fanin = int(rng.integers(2, max_fanin + 1))
+        fanin = min(fanin, len(signals))
+        if fanin == 1 and gate_type not in (GateType.NOT, GateType.BUF):
+            gate_type = GateType.NOT
+        # Bias toward recent signals: exponential weights over position.
+        pos = np.arange(len(signals), dtype=float)
+        weights = np.exp((pos - len(signals)) / max(8.0, len(signals) / 4.0))
+        weights /= weights.sum()
+        chosen = rng.choice(len(signals), size=fanin, replace=False, p=weights)
+        gate_name = f"g{g}"
+        net.add_gate(gate_name, gate_type, [signals[c] for c in chosen])
+        signals.append(gate_name)
+
+    # Every dangling gate is funneled into an XOR observation tree so the
+    # whole circuit is observable — a dangling gate's faults would be
+    # trivially untestable, which no real netlist tolerates.
+    gate_names = signals[num_inputs:]
+    fanout = net.fanout_counts()
+    sinks = [s for s in gate_names if fanout[s] == 0]
+    # Unconsumed primary inputs join the observation trees as well — an
+    # input nothing reads would make its stuck-at faults untestable.
+    sinks.extend(s for s in signals[:num_inputs] if fanout[s] == 0)
+    if not sinks:
+        sinks = [gate_names[-1]]
+    groups: list[list[str]] = [[] for _ in range(min(num_outputs, len(sinks)))]
+    for i, s in enumerate(sinks):
+        groups[i % len(groups)].append(s)
+    outputs = []
+    for k, group in enumerate(groups):
+        frontier = group
+        level = 0
+        while len(frontier) > 1:
+            nxt = []
+            for j in range(0, len(frontier) - 1, 2):
+                obs = f"obs{k}_{level}_{j // 2}"
+                net.add_gate(obs, GateType.XOR, [frontier[j], frontier[j + 1]])
+                nxt.append(obs)
+            if len(frontier) % 2:
+                nxt.append(frontier[-1])
+            frontier = nxt
+            level += 1
+        outputs.append(frontier[0])
+    net.set_outputs(outputs)
+    net.validate()
+    return net
+
+
+def array_multiplier(width: int, name: str | None = None) -> Netlist:
+    """N x N array multiplier built from AND partial products + adder rows."""
+    if width < 2:
+        raise ValueError(f"multiplier width must be >= 2, got {width}")
+    net = Netlist(name or f"mult{width}")
+    for i in range(width):
+        net.add_input(f"a{i}")
+    for j in range(width):
+        net.add_input(f"b{j}")
+    # Partial products pp[i][j] = a_i * b_j
+    for i in range(width):
+        for j in range(width):
+            net.add_gate(f"pp{i}_{j}", GateType.AND, [f"a{i}", f"b{j}"])
+
+    def half_adder(a: str, b: str, prefix: str) -> tuple[str, str]:
+        net.add_gate(f"{prefix}_s", GateType.XOR, [a, b])
+        net.add_gate(f"{prefix}_c", GateType.AND, [a, b])
+        return f"{prefix}_s", f"{prefix}_c"
+
+    def full_adder(a: str, b: str, c: str, prefix: str) -> tuple[str, str]:
+        net.add_gate(f"{prefix}_x", GateType.XOR, [a, b])
+        net.add_gate(f"{prefix}_s", GateType.XOR, [f"{prefix}_x", c])
+        net.add_gate(f"{prefix}_c1", GateType.AND, [a, b])
+        net.add_gate(f"{prefix}_c2", GateType.AND, [f"{prefix}_x", c])
+        net.add_gate(f"{prefix}_c", GateType.OR, [f"{prefix}_c1", f"{prefix}_c2"])
+        return f"{prefix}_s", f"{prefix}_c"
+
+    # Column-wise (Wallace-ish) reduction using a simple carry-save schedule.
+    columns: list[list[str]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(f"pp{i}_{j}")
+    products = []
+    adder_id = 0
+    for col in range(2 * width - 1):
+        bits = columns[col]
+        while len(bits) > 1:
+            if len(bits) >= 3:
+                a, b, c = bits.pop(), bits.pop(), bits.pop()
+                s, cy = full_adder(a, b, c, f"fa{adder_id}")
+            else:
+                a, b = bits.pop(), bits.pop()
+                s, cy = half_adder(a, b, f"ha{adder_id}")
+            adder_id += 1
+            bits.append(s)
+            columns[col + 1].append(cy)
+        products.append(bits[0] if bits else None)
+    top = columns[2 * width - 1]
+    while len(top) > 1:
+        a, b = top.pop(), top.pop()
+        s, cy = half_adder(a, b, f"ha{adder_id}")
+        adder_id += 1
+        top.append(s)
+        # carries beyond 2N bits are dropped (cannot occur for N x N)
+    products.append(top[0] if top else None)
+
+    outputs = []
+    for k, signal in enumerate(products):
+        out = f"p{k}"
+        if signal is None:
+            continue
+        net.add_gate(out, GateType.BUF, [signal])
+        outputs.append(out)
+    net.set_outputs(outputs)
+    net.validate()
+    return net
+
+
+def simple_alu(width: int, name: str | None = None) -> Netlist:
+    """N-bit ALU: op selects among ADD, AND, OR, XOR via a 4-way mux per bit.
+
+    Inputs a[i], b[i], op0, op1; outputs y[i] and carry-out of the adder.
+    """
+    if width < 1:
+        raise ValueError(f"ALU width must be >= 1, got {width}")
+    net = Netlist(name or f"alu{width}")
+    for i in range(width):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+    net.add_input("op0")
+    net.add_input("op1")
+    net.add_gate("op0n", GateType.NOT, ["op0"])
+    net.add_gate("op1n", GateType.NOT, ["op1"])
+
+    # Adder chain (carry-in fixed by tying to a0 AND NOT a0 = 0 is clumsy;
+    # instead start the ripple with the half adder of bit 0).
+    carry = None
+    for i in range(width):
+        net.add_gate(f"and{i}", GateType.AND, [f"a{i}", f"b{i}"])
+        net.add_gate(f"or{i}", GateType.OR, [f"a{i}", f"b{i}"])
+        net.add_gate(f"xor{i}", GateType.XOR, [f"a{i}", f"b{i}"])
+        if carry is None:
+            net.add_gate(f"sum{i}", GateType.BUF, [f"xor{i}"])
+            carry = f"and{i}"
+        else:
+            net.add_gate(f"sum{i}", GateType.XOR, [f"xor{i}", carry])
+            net.add_gate(f"cx{i}", GateType.AND, [f"xor{i}", carry])
+            net.add_gate(f"c{i}", GateType.OR, [f"and{i}", f"cx{i}"])
+            carry = f"c{i}"
+
+    # 4-way select per bit: 00 -> sum, 01 -> and, 10 -> or, 11 -> xor.
+    for i in range(width):
+        net.add_gate(f"m0_{i}", GateType.AND, [f"sum{i}", "op0n", "op1n"])
+        net.add_gate(f"m1_{i}", GateType.AND, [f"and{i}", "op0", "op1n"])
+        net.add_gate(f"m2_{i}", GateType.AND, [f"or{i}", "op0n", "op1"])
+        net.add_gate(f"m3_{i}", GateType.AND, [f"xor{i}", "op0", "op1"])
+        net.add_gate(
+            f"y{i}", GateType.OR, [f"m0_{i}", f"m1_{i}", f"m2_{i}", f"m3_{i}"]
+        )
+    net.set_outputs([f"y{i}" for i in range(width)] + [carry])
+    net.validate()
+    return net
+
+
+_C17_BENCH = """
+# c17 — the smallest ISCAS-85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+def c17() -> Netlist:
+    """The ISCAS-85 c17 benchmark (6 NAND gates) — the standard tiny example."""
+    return parse_bench(_C17_BENCH, name="c17")
+
+
+def merge_netlists(blocks: list[Netlist], name: str = "chip") -> Netlist:
+    """Compose independent blocks into one chip-level netlist.
+
+    Each block's signals are prefixed with ``u<k>_`` (instance index), all
+    block inputs become chip inputs, and all block outputs become chip
+    outputs.  Blocks stay electrically independent — the composition models
+    a chip floorplan of distinct functional unit blocks, which is also what
+    the defect-mapping layer assumes.
+    """
+    if not blocks:
+        raise ValueError("need at least one block")
+    chip = Netlist(name)
+    all_outputs = []
+    for k, block in enumerate(blocks):
+        prefix = f"u{k}_"
+        for signal in block.inputs:
+            chip.add_input(prefix + signal)
+        for gate in block:
+            if gate.gate_type is GateType.INPUT:
+                continue
+            chip.add_gate(
+                prefix + gate.name,
+                gate.gate_type,
+                [prefix + s for s in gate.inputs],
+            )
+        all_outputs.extend(prefix + s for s in block.outputs)
+    chip.set_outputs(all_outputs)
+    chip.validate()
+    return chip
+
+
+def synthetic_chip(scale: int = 1, seed=None, name: str | None = None) -> Netlist:
+    """A chip-scale circuit mixing datapath and random logic.
+
+    ``scale=1`` yields roughly 500 gates; the gate count grows approximately
+    linearly with ``scale``.  This is the stand-in for the paper's LSI chip:
+    arithmetic blocks (structured, reconvergent) plus random control logic
+    (irregular), matching the structural mix of a real product die.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    rng = make_rng(seed)
+    blocks: list[Netlist] = []
+    for k in range(scale):
+        blocks.append(ripple_carry_adder(4 + (k % 3)))
+        blocks.append(carry_lookahead_adder(4))
+        blocks.append(array_multiplier(3 + (k % 2)))
+        blocks.append(parity_tree(8))
+        blocks.append(multiplexer(3))
+        blocks.append(comparator(4))
+        blocks.append(
+            random_circuit(
+                num_inputs=10,
+                num_gates=120,
+                num_outputs=8,
+                seed=rng,
+            )
+        )
+    return merge_netlists(blocks, name=name or f"chip_x{scale}")

@@ -1,0 +1,334 @@
+"""Canned combinational building blocks.
+
+Hand-written, structurally conventional implementations of the datapath and
+control blocks the synthetic-chip generators compose.  Every function
+returns a validated :class:`~repro.circuit.netlist.Netlist`.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+
+__all__ = [
+    "ripple_carry_adder",
+    "carry_lookahead_adder",
+    "parity_tree",
+    "multiplexer",
+    "comparator",
+    "decoder",
+    "majority",
+    "barrel_shifter",
+    "priority_encoder",
+    "gray_converters",
+]
+
+
+def _full_adder(net: Netlist, a: str, b: str, cin: str, prefix: str) -> tuple[str, str]:
+    """Append a full adder; returns (sum, carry-out) signal names."""
+    axb = f"{prefix}_axb"
+    net.add_gate(axb, GateType.XOR, [a, b])
+    s = f"{prefix}_s"
+    net.add_gate(s, GateType.XOR, [axb, cin])
+    ab = f"{prefix}_ab"
+    net.add_gate(ab, GateType.AND, [a, b])
+    axb_c = f"{prefix}_axbc"
+    net.add_gate(axb_c, GateType.AND, [axb, cin])
+    cout = f"{prefix}_co"
+    net.add_gate(cout, GateType.OR, [ab, axb_c])
+    return s, cout
+
+
+def ripple_carry_adder(width: int, name: str | None = None) -> Netlist:
+    """N-bit ripple-carry adder: inputs a[i], b[i], cin; outputs s[i], cout."""
+    if width < 1:
+        raise ValueError(f"adder width must be >= 1, got {width}")
+    net = Netlist(name or f"rca{width}")
+    for i in range(width):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+    net.add_input("cin")
+    carry = "cin"
+    sums = []
+    for i in range(width):
+        s, carry = _full_adder(net, f"a{i}", f"b{i}", carry, f"fa{i}")
+        sums.append(s)
+    net.set_outputs(sums + [carry])
+    net.validate()
+    return net
+
+
+def carry_lookahead_adder(width: int, name: str | None = None) -> Netlist:
+    """N-bit adder with single-level carry lookahead (flat P/G network).
+
+    The carry into bit ``i`` is ``c_i = g_{i-1} + p_{i-1} g_{i-2} + ... +
+    p_{i-1}..p_0 cin`` — wide AND-OR trees rather than a ripple chain, so
+    the fault universe has a very different structure from the RCA at the
+    same width (useful for generator diversity).
+    """
+    if width < 1:
+        raise ValueError(f"adder width must be >= 1, got {width}")
+    net = Netlist(name or f"cla{width}")
+    for i in range(width):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+    net.add_input("cin")
+
+    for i in range(width):
+        net.add_gate(f"p{i}", GateType.XOR, [f"a{i}", f"b{i}"])
+        net.add_gate(f"g{i}", GateType.AND, [f"a{i}", f"b{i}"])
+
+    carries = ["cin"]
+    for i in range(1, width + 1):
+        terms = []
+        # g_{i-1}
+        terms.append(f"g{i-1}")
+        # p_{i-1} ... p_{j+1} g_j  for j < i-1, and the cin term
+        for j in range(i - 2, -1, -1):
+            ps = [f"p{k}" for k in range(j + 1, i)]
+            term = f"c{i}_t{j}"
+            net.add_gate(term, GateType.AND, ps + [f"g{j}"])
+            terms.append(term)
+        cin_term = f"c{i}_tc"
+        net.add_gate(cin_term, GateType.AND, [f"p{k}" for k in range(i)] + ["cin"])
+        terms.append(cin_term)
+        carry = f"c{i}"
+        if len(terms) == 1:
+            net.add_gate(carry, GateType.BUF, terms)
+        else:
+            net.add_gate(carry, GateType.OR, terms)
+        carries.append(carry)
+
+    sums = []
+    for i in range(width):
+        s = f"s{i}"
+        net.add_gate(s, GateType.XOR, [f"p{i}", carries[i]])
+        sums.append(s)
+    net.set_outputs(sums + [carries[width]])
+    net.validate()
+    return net
+
+
+def parity_tree(width: int, name: str | None = None) -> Netlist:
+    """XOR reduction tree over ``width`` inputs, output ``parity``."""
+    if width < 2:
+        raise ValueError(f"parity tree needs >= 2 inputs, got {width}")
+    net = Netlist(name or f"parity{width}")
+    frontier = []
+    for i in range(width):
+        net.add_input(f"x{i}")
+        frontier.append(f"x{i}")
+    level = 0
+    while len(frontier) > 1:
+        nxt = []
+        for j in range(0, len(frontier) - 1, 2):
+            out = f"p{level}_{j // 2}"
+            net.add_gate(out, GateType.XOR, [frontier[j], frontier[j + 1]])
+            nxt.append(out)
+        if len(frontier) % 2:
+            nxt.append(frontier[-1])
+        frontier = nxt
+        level += 1
+    net.add_gate("parity", GateType.BUF, [frontier[0]])
+    net.set_outputs(["parity"])
+    net.validate()
+    return net
+
+
+def multiplexer(select_bits: int, name: str | None = None) -> Netlist:
+    """2^k-to-1 mux: data inputs d0..d(2^k-1), selects s0..s(k-1), output y."""
+    if select_bits < 1:
+        raise ValueError(f"need >= 1 select bit, got {select_bits}")
+    n_data = 1 << select_bits
+    net = Netlist(name or f"mux{n_data}")
+    for i in range(n_data):
+        net.add_input(f"d{i}")
+    for i in range(select_bits):
+        net.add_input(f"s{i}")
+        net.add_gate(f"sn{i}", GateType.NOT, [f"s{i}"])
+    terms = []
+    for i in range(n_data):
+        selects = [
+            f"s{b}" if (i >> b) & 1 else f"sn{b}" for b in range(select_bits)
+        ]
+        term = f"t{i}"
+        net.add_gate(term, GateType.AND, [f"d{i}"] + selects)
+        terms.append(term)
+    net.add_gate("y", GateType.OR, terms)
+    net.set_outputs(["y"])
+    net.validate()
+    return net
+
+
+def comparator(width: int, name: str | None = None) -> Netlist:
+    """N-bit equality comparator: output ``eq`` is 1 iff a == b."""
+    if width < 1:
+        raise ValueError(f"comparator width must be >= 1, got {width}")
+    net = Netlist(name or f"cmp{width}")
+    bits = []
+    for i in range(width):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+        bit = f"eq{i}"
+        net.add_gate(bit, GateType.XNOR, [f"a{i}", f"b{i}"])
+        bits.append(bit)
+    if width == 1:
+        net.add_gate("eq", GateType.BUF, bits)
+    else:
+        net.add_gate("eq", GateType.AND, bits)
+    net.set_outputs(["eq"])
+    net.validate()
+    return net
+
+
+def decoder(select_bits: int, name: str | None = None) -> Netlist:
+    """k-to-2^k decoder with active-high outputs o0..o(2^k-1)."""
+    if select_bits < 1:
+        raise ValueError(f"need >= 1 select bit, got {select_bits}")
+    net = Netlist(name or f"dec{select_bits}")
+    for i in range(select_bits):
+        net.add_input(f"s{i}")
+        net.add_gate(f"sn{i}", GateType.NOT, [f"s{i}"])
+    outs = []
+    for code in range(1 << select_bits):
+        selects = [
+            f"s{b}" if (code >> b) & 1 else f"sn{b}" for b in range(select_bits)
+        ]
+        out = f"o{code}"
+        if len(selects) == 1:
+            net.add_gate(out, GateType.BUF, selects)
+        else:
+            net.add_gate(out, GateType.AND, selects)
+        outs.append(out)
+    net.set_outputs(outs)
+    net.validate()
+    return net
+
+
+def majority(name: str | None = None) -> Netlist:
+    """3-input majority voter (the TMR primitive), output ``m``."""
+    net = Netlist(name or "maj3")
+    for signal in ("a", "b", "c"):
+        net.add_input(signal)
+    net.add_gate("ab", GateType.AND, ["a", "b"])
+    net.add_gate("ac", GateType.AND, ["a", "c"])
+    net.add_gate("bc", GateType.AND, ["b", "c"])
+    net.add_gate("m", GateType.OR, ["ab", "ac", "bc"])
+    net.set_outputs(["m"])
+    net.validate()
+    return net
+
+
+def barrel_shifter(select_bits: int, name: str | None = None) -> Netlist:
+    """Logarithmic barrel shifter: rotates a 2^k-bit word left by ``s``.
+
+    Inputs d0..d(2^k-1) and selects s0..s(k-1); outputs y0..y(2^k-1) where
+    ``y[i] = d[(i - s) mod 2^k]``.  Built as k stages of 2-to-1 muxes, the
+    classical structure whose fault universe is dominated by mux select
+    fanout.
+    """
+    if select_bits < 1:
+        raise ValueError(f"need >= 1 select bit, got {select_bits}")
+    width = 1 << select_bits
+    net = Netlist(name or f"bshift{width}")
+    for i in range(width):
+        net.add_input(f"d{i}")
+    for b in range(select_bits):
+        net.add_input(f"s{b}")
+        net.add_gate(f"sn{b}", GateType.NOT, [f"s{b}"])
+
+    current = [f"d{i}" for i in range(width)]
+    for stage in range(select_bits):
+        shift = 1 << stage
+        nxt = []
+        for i in range(width):
+            straight = current[i]
+            rotated = current[(i - shift) % width]
+            hold = f"st{stage}_h{i}"
+            take = f"st{stage}_t{i}"
+            out = f"st{stage}_y{i}"
+            net.add_gate(hold, GateType.AND, [straight, f"sn{stage}"])
+            net.add_gate(take, GateType.AND, [rotated, f"s{stage}"])
+            net.add_gate(out, GateType.OR, [hold, take])
+            nxt.append(out)
+        current = nxt
+    outputs = []
+    for i, signal in enumerate(current):
+        net.add_gate(f"y{i}", GateType.BUF, [signal])
+        outputs.append(f"y{i}")
+    net.set_outputs(outputs)
+    net.validate()
+    return net
+
+
+def priority_encoder(width: int, name: str | None = None) -> Netlist:
+    """Priority encoder: the index of the highest-numbered asserted input.
+
+    Inputs r0..r(width-1); outputs the binary code y0..y(ceil(log2 w)-1)
+    plus ``valid`` (any request asserted).  Requests at higher indices win.
+    """
+    if width < 2:
+        raise ValueError(f"need >= 2 requests, got {width}")
+    import math as _math
+
+    code_bits = max(1, _math.ceil(_math.log2(width)))
+    net = Netlist(name or f"prienc{width}")
+    for i in range(width):
+        net.add_input(f"r{i}")
+        net.add_gate(f"rn{i}", GateType.NOT, [f"r{i}"])
+
+    # grant[i] = r[i] AND none of the higher requests
+    grants = []
+    for i in range(width):
+        higher = [f"rn{j}" for j in range(i + 1, width)]
+        if higher:
+            gate_inputs = [f"r{i}"] + higher
+            net.add_gate(f"g{i}", GateType.AND, gate_inputs)
+        else:
+            net.add_gate(f"g{i}", GateType.BUF, [f"r{i}"])
+        grants.append(f"g{i}")
+
+    outputs = []
+    for b in range(code_bits):
+        ones = [grants[i] for i in range(width) if (i >> b) & 1]
+        out = f"y{b}"
+        if not ones:
+            # No index with this bit set (width a power of two minus...):
+            # tie low via AND of a request and its inverse.
+            net.add_gate(out, GateType.AND, ["r0", "rn0"])
+        elif len(ones) == 1:
+            net.add_gate(out, GateType.BUF, ones)
+        else:
+            net.add_gate(out, GateType.OR, ones)
+        outputs.append(out)
+    net.add_gate("valid", GateType.OR, [f"r{i}" for i in range(width)])
+    net.set_outputs(outputs + ["valid"])
+    net.validate()
+    return net
+
+
+def gray_converters(width: int, name: str | None = None) -> Netlist:
+    """Binary-to-Gray and Gray-to-binary converters sharing the inputs.
+
+    Inputs b0..b(w-1); outputs g0..g(w-1) (the Gray code of b) and
+    c0..c(w-1) (the binary reconstruction of g — always equal to b, which
+    the tests exploit as a built-in identity check).
+    """
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    net = Netlist(name or f"gray{width}")
+    for i in range(width):
+        net.add_input(f"b{i}")
+    # Gray: g[w-1] = b[w-1]; g[i] = b[i] XOR b[i+1]
+    net.add_gate(f"g{width - 1}", GateType.BUF, [f"b{width - 1}"])
+    for i in range(width - 1):
+        net.add_gate(f"g{i}", GateType.XOR, [f"b{i}", f"b{i + 1}"])
+    # Binary back: c[w-1] = g[w-1]; c[i] = g[i] XOR c[i+1]
+    net.add_gate(f"c{width - 1}", GateType.BUF, [f"g{width - 1}"])
+    for i in range(width - 2, -1, -1):
+        net.add_gate(f"c{i}", GateType.XOR, [f"g{i}", f"c{i + 1}"])
+    net.set_outputs(
+        [f"g{i}" for i in range(width)] + [f"c{i}" for i in range(width)]
+    )
+    net.validate()
+    return net

@@ -1,0 +1,76 @@
+"""Scan-chain test-application cost model (LSSD-era bookkeeping).
+
+The ``.bench`` parser already converts sequential designs to the full-scan
+combinational view (each DFF's output becomes a pseudo-input, its data
+input a pseudo-output).  What that conversion hides is *cost*: applying
+one combinational pattern to a scan design takes ``ceil(flops / chains)``
+shift cycles plus a capture cycle, so scan multiplies tester time by the
+chain length.
+
+:class:`ScanPlan` carries that arithmetic and plugs into the economics
+model: the effective per-pattern cost is ``cycles_per_pattern`` times the
+per-cycle tester rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ScanPlan"]
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """Scan architecture of a full-scan design.
+
+    Parameters
+    ----------
+    num_flops:
+        State elements on the chip (0 for purely combinational).
+    num_chains:
+        Parallel scan chains; flops are balanced across them.
+    """
+
+    num_flops: int
+    num_chains: int = 1
+
+    def __post_init__(self):
+        if self.num_flops < 0:
+            raise ValueError(f"num_flops must be >= 0, got {self.num_flops}")
+        if self.num_chains < 1:
+            raise ValueError(f"num_chains must be >= 1, got {self.num_chains}")
+
+    @property
+    def chain_length(self) -> int:
+        """Longest chain: ``ceil(flops / chains)``."""
+        return math.ceil(self.num_flops / self.num_chains)
+
+    @property
+    def cycles_per_pattern(self) -> int:
+        """Shift-in the next state while shifting out the last, plus one
+        capture cycle.  A combinational design costs one cycle flat."""
+        if self.num_flops == 0:
+            return 1
+        return self.chain_length + 1
+
+    def test_cycles(self, num_patterns: int) -> int:
+        """Total tester cycles for a program, including the final
+        shift-out of the last captured response."""
+        if num_patterns < 0:
+            raise ValueError(f"num_patterns must be >= 0, got {num_patterns}")
+        if num_patterns == 0:
+            return 0
+        return num_patterns * self.cycles_per_pattern + self.chain_length
+
+    def pattern_cost(self, cycle_cost: float) -> float:
+        """Effective per-pattern cost at a given per-cycle tester rate —
+        the number the economics model wants."""
+        if cycle_cost < 0:
+            raise ValueError(f"cycle_cost must be >= 0, got {cycle_cost}")
+        return self.cycles_per_pattern * cycle_cost
+
+    def speedup_from_chains(self, more_chains: int) -> float:
+        """Test-time ratio of this plan to one with ``more_chains``."""
+        other = ScanPlan(self.num_flops, more_chains)
+        return self.cycles_per_pattern / other.cycles_per_pattern

@@ -1,0 +1,88 @@
+"""The paper's primary contribution: the fault-coverage / product-quality model.
+
+This package is pure analysis — no simulation.  It implements, equation by
+equation, Sections 3-6 and the Appendix of Agrawal, Seth & Agrawal (DAC'81):
+
+* :mod:`repro.core.fault_distribution` — shifted-Poisson fault count (Eq. 1-2)
+* :mod:`repro.core.detection` — hypergeometric escape probabilities
+  ``q_k(n)`` and the Appendix approximations (Eqs. 4-5, A.1-A.3)
+* :mod:`repro.core.reject_rate` — ``Ybg(f)``, ``r(f)``, ``P(f)`` (Eqs. 6-10)
+* :mod:`repro.core.coverage_solver` — Eq. 11 and its numeric inversion
+* :mod:`repro.core.estimation` — ``n0`` estimators from first-fail lot data
+* :mod:`repro.core.wadsack` — the prior model the paper argues against [5]
+* :mod:`repro.core.scaling` — the Section 8 fine-line shrink study
+* :mod:`repro.core.quality` — a facade tying calibration to prediction
+"""
+
+from repro.core.fault_distribution import FaultDistribution
+from repro.core.detection import (
+    escape_probability_exact,
+    escape_probability_corrected,
+    escape_probability_simple,
+    detection_pmf,
+)
+from repro.core.reject_rate import (
+    bad_chip_pass_yield,
+    field_reject_rate,
+    reject_fraction,
+    reject_fraction_slope,
+    field_reject_rate_exact,
+)
+from repro.core.coverage_solver import (
+    yield_for_coverage,
+    required_coverage,
+    coverage_sweep,
+)
+from repro.core.estimation import (
+    CoveragePoint,
+    estimate_n0_slope,
+    estimate_n0_least_squares,
+    estimate_n0_mle,
+    estimate_yield_from_plateau,
+)
+from repro.core.wadsack import (
+    wadsack_reject_rate,
+    wadsack_required_coverage,
+)
+from repro.core.scaling import ShrinkStudy, ShrinkScenario
+from repro.core.quality import QualityModel
+from repro.core.mixed_poisson import MixedPoissonFaultModel
+from repro.core.economics import TestEconomics, TestLengthModel, CostBreakdown
+from repro.core.sensitivity import (
+    SensitivityReport,
+    analyze_sensitivity,
+    miscalibration_risk,
+)
+
+__all__ = [
+    "FaultDistribution",
+    "escape_probability_exact",
+    "escape_probability_corrected",
+    "escape_probability_simple",
+    "detection_pmf",
+    "bad_chip_pass_yield",
+    "field_reject_rate",
+    "reject_fraction",
+    "reject_fraction_slope",
+    "field_reject_rate_exact",
+    "yield_for_coverage",
+    "required_coverage",
+    "coverage_sweep",
+    "CoveragePoint",
+    "estimate_n0_slope",
+    "estimate_n0_least_squares",
+    "estimate_n0_mle",
+    "estimate_yield_from_plateau",
+    "wadsack_reject_rate",
+    "wadsack_required_coverage",
+    "ShrinkStudy",
+    "ShrinkScenario",
+    "QualityModel",
+    "MixedPoissonFaultModel",
+    "TestEconomics",
+    "TestLengthModel",
+    "CostBreakdown",
+    "SensitivityReport",
+    "analyze_sensitivity",
+    "miscalibration_risk",
+]

@@ -1,0 +1,111 @@
+"""Required-coverage solver (Section 6, Eq. 11, Figs. 2-4).
+
+Eq. 8 is awkward to solve for ``f`` directly; the paper instead expresses
+the yield as a closed form of ``(r, f, n0)``:
+
+    y(f) = (1-r)(1-f) e^{-(n0-1) f} / [ r + (1-r)(1-f) e^{-(n0-1) f} ]
+
+and reads the required coverage off the plotted family.  Here we do both:
+``yield_for_coverage`` is the closed form, and ``required_coverage``
+inverts it by bisection (the map f -> y is strictly decreasing for fixed
+``r`` and ``n0``, so the root is unique).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.reject_rate import field_reject_rate
+from repro.utils.mathtools import bisect_root
+
+__all__ = ["yield_for_coverage", "required_coverage", "coverage_sweep", "CoverageCurve"]
+
+
+def yield_for_coverage(coverage: float, n0: float, reject_rate: float) -> float:
+    """Eq. 11: the yield at which tests of coverage ``f`` hit reject rate ``r``.
+
+    For a process of this yield, coverage ``coverage`` yields exactly field
+    reject rate ``reject_rate``; a higher-yield process would do better.
+    """
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError(f"fault coverage must be in [0, 1], got {coverage}")
+    if n0 < 1.0:
+        raise ValueError(f"n0 must be >= 1, got {n0}")
+    if not 0.0 < reject_rate < 1.0:
+        raise ValueError(f"reject rate must be in (0, 1), got {reject_rate}")
+    escape = (1.0 - coverage) * math.exp(-(n0 - 1.0) * coverage)
+    numerator = (1.0 - reject_rate) * escape
+    return numerator / (reject_rate + numerator)
+
+
+def required_coverage(yield_: float, n0: float, reject_rate: float) -> float:
+    """Invert Eq. 11: the minimum fault coverage achieving ``reject_rate``.
+
+    Returns 0.0 when even untested chips meet the target (i.e. the raw
+    defect rate ``1 - y`` is already below the acceptable reject rate).
+
+    >>> f = required_coverage(yield_=0.2, n0=2.0, reject_rate=0.005)
+    >>> 0.94 < f < 1.0    # paper, Fig. 1 discussion: ~99% for y=.2, n0=2
+    True
+    """
+    if not 0.0 < yield_ <= 1.0:
+        raise ValueError(
+            f"yield must be in (0, 1] to ship any good chips, got {yield_}"
+        )
+    if n0 < 1.0:
+        raise ValueError(f"n0 must be >= 1, got {n0}")
+    if not 0.0 < reject_rate < 1.0:
+        raise ValueError(f"reject rate must be in (0, 1), got {reject_rate}")
+
+    if field_reject_rate(0.0, yield_, n0) <= reject_rate:
+        return 0.0
+
+    # r(f) is continuous, r(0) > target (checked above), r(1) = 0 < target.
+    return bisect_root(
+        lambda f: field_reject_rate(f, yield_, n0) - reject_rate,
+        0.0,
+        1.0,
+        tol=1e-12,
+    )
+
+
+@dataclass(frozen=True)
+class CoverageCurve:
+    """One constant-``n0`` curve of a Figs. 2-4 style chart."""
+
+    n0: float
+    reject_rate: float
+    yields: np.ndarray
+    coverages: np.ndarray
+
+    def interpolate(self, yield_: float) -> float:
+        """Required coverage at ``yield_`` by linear interpolation."""
+        return float(np.interp(yield_, self.yields, self.coverages))
+
+
+def coverage_sweep(
+    n0: float,
+    reject_rate: float,
+    yields: np.ndarray | None = None,
+) -> CoverageCurve:
+    """Compute one required-coverage-versus-yield curve (a Figs. 2-4 line).
+
+    The paper sweeps yield on the x axis for a family of ``n0`` values; this
+    returns a single family member ready for plotting or interpolation.
+    """
+    if yields is None:
+        yields = np.linspace(0.01, 0.99, 99)
+    yields = np.asarray(yields, dtype=float)
+    if yields.ndim != 1 or yields.size == 0:
+        raise ValueError("yields must be a non-empty 1-D array")
+    if np.any((yields <= 0.0) | (yields > 1.0)):
+        raise ValueError("all yields must be in (0, 1]")
+    coverages = np.array(
+        [required_coverage(float(y), n0, reject_rate) for y in yields]
+    )
+    return CoverageCurve(
+        n0=n0, reject_rate=reject_rate, yields=yields, coverages=coverages
+    )

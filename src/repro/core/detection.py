@@ -1,0 +1,137 @@
+"""Detection/escape probabilities ``q_k(n)`` (Section 4 and the Appendix).
+
+The urn model: the chip's fault universe has ``N`` sites ("balls"); ``n``
+are actual faults ("black"); the test set covers ``m = f * N`` sites drawn
+without replacement.  The number of *detected* faults is hypergeometric
+(Eq. 4); a chip escapes when zero of its faults are covered (Eq. 5).
+
+Three tiers of the escape probability ``q0(n)`` are provided, mirroring the
+paper's Appendix:
+
+* ``escape_probability_exact``    — Eq. A.1, exact log-space hypergeometric
+* ``escape_probability_corrected``— Eq. A.2, ``(1-f)^n exp(-f n(n-1)/(2N(1-f)))``
+* ``escape_probability_simple``   — Eq. A.3, ``(1-f)^n`` (valid for
+  ``n^2 << N (1-f) / f``)
+
+Fig. 6 of the paper compares the three for ``N = 1000``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.mathtools import log_binomial
+
+__all__ = [
+    "escape_probability_exact",
+    "escape_probability_corrected",
+    "escape_probability_simple",
+    "detection_pmf",
+    "simple_approximation_valid",
+]
+
+
+def _check_universe(total_faults: int, covered: int, present: int) -> None:
+    if total_faults <= 0:
+        raise ValueError(f"fault universe N must be > 0, got {total_faults}")
+    if not 0 <= covered <= total_faults:
+        raise ValueError(
+            f"covered faults m must be in [0, N={total_faults}], got {covered}"
+        )
+    if not 0 <= present <= total_faults:
+        raise ValueError(
+            f"present faults n must be in [0, N={total_faults}], got {present}"
+        )
+
+
+def detection_pmf(total_faults: int, covered: int, present: int) -> np.ndarray:
+    """Return ``[q_0(n), ..., q_n(n)]`` — the hypergeometric pmf of Eq. 4.
+
+    ``q_k(n)`` is the probability that the tests detect exactly ``k`` of the
+    ``n`` faults present, with ``m = covered`` of ``N = total_faults`` sites
+    covered.
+    """
+    _check_universe(total_faults, covered, present)
+    n, m, big_n = present, covered, total_faults
+    log_denominator = log_binomial(big_n, m)
+    pmf = np.zeros(n + 1)
+    for k in range(n + 1):
+        log_term = (
+            log_binomial(n, k) + log_binomial(big_n - n, m - k) - log_denominator
+        )
+        pmf[k] = math.exp(log_term) if log_term != float("-inf") else 0.0
+    return pmf
+
+
+def escape_probability_exact(total_faults: int, covered: int, present: int) -> float:
+    """Eq. A.1: exact ``q0(n) = C(N-m, n) / C(N, n)`` in log space.
+
+    Equals the probability that none of the ``present`` faults falls among
+    the ``covered`` test-detected sites.
+    """
+    _check_universe(total_faults, covered, present)
+    if present == 0:
+        return 1.0
+    log_q0 = log_binomial(total_faults - covered, present) - log_binomial(
+        total_faults, present
+    )
+    return math.exp(log_q0) if log_q0 != float("-inf") else 0.0
+
+
+def escape_probability_corrected(
+    total_faults: int, coverage: float, present: int
+) -> float:
+    """Eq. A.2: ``(1-f)^n * exp(-f n (n-1) / (2 N (1-f)))``.
+
+    The second-order correction the Appendix derives; Fig. 6 shows it
+    coincides with the exact value over the full range plotted.
+    """
+    _f_check(coverage)
+    if total_faults <= 0:
+        raise ValueError(f"fault universe N must be > 0, got {total_faults}")
+    if present < 0:
+        raise ValueError(f"present faults must be >= 0, got {present}")
+    if present == 0:
+        return 1.0
+    if coverage == 1.0:
+        return 0.0
+    base = present * math.log1p(-coverage)
+    correction = -coverage * present * (present - 1) / (
+        2.0 * total_faults * (1.0 - coverage)
+    )
+    return math.exp(base + correction)
+
+
+def escape_probability_simple(coverage: float, present: int) -> float:
+    """Eq. A.3 / Eq. 5: the first-order ``(1-f)^n`` approximation."""
+    _f_check(coverage)
+    if present < 0:
+        raise ValueError(f"present faults must be >= 0, got {present}")
+    if present == 0:
+        return 1.0
+    if coverage == 1.0:
+        return 0.0
+    return math.exp(present * math.log1p(-coverage))
+
+
+def simple_approximation_valid(
+    total_faults: int, coverage: float, present: int
+) -> bool:
+    """Check the paper's validity condition ``n^2 << N (1-f) / f`` for A.3.
+
+    "Much less than" is taken as a factor of 10, matching the accuracy the
+    paper reports ("the error of (A.3) is small but can be noticed").
+    """
+    _f_check(coverage)
+    if coverage == 0.0:
+        return True
+    if coverage == 1.0:
+        return present == 0
+    return present * present * 10.0 <= total_faults * (1.0 - coverage) / coverage
+
+
+def _f_check(coverage: float) -> None:
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError(f"fault coverage f must be in [0, 1], got {coverage}")

@@ -1,0 +1,162 @@
+"""Test economics: choosing coverage by cost, not by fiat.
+
+The paper's introduction motivates the whole analysis economically: "test
+development and test application costs increase very rapidly as we
+approach [100-percent coverage]".  This module makes that tradeoff
+explicit as an extension:
+
+* a **test-length model** calibrated from a fault-simulated coverage
+  curve — random-pattern coverage approaches 1 exponentially, so the
+  pattern count needed for coverage ``f`` grows like ``-tau log(1-f)``;
+* a **cost model** per shipped chip: applying patterns costs tester time,
+  and every escape costs a field return;
+* an **optimizer** for the coverage that minimizes total cost — usually
+  strictly inside (0, 1), quantifying why chasing the last percent of
+  coverage is uneconomical exactly as the paper argues.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quality import QualityModel
+
+__all__ = ["TestLengthModel", "TestEconomics", "CostBreakdown"]
+
+
+class TestLengthModel:
+    """Pattern count as a function of target coverage.
+
+    ``patterns(f) = -tau * log(1 - f)`` with ``tau`` fit by least squares
+    from an observed cumulative coverage curve (pattern index k against
+    coverage c_k).  The exponential form is the classical random-pattern
+    detection model; deterministic top-up patterns make real curves even
+    flatter at the tail, so the fit is conservative there.
+    """
+
+    __test__ = False  # "Test" prefix is domain vocabulary, not a pytest class
+
+    def __init__(self, tau: float):
+        if tau <= 0:
+            raise ValueError(f"tau must be > 0, got {tau}")
+        self.tau = tau
+
+    @classmethod
+    def fit(cls, coverage_curve: np.ndarray) -> "TestLengthModel":
+        """Fit ``tau`` from a cumulative coverage curve (index = pattern)."""
+        curve = np.asarray(coverage_curve, dtype=float)
+        if curve.ndim != 1 or curve.size == 0:
+            raise ValueError("coverage curve must be a non-empty 1-D array")
+        if np.any((curve < 0) | (curve > 1)):
+            raise ValueError("coverages must lie in [0, 1]")
+        usable = curve < 1.0
+        if not usable.any():
+            raise ValueError("curve saturates immediately; cannot fit tau")
+        k = np.arange(1, curve.size + 1, dtype=float)[usable]
+        x = -np.log1p(-curve[usable])
+        # least squares through the origin: k ~ tau * x
+        denom = float(np.dot(x, x))
+        if denom == 0.0:
+            raise ValueError("curve carries no coverage information")
+        return cls(tau=float(np.dot(x, k) / denom))
+
+    def patterns(self, coverage: float) -> float:
+        """Patterns needed to reach ``coverage`` (inf at 1.0)."""
+        if not 0.0 <= coverage <= 1.0:
+            raise ValueError(f"coverage must be in [0, 1], got {coverage}")
+        if coverage == 1.0:
+            return math.inf
+        return -self.tau * math.log1p(-coverage)
+
+    def coverage(self, patterns: float) -> float:
+        """Coverage reached by a pattern budget (inverse of patterns)."""
+        if patterns < 0:
+            raise ValueError(f"patterns must be >= 0, got {patterns}")
+        return 1.0 - math.exp(-patterns / self.tau)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-shipped-chip cost at one coverage point."""
+
+    coverage: float
+    test_cost: float
+    escape_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.test_cost + self.escape_cost
+
+
+class TestEconomics:
+    """Cost-optimal coverage for a quality/test-time tradeoff.
+
+    Parameters
+    ----------
+    quality:
+        Calibrated :class:`~repro.core.quality.QualityModel`.
+    length:
+        Test-length model (patterns per coverage).
+    pattern_cost:
+        Cost of applying one pattern to one chip (tester seconds priced).
+    escape_cost:
+        Cost of one defective chip reaching the field.
+    """
+
+    __test__ = False  # "Test" prefix is domain vocabulary, not a pytest class
+
+    def __init__(
+        self,
+        quality: QualityModel,
+        length: TestLengthModel,
+        pattern_cost: float,
+        escape_cost: float,
+    ):
+        if pattern_cost < 0 or escape_cost < 0:
+            raise ValueError("costs must be >= 0")
+        self.quality = quality
+        self.length = length
+        self.pattern_cost = pattern_cost
+        self.escape_cost = escape_cost
+
+    def breakdown(self, coverage: float) -> CostBreakdown:
+        """Cost components per shipped chip at ``coverage``.
+
+        Every manufactured chip pays the test time, but costs are
+        normalized per *shipped* chip (the unit revenue carrier), so test
+        cost is inflated by manufactured/shipped.
+        """
+        shipped = self.quality.shipped_fraction(coverage)
+        per_shipped = (
+            self.length.patterns(coverage) * self.pattern_cost / shipped
+        )
+        escapes = self.quality.reject_rate(coverage) * self.escape_cost
+        return CostBreakdown(
+            coverage=coverage, test_cost=per_shipped, escape_cost=escapes
+        )
+
+    def optimal_coverage(self, grid_size: int = 400) -> CostBreakdown:
+        """Coverage minimizing total cost (grid + local refinement)."""
+        if grid_size < 10:
+            raise ValueError(f"grid_size must be >= 10, got {grid_size}")
+        grid = np.linspace(0.0, 0.9999, grid_size)
+        costs = [self.breakdown(float(f)).total for f in grid]
+        best = int(np.argmin(costs))
+        lo = grid[max(0, best - 1)]
+        hi = grid[min(grid_size - 1, best + 1)]
+        # Golden-section refinement inside the bracketing cell.
+        phi = (math.sqrt(5.0) - 1.0) / 2.0
+        a, b = lo, hi
+        c = b - phi * (b - a)
+        d = a + phi * (b - a)
+        for _ in range(60):
+            if self.breakdown(c).total < self.breakdown(d).total:
+                b = d
+            else:
+                a = c
+            c = b - phi * (b - a)
+            d = a + phi * (b - a)
+        return self.breakdown(0.5 * (a + b))

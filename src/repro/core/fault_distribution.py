@@ -1,0 +1,157 @@
+"""The paper's fault-count distribution (Section 3, Eqs. 1-2).
+
+A chip is good with probability ``y`` (the yield).  A defective chip carries
+``n >= 1`` logical faults, where ``n - 1`` is Poisson with mean ``n0 - 1``:
+
+    p(0) = y
+    p(n) = (1 - y) * e^{-(n0-1)} * (n0-1)^{n-1} / (n-1)!     n = 1, 2, ...
+
+``n0`` is the *average number of faults on a defective chip* — the paper's
+new parameter, distinct from the average number of physical defects
+``D0 * A`` used for yield, because one physical defect can produce several
+logical faults.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.mathtools import poisson_log_pmf
+from repro.utils.rng import make_rng
+
+__all__ = ["FaultDistribution"]
+
+
+class FaultDistribution:
+    """Shifted-Poisson distribution of fault counts on a chip (Eq. 1).
+
+    Parameters
+    ----------
+    yield_:
+        Probability ``y`` that a chip is fault-free.
+    n0:
+        Mean fault count on a *defective* chip; must be >= 1 because every
+        defective chip has at least one fault.
+
+    >>> d = FaultDistribution(yield_=0.8, n0=2.0)
+    >>> round(d.pmf(0), 10)
+    0.8
+    >>> round(d.mean(), 10)            # Eq. 2: nav = (1-y) * n0
+    0.4
+    """
+
+    def __init__(self, yield_: float, n0: float):
+        if not 0.0 <= yield_ <= 1.0:
+            raise ValueError(f"yield must be in [0, 1], got {yield_}")
+        if n0 < 1.0:
+            raise ValueError(
+                f"n0 must be >= 1 (a defective chip has at least one fault), got {n0}"
+            )
+        self.yield_ = yield_
+        self.n0 = n0
+
+    # ------------------------------------------------------------------ pmf
+
+    def pmf(self, n: int) -> float:
+        """Return ``p(n)``, the probability of exactly ``n`` faults (Eq. 1)."""
+        if n < 0:
+            return 0.0
+        if n == 0:
+            return self.yield_
+        if self.yield_ == 1.0:
+            return 0.0
+        return (1.0 - self.yield_) * math.exp(poisson_log_pmf(n - 1, self.n0 - 1.0))
+
+    def log_pmf(self, n: int) -> float:
+        """Return ``log p(n)`` stably (used by the MLE estimator)."""
+        if n < 0:
+            return float("-inf")
+        if n == 0:
+            return math.log(self.yield_) if self.yield_ > 0 else float("-inf")
+        if self.yield_ == 1.0:
+            return float("-inf")
+        return math.log1p(-self.yield_) + poisson_log_pmf(n - 1, self.n0 - 1.0)
+
+    def pmf_vector(self, n_max: int) -> np.ndarray:
+        """Return ``[p(0), ..., p(n_max)]`` as an array."""
+        if n_max < 0:
+            raise ValueError(f"n_max must be >= 0, got {n_max}")
+        return np.array([self.pmf(n) for n in range(n_max + 1)])
+
+    def conditional_pmf(self, n: int) -> float:
+        """Return ``P[n faults | chip defective]`` — the shifted Poisson alone."""
+        if n < 1:
+            return 0.0
+        return math.exp(poisson_log_pmf(n - 1, self.n0 - 1.0))
+
+    # -------------------------------------------------------------- moments
+
+    def mean(self) -> float:
+        """Average fault count over all chips, ``nav = (1-y) n0`` (Eq. 2)."""
+        return (1.0 - self.yield_) * self.n0
+
+    def variance(self) -> float:
+        """Variance of the fault count over all chips.
+
+        With ``q = 1 - y`` and ``mu = n0 - 1``: the defective-chip count is
+        ``1 + Poisson(mu)``, so ``E[n^2] = q*(mu + (1+mu)^2)`` and
+        ``Var = E[n^2] - (q*n0)^2``.
+        """
+        q = 1.0 - self.yield_
+        mu = self.n0 - 1.0
+        second_moment = q * (mu + (1.0 + mu) ** 2)
+        return second_moment - (q * self.n0) ** 2
+
+    def defective_probability(self) -> float:
+        """``1 - y``: probability a chip has at least one fault."""
+        return 1.0 - self.yield_
+
+    # ------------------------------------------------------------- sampling
+
+    def sample(self, size: int, seed=None) -> np.ndarray:
+        """Draw fault counts for ``size`` chips.
+
+        Good chips yield 0; defective chips yield ``1 + Poisson(n0 - 1)``.
+        This is the generator used by the Monte-Carlo validation of the
+        analytic reject-rate formulas.
+        """
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        rng = make_rng(seed)
+        defective = rng.random(size) >= self.yield_
+        counts = np.zeros(size, dtype=np.int64)
+        n_def = int(defective.sum())
+        if n_def:
+            counts[defective] = 1 + rng.poisson(self.n0 - 1.0, size=n_def)
+        return counts
+
+    # ------------------------------------------------------------ utilities
+
+    def truncation_mass(self, n_max: int) -> float:
+        """Probability mass beyond ``n_max`` — the error of truncating sums.
+
+        The paper notes the infinite sum in Eq. 2 is "numerically quite
+        accurate" because ``n0 << N``; this quantifies that claim.
+        """
+        return max(0.0, 1.0 - float(self.pmf_vector(n_max).sum()))
+
+    def quantile_n_max(self, epsilon: float = 1e-12) -> int:
+        """Smallest ``n_max`` with truncation mass below ``epsilon``.
+
+        Used to size finite summations of Eq. 6 when the closed form of
+        Eq. 7 is not trusted.
+        """
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        # Mean + generous multiples of the std dev, then refine linearly.
+        n = max(4, int(self.n0 + 10.0 * math.sqrt(self.n0) + 10))
+        while self.truncation_mass(n) > epsilon:
+            n *= 2
+            if n > 10_000_000:
+                raise RuntimeError("truncation bound ran away; check parameters")
+        return n
+
+    def __repr__(self) -> str:
+        return f"FaultDistribution(yield_={self.yield_!r}, n0={self.n0!r})"

@@ -1,0 +1,161 @@
+"""High-level facade tying calibration to prediction.
+
+``QualityModel`` is the API a test engineer would actually use:
+
+1. construct from known ``(yield, n0)``, or
+2. calibrate from a Table-1 style first-fail record
+   (``QualityModel.calibrate``), then
+3. query: reject rate at a coverage, coverage needed for a target quality,
+   escapes per million shipped, comparison against Wadsack's rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.coverage_solver import required_coverage
+from repro.core.estimation import (
+    CoveragePoint,
+    estimate_n0_least_squares,
+    estimate_n0_mle,
+    estimate_n0_slope,
+    estimate_yield_from_plateau,
+)
+from repro.core.fault_distribution import FaultDistribution
+from repro.core.reject_rate import (
+    bad_chip_pass_yield,
+    field_reject_rate,
+    reject_fraction,
+)
+from repro.core.wadsack import wadsack_required_coverage
+
+__all__ = ["QualityModel", "CalibrationReport"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """All three ``n0`` estimates plus the chosen one, for transparency."""
+
+    n0_slope: float
+    n0_least_squares: float
+    n0_mle: float | None
+    yield_: float
+    chosen: float
+    method: str
+
+
+class QualityModel:
+    """The paper's quality model for one chip/process pair.
+
+    >>> model = QualityModel(yield_=0.07, n0=8.0)       # the Section 7 chip
+    >>> 0.75 < model.required_coverage(0.01) < 0.85      # paper: ~80%
+    True
+    """
+
+    def __init__(self, yield_: float, n0: float):
+        if not 0.0 < yield_ <= 1.0:
+            raise ValueError(f"yield must be in (0, 1], got {yield_}")
+        if n0 < 1.0:
+            raise ValueError(f"n0 must be >= 1, got {n0}")
+        self.yield_ = yield_
+        self.n0 = n0
+        self._report: CalibrationReport | None = None
+
+    # ---------------------------------------------------------- calibration
+
+    @classmethod
+    def calibrate(
+        cls,
+        points: Sequence[CoveragePoint],
+        yield_: float | None = None,
+        lot_size: int | None = None,
+        method: str = "least_squares",
+    ) -> "QualityModel":
+        """Build a model from first-fail lot data (the Section 5 procedure).
+
+        ``yield_`` may be omitted, in which case it is estimated from the
+        plateau of the fail curve.  ``method`` selects which ``n0`` estimate
+        the model adopts: ``"slope"``, ``"least_squares"`` (paper default),
+        or ``"mle"`` (requires ``lot_size``).
+        """
+        if method not in ("slope", "least_squares", "mle"):
+            raise ValueError(f"unknown calibration method {method!r}")
+        if method == "mle" and lot_size is None:
+            raise ValueError("MLE calibration requires lot_size")
+
+        if yield_ is None:
+            # Two-pass: rough n0 from the raw plateau, then refined yield.
+            rough_yield = estimate_yield_from_plateau(points)
+            rough_n0 = estimate_n0_least_squares(points, rough_yield)
+            yield_ = estimate_yield_from_plateau(points, n0_hint=rough_n0)
+        if yield_ >= 1.0:
+            raise ValueError("calibration data shows no defective chips")
+
+        n0_slope = estimate_n0_slope(points, yield_)
+        n0_ls = estimate_n0_least_squares(points, yield_)
+        n0_mle = (
+            estimate_n0_mle(points, yield_, lot_size)
+            if lot_size is not None
+            else None
+        )
+        chosen = {"slope": n0_slope, "least_squares": n0_ls, "mle": n0_mle}[method]
+        if chosen is None:  # pragma: no cover - guarded above
+            raise RuntimeError("MLE estimate unavailable")
+        chosen = max(1.0, chosen)
+
+        model = cls(yield_=yield_, n0=chosen)
+        model._report = CalibrationReport(
+            n0_slope=n0_slope,
+            n0_least_squares=n0_ls,
+            n0_mle=n0_mle,
+            yield_=yield_,
+            chosen=chosen,
+            method=method,
+        )
+        return model
+
+    @property
+    def calibration_report(self) -> CalibrationReport | None:
+        """The estimates behind a calibrated model (``None`` if constructed)."""
+        return self._report
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def fault_distribution(self) -> FaultDistribution:
+        """The Eq. 1 distribution implied by this model."""
+        return FaultDistribution(self.yield_, self.n0)
+
+    def reject_rate(self, coverage: float) -> float:
+        """Field reject rate at test coverage ``coverage`` (Eq. 8)."""
+        return field_reject_rate(coverage, self.yield_, self.n0)
+
+    def reject_fraction(self, coverage: float) -> float:
+        """Fraction of the lot rejected at coverage ``coverage`` (Eq. 9)."""
+        return reject_fraction(coverage, self.yield_, self.n0)
+
+    def escapes_per_million(self, coverage: float) -> float:
+        """Defective parts per million shipped — ``r(f) * 1e6``."""
+        return self.reject_rate(coverage) * 1e6
+
+    def shipped_fraction(self, coverage: float) -> float:
+        """Fraction of manufactured chips that pass the tests."""
+        return self.yield_ + bad_chip_pass_yield(coverage, self.yield_, self.n0)
+
+    def required_coverage(self, reject_rate: float) -> float:
+        """Coverage needed to hit a target field reject rate (Eq. 11)."""
+        return required_coverage(self.yield_, self.n0, reject_rate)
+
+    def wadsack_required_coverage(self, reject_rate: float) -> float:
+        """Same target under Wadsack's model [5] — the paper's comparison."""
+        return wadsack_required_coverage(self.yield_, reject_rate)
+
+    def coverage_savings(self, reject_rate: float) -> float:
+        """How much coverage the paper's model saves versus Wadsack."""
+        return self.wadsack_required_coverage(reject_rate) - self.required_coverage(
+            reject_rate
+        )
+
+    def __repr__(self) -> str:
+        return f"QualityModel(yield_={self.yield_!r}, n0={self.n0!r})"

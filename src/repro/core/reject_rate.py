@@ -1,0 +1,134 @@
+"""Tested-product quality: ``Ybg(f)``, ``r(f)``, ``P(f)`` (Eqs. 6-10).
+
+* ``bad_chip_pass_yield``   — Eq. 7, probability a faulty chip tests good
+* ``field_reject_rate``     — Eq. 8, bad-tested-good over all-tested-good
+* ``reject_fraction``       — Eq. 9, fraction of chips the tests reject
+* ``reject_fraction_slope`` — dP/df; at f = 0 equals ``(1-y) n0`` (Eq. 10)
+* ``field_reject_rate_exact`` — Eq. 6 summed with the exact hypergeometric
+  ``q0(n)``, the ablation the paper's closed form (Eq. 7) approximates
+
+The closed forms use the ``(1-f)^n`` escape approximation; the exact
+variants keep the finite fault universe ``N`` so the approximation error can
+be measured (it is negligible for ``n0 << sqrt(N)``, the paper's regime).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.detection import escape_probability_exact
+from repro.core.fault_distribution import FaultDistribution
+
+__all__ = [
+    "bad_chip_pass_yield",
+    "field_reject_rate",
+    "reject_fraction",
+    "reject_fraction_slope",
+    "bad_chip_pass_yield_exact",
+    "field_reject_rate_exact",
+]
+
+
+def _validate(coverage: float, yield_: float, n0: float) -> None:
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError(f"fault coverage must be in [0, 1], got {coverage}")
+    if not 0.0 <= yield_ <= 1.0:
+        raise ValueError(f"yield must be in [0, 1], got {yield_}")
+    if n0 < 1.0:
+        raise ValueError(f"n0 must be >= 1, got {n0}")
+
+
+def bad_chip_pass_yield(coverage: float, yield_: float, n0: float) -> float:
+    """Eq. 7: ``Ybg(f) = (1-f)(1-y) e^{-(n0-1) f}``.
+
+    The probability that a manufactured chip is defective *and* passes a
+    test set of fault coverage ``coverage``.
+    """
+    _validate(coverage, yield_, n0)
+    return (1.0 - coverage) * (1.0 - yield_) * math.exp(-(n0 - 1.0) * coverage)
+
+
+def field_reject_rate(coverage: float, yield_: float, n0: float) -> float:
+    """Eq. 8: ``r(f) = Ybg(f) / (y + Ybg(f))``.
+
+    The fraction of *shipped* (tested-good) chips that are actually bad —
+    the paper's quality metric.  Monotone decreasing in ``coverage``;
+    ``r(1) = 0`` and ``r(0) = 1 - y``.
+    """
+    _validate(coverage, yield_, n0)
+    ybg = bad_chip_pass_yield(coverage, yield_, n0)
+    denom = yield_ + ybg
+    if denom == 0.0:
+        # y = 0 and f = 1: no chip ships; define the reject rate as 0.
+        return 0.0
+    return ybg / denom
+
+
+def reject_fraction(coverage: float, yield_: float, n0: float) -> float:
+    """Eq. 9: ``P(f) = (1-y)[1 - (1-f) e^{-(n0-1) f}]``.
+
+    The fraction of all manufactured chips rejected by tests with coverage
+    ``coverage`` — the observable the calibration experiment measures.
+    """
+    _validate(coverage, yield_, n0)
+    return (1.0 - yield_) * (
+        1.0 - (1.0 - coverage) * math.exp(-(n0 - 1.0) * coverage)
+    )
+
+
+def reject_fraction_slope(coverage: float, yield_: float, n0: float) -> float:
+    """``P'(f) = (1-y)[1 + (1-f)(n0-1)] e^{-(n0-1) f}``.
+
+    At the origin this is Eq. 10, ``P'(0) = (1-y) n0 = nav`` — the basis of
+    the paper's cheap slope estimator for ``n0``.
+    """
+    _validate(coverage, yield_, n0)
+    return (
+        (1.0 - yield_)
+        * (1.0 + (1.0 - coverage) * (n0 - 1.0))
+        * math.exp(-(n0 - 1.0) * coverage)
+    )
+
+
+def bad_chip_pass_yield_exact(
+    coverage: float,
+    yield_: float,
+    n0: float,
+    total_faults: int,
+    epsilon: float = 1e-12,
+) -> float:
+    """Eq. 6 with the exact hypergeometric ``q0(n)``: ``sum q0(n) p(n)``.
+
+    Keeps the finite fault universe ``total_faults`` (the paper's ``N``)
+    instead of the ``(1-f)^n`` limit.  The sum is truncated where the
+    remaining shifted-Poisson mass falls below ``epsilon``, and never past
+    ``N`` (a chip cannot carry more faults than the universe holds).
+    """
+    _validate(coverage, yield_, n0)
+    if total_faults <= 0:
+        raise ValueError(f"total_faults must be > 0, got {total_faults}")
+    dist = FaultDistribution(yield_, n0)
+    n_max = min(dist.quantile_n_max(epsilon), total_faults)
+    covered = round(coverage * total_faults)
+    total = 0.0
+    for n in range(1, n_max + 1):
+        p_n = dist.pmf(n)
+        if p_n == 0.0:
+            continue
+        total += escape_probability_exact(total_faults, covered, n) * p_n
+    return total
+
+
+def field_reject_rate_exact(
+    coverage: float,
+    yield_: float,
+    n0: float,
+    total_faults: int,
+    epsilon: float = 1e-12,
+) -> float:
+    """Field reject rate with the exact Eq. 6 numerator (ablation of Eq. 7)."""
+    ybg = bad_chip_pass_yield_exact(coverage, yield_, n0, total_faults, epsilon)
+    denom = yield_ + ybg
+    if denom == 0.0:
+        return 0.0
+    return ybg / denom

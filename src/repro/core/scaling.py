@@ -1,0 +1,107 @@
+"""The Section 8 fine-line / shrink study.
+
+The paper closes by predicting how feature-size shrinks move the required
+fault coverage.  Shrinking a fixed circuit:
+
+* reduces chip area -> raises yield (Eq. 3), which alone *lowers* the
+  required coverage at fixed ``n0``;
+* packs more logic per defect footprint -> each physical defect produces
+  more logical faults, raising ``n0`` — which lowers the requirement
+  further.
+
+``ShrinkStudy`` composes the yield model with a fault-multiplicity law to
+quantify both effects for a family of shrink factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.coverage_solver import required_coverage
+from repro.yieldmodels.models import YieldModel
+
+__all__ = ["ShrinkScenario", "ShrinkStudy"]
+
+
+@dataclass(frozen=True)
+class ShrinkScenario:
+    """One row of a shrink study.
+
+    ``shrink`` is the linear feature-size ratio (1.0 = original; 0.7 = a
+    "half-area" optical shrink).  Derived quantities are filled in by
+    :meth:`ShrinkStudy.evaluate`.
+    """
+
+    shrink: float
+    area: float
+    yield_: float
+    n0: float
+    required_coverage: float
+
+
+class ShrinkStudy:
+    """Evaluate required coverage across feature-size shrinks.
+
+    Parameters
+    ----------
+    yield_model:
+        Any :class:`repro.yieldmodels.YieldModel` (the paper uses Eq. 3).
+    defect_density:
+        Process defect density ``D0`` (defects per unit area); assumed
+        unchanged by the shrink (same fab line, same particle environment).
+    base_area:
+        Chip area at shrink factor 1.0.
+    base_n0:
+        Calibrated ``n0`` at shrink factor 1.0.
+    multiplicity_exponent:
+        How ``n0 - 1`` grows as features shrink:
+        ``n0(s) - 1 = (base_n0 - 1) * s**(-multiplicity_exponent)``.
+        Zero freezes ``n0`` (yield-only effect); 2.0 models a defect
+        footprint that stays constant while gate density grows as the
+        inverse square of the feature size — the paper's "many logical
+        faults per physical defect" limit.
+    """
+
+    def __init__(
+        self,
+        yield_model: YieldModel,
+        defect_density: float,
+        base_area: float,
+        base_n0: float,
+        multiplicity_exponent: float = 2.0,
+    ):
+        if defect_density < 0:
+            raise ValueError(f"defect density must be >= 0, got {defect_density}")
+        if base_area <= 0:
+            raise ValueError(f"base area must be > 0, got {base_area}")
+        if base_n0 < 1.0:
+            raise ValueError(f"base n0 must be >= 1, got {base_n0}")
+        if multiplicity_exponent < 0:
+            raise ValueError(
+                f"multiplicity exponent must be >= 0, got {multiplicity_exponent}"
+            )
+        self.yield_model = yield_model
+        self.defect_density = defect_density
+        self.base_area = base_area
+        self.base_n0 = base_n0
+        self.multiplicity_exponent = multiplicity_exponent
+
+    def evaluate(self, shrink: float, reject_rate: float) -> ShrinkScenario:
+        """Evaluate one shrink factor against a target reject rate."""
+        if shrink <= 0:
+            raise ValueError(f"shrink factor must be > 0, got {shrink}")
+        area = self.base_area * shrink * shrink
+        yield_ = self.yield_model.evaluate(self.defect_density, area)
+        n0 = 1.0 + (self.base_n0 - 1.0) * shrink ** (-self.multiplicity_exponent)
+        coverage = required_coverage(yield_, n0, reject_rate)
+        return ShrinkScenario(
+            shrink=shrink,
+            area=area,
+            yield_=yield_,
+            n0=n0,
+            required_coverage=coverage,
+        )
+
+    def sweep(self, shrinks, reject_rate: float) -> list[ShrinkScenario]:
+        """Evaluate a sequence of shrink factors."""
+        return [self.evaluate(float(s), reject_rate) for s in shrinks]

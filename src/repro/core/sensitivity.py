@@ -1,0 +1,94 @@
+"""Sensitivity of the coverage requirement to calibration error.
+
+The paper recommends a "pessimistic (or safe)" estimate when ``n0`` is
+uncertain, because in Fig. 1 "a lower value of n0 means a higher fault
+coverage for a given field reject rate."  This module quantifies that
+advice:
+
+* partial derivatives of the required coverage with respect to ``n0`` and
+  ``y`` (finite differences on the exact solver);
+* the quality risk of *overestimating* ``n0``: the realized reject rate
+  if the true ``n0`` is lower than the calibrated one;
+* the safety margin bought by using a lower ``n0`` (the paper's rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.coverage_solver import required_coverage
+from repro.core.reject_rate import field_reject_rate
+
+__all__ = ["SensitivityReport", "analyze_sensitivity", "miscalibration_risk"]
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Local sensitivities of the required coverage at one design point."""
+
+    yield_: float
+    n0: float
+    reject_rate: float
+    required: float
+    d_coverage_d_n0: float
+    d_coverage_d_yield: float
+
+    def coverage_margin_for_n0_error(self, n0_error: float) -> float:
+        """First-order extra coverage needed if n0 was overestimated by
+        ``n0_error`` (positive error -> positive margin)."""
+        return -self.d_coverage_d_n0 * n0_error
+
+
+def analyze_sensitivity(
+    yield_: float,
+    n0: float,
+    reject_rate: float,
+    rel_step: float = 1e-4,
+) -> SensitivityReport:
+    """Finite-difference sensitivities of the Eq. 11 inversion.
+
+    Central differences with a relative step; the required-coverage map is
+    smooth in the interior, so this is accurate to ~step^2.
+    """
+    if rel_step <= 0 or rel_step > 0.1:
+        raise ValueError(f"rel_step must be in (0, 0.1], got {rel_step}")
+    required = required_coverage(yield_, n0, reject_rate)
+
+    dn = max(n0 * rel_step, 1e-6)
+    up = required_coverage(yield_, n0 + dn, reject_rate)
+    down = required_coverage(yield_, max(1.0, n0 - dn), reject_rate)
+    d_n0 = (up - down) / (n0 + dn - max(1.0, n0 - dn))
+
+    dy = max(yield_ * rel_step, 1e-7)
+    hi_y = min(yield_ + dy, 1.0)
+    lo_y = max(yield_ - dy, 1e-9)
+    up_y = required_coverage(hi_y, n0, reject_rate)
+    down_y = required_coverage(lo_y, n0, reject_rate)
+    d_yield = (up_y - down_y) / (hi_y - lo_y)
+
+    return SensitivityReport(
+        yield_=yield_,
+        n0=n0,
+        reject_rate=reject_rate,
+        required=required,
+        d_coverage_d_n0=d_n0,
+        d_coverage_d_yield=d_yield,
+    )
+
+
+def miscalibration_risk(
+    yield_: float,
+    calibrated_n0: float,
+    true_n0: float,
+    reject_rate: float,
+) -> float:
+    """Realized reject rate when tests were sized with the wrong ``n0``.
+
+    Coverage is chosen from ``calibrated_n0`` to hit ``reject_rate``; the
+    realized quality is evaluated under ``true_n0``.  Overestimating
+    ``n0`` (calibrated > true) under-tests and misses the target — the
+    failure mode the paper's safe-estimate rule protects against;
+    underestimating wastes coverage but keeps quality.
+    """
+    coverage = required_coverage(yield_, calibrated_n0, reject_rate)
+    return field_reject_rate(coverage, yield_, true_n0)

@@ -1,0 +1,71 @@
+"""Wadsack's prior reject-rate model (the paper's reference [5], BSTJ 1978).
+
+Wadsack related reject rate to coverage as ``r = (1-y)(1-f)``, effectively
+assuming every defective chip carries exactly one fault (no fault
+clustering).  The paper shows this is far too pessimistic for LSI: for the
+Section 7 chip (y = 0.07) it demands 99 percent coverage for r = 0.01 and
+99.9 percent for r = 0.001, versus roughly 80 and 95 percent under the
+shifted-Poisson model with n0 = 8.
+
+Note Wadsack's ``r`` is a fraction of *all* chips, not of shipped chips; we
+provide both that original form and the shipped-normalized variant so the
+two models can be compared on equal footing.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "wadsack_reject_rate",
+    "wadsack_reject_rate_shipped",
+    "wadsack_required_coverage",
+]
+
+
+def _validate(coverage: float, yield_: float) -> None:
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError(f"fault coverage must be in [0, 1], got {coverage}")
+    if not 0.0 <= yield_ <= 1.0:
+        raise ValueError(f"yield must be in [0, 1], got {yield_}")
+
+
+def wadsack_reject_rate(coverage: float, yield_: float) -> float:
+    """Wadsack's original ``r = (1-y)(1-f)``."""
+    _validate(coverage, yield_)
+    return (1.0 - yield_) * (1.0 - coverage)
+
+
+def wadsack_reject_rate_shipped(coverage: float, yield_: float) -> float:
+    """Wadsack's model normalized to shipped chips, ``Ybg/(y + Ybg)``.
+
+    Equivalent to the paper's Eq. 8 with ``n0 = 1`` — which is exactly the
+    "restrictive model" criticism: one fault per defective chip.
+    """
+    _validate(coverage, yield_)
+    ybg = (1.0 - yield_) * (1.0 - coverage)
+    denom = yield_ + ybg
+    if denom == 0.0:
+        return 0.0
+    return ybg / denom
+
+
+def wadsack_required_coverage(
+    yield_: float, reject_rate: float, shipped: bool = False
+) -> float:
+    """Coverage required under Wadsack's model for a target reject rate.
+
+    ``shipped=False`` inverts the original all-chips form (the paper's
+    Section 7 comparison numbers); ``shipped=True`` inverts the
+    shipped-chip normalization.
+    """
+    if not 0.0 < yield_ <= 1.0:
+        raise ValueError(f"yield must be in (0, 1], got {yield_}")
+    if not 0.0 < reject_rate < 1.0:
+        raise ValueError(f"reject rate must be in (0, 1), got {reject_rate}")
+    if yield_ == 1.0:
+        return 0.0
+    if not shipped:
+        f = 1.0 - reject_rate / (1.0 - yield_)
+    else:
+        # r = (1-y)(1-f) / (y + (1-y)(1-f))  =>  (1-f) = r y / ((1-r)(1-y))
+        f = 1.0 - reject_rate * yield_ / ((1.0 - reject_rate) * (1.0 - yield_))
+    return max(0.0, f)

@@ -1,0 +1,88 @@
+"""Abstract chip floorplan.
+
+Places every *fault site* of a netlist (stems and fanout branches — the
+same universe the fault simulator uses) at a coordinate on a square die.
+Sites of the same gate cluster together, and gates added consecutively sit
+near each other in a row-major scan — a crude standard-cell placement, but
+it preserves the one property the defect model needs: a spot defect of
+finite radius hits a *spatially local* group of fault sites.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+from repro.faults.model import StuckAtFault, full_fault_universe
+
+__all__ = ["ChipLayout"]
+
+
+class ChipLayout:
+    """Square die with every stuck-at fault site at an (x, y) coordinate.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit to lay out.
+    area:
+        Die area in the same units used for defect densities (so that
+        ``D0 * area`` is the expected defect count per die).
+    """
+
+    def __init__(self, netlist: Netlist, area: float = 1.0):
+        if area <= 0:
+            raise ValueError(f"die area must be > 0, got {area}")
+        netlist.validate()
+        self.netlist = netlist
+        self.area = area
+        self.side = math.sqrt(area)
+        self.sites: list[StuckAtFault] = full_fault_universe(netlist)
+
+        # Row-major placement of signals; each signal's fault sites jitter
+        # around the signal's cell center within a cell-sized neighborhood.
+        signals = netlist.topological_order()
+        per_row = max(1, math.ceil(math.sqrt(len(signals))))
+        cell = self.side / per_row
+        centers = {}
+        for idx, signal in enumerate(signals):
+            row, col = divmod(idx, per_row)
+            centers[signal] = (
+                (col + 0.5) * cell,
+                (row + 0.5) * cell,
+            )
+        jitter = np.random.default_rng(0xC0FFEE)  # fixed: layout is static
+        coords = np.empty((len(self.sites), 2))
+        for i, site in enumerate(self.sites):
+            cx, cy = centers[site.signal]
+            dx, dy = jitter.uniform(-0.35 * cell, 0.35 * cell, size=2)
+            coords[i] = (
+                min(max(cx + dx, 0.0), self.side),
+                min(max(cy + dy, 0.0), self.side),
+            )
+        self.coordinates = coords
+        self.cell_size = cell
+
+    @property
+    def num_sites(self) -> int:
+        """Total stuck-at fault sites — the paper's ``N`` for this chip."""
+        return len(self.sites)
+
+    def sites_within(self, x: float, y: float, radius: float) -> list[int]:
+        """Indices of fault sites inside a disc (a defect footprint)."""
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        d2 = (self.coordinates[:, 0] - x) ** 2 + (self.coordinates[:, 1] - y) ** 2
+        return list(np.nonzero(d2 <= radius * radius)[0])
+
+    def site_faults(self, indices) -> list[StuckAtFault]:
+        """Map site indices back to fault objects."""
+        return [self.sites[i] for i in indices]
+
+    def __repr__(self) -> str:
+        return (
+            f"ChipLayout({self.netlist.name!r}, area={self.area}, "
+            f"sites={self.num_sites})"
+        )

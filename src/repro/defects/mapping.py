@@ -1,0 +1,97 @@
+"""Defect footprint -> stuck-at fault mapping.
+
+A spot defect covers a disc of the die; every fault site inside the disc
+is a candidate, and each candidate becomes an actual stuck-at fault with
+an activation probability (not every short/break lands on silicon that
+matters).  A defect touching zero sites is benign — it hit empty area.
+
+This is the mechanism that realizes the paper's observation that one
+physical defect yields several logical faults, and hence ``n0 > 1``: the
+expected faults per killing defect grows with ``(radius / cell)^2``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.defects.generation import Defect
+from repro.defects.layout import ChipLayout
+from repro.faults.model import StuckAtFault
+from repro.utils.rng import make_rng
+
+__all__ = ["DefectToFaultMapper"]
+
+
+class DefectToFaultMapper:
+    """Maps defect sets to stuck-at fault sets on a fixed layout.
+
+    Parameters
+    ----------
+    layout:
+        The chip floorplan (fault-site coordinates).
+    activation_probability:
+        Probability that a covered site actually becomes faulty; at least
+        one site is always activated for a defect that covers any sites,
+        so a killing defect produces at least one fault (matching the
+        paper's shifted distribution, where a defective chip has n >= 1).
+    """
+
+    def __init__(self, layout: ChipLayout, activation_probability: float = 0.7):
+        if not 0.0 < activation_probability <= 1.0:
+            raise ValueError(
+                f"activation probability must be in (0, 1], got "
+                f"{activation_probability}"
+            )
+        self.layout = layout
+        self.activation_probability = activation_probability
+
+    def faults_for_defect(self, defect: Defect, rng=None) -> list[StuckAtFault]:
+        """Stuck-at faults induced by one defect (possibly empty)."""
+        rng = make_rng(rng)
+        covered = self.layout.sites_within(defect.x, defect.y, defect.radius)
+        if not covered:
+            return []
+        keep = [i for i in covered if rng.random() < self.activation_probability]
+        if not keep:
+            keep = [covered[int(rng.integers(len(covered)))]]
+        faults = []
+        for idx in keep:
+            site = self.layout.sites[idx]
+            # The stuck polarity is the defect's electrical effect; model it
+            # as a fair coin (shorts to VDD and GND are about equally likely).
+            value = int(rng.integers(2))
+            faults.append(
+                StuckAtFault(site.signal, value, gate=site.gate, pin=site.pin)
+            )
+        return faults
+
+    def faults_for_chip(
+        self, defects: Sequence[Defect], rng=None
+    ) -> list[StuckAtFault]:
+        """Union of faults over a chip's defects (deduplicated, ordered).
+
+        Two defects can hit the same site; a site cannot be stuck at both
+        values, so the first polarity drawn wins — mirroring the physical
+        reality that one net carries one DC state.
+        """
+        rng = make_rng(rng)
+        chosen: dict[tuple, StuckAtFault] = {}
+        for defect in defects:
+            for fault in self.faults_for_defect(defect, rng):
+                key = (fault.signal, fault.gate, fault.pin)
+                if key not in chosen:
+                    chosen[key] = fault
+        return list(chosen.values())
+
+    def expected_sites_per_defect(self, radius: float) -> float:
+        """Mean fault sites covered by a defect of the given radius.
+
+        Analytic density x footprint approximation, used to pick
+        ``mean_radius`` for a target fault multiplicity.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        site_density = self.layout.num_sites / self.layout.area
+        import math
+
+        return site_density * math.pi * radius * radius

@@ -1,0 +1,123 @@
+"""Defect-size distributions (Stapper's critical-area theory).
+
+Spot-defect diameters in real lines follow a heavy-tailed law: uniform
+growth below the lithography resolution ``x0`` and an inverse-power tail
+``p(x) ~ x0^(p-1) / x^p`` above it, with ``p ~= 3`` measured across
+processes.  The footprint radius a defect presents to the layout is half
+its diameter; larger defects cover more fault sites, which couples the
+size law directly to the paper's fault-multiplicity parameter ``n0``.
+
+:class:`InversePowerSizes` implements the standard law;
+:class:`LogNormalSizes` wraps the log-normal used by the default
+generator, so the two can be swapped for ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+__all__ = ["DefectSizeDistribution", "InversePowerSizes", "LogNormalSizes"]
+
+
+class DefectSizeDistribution(ABC):
+    """Distribution of defect footprint radii."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Mean footprint radius."""
+
+    @abstractmethod
+    def sample(self, rng, size: int) -> np.ndarray:
+        """Draw ``size`` radii."""
+
+
+class InversePowerSizes(DefectSizeDistribution):
+    """Stapper's defect-size law, expressed on the footprint radius.
+
+    Density (up to normalization)::
+
+        p(r) = c * r / x0^2          for 0 <= r <= x0
+        p(r) = c * x0^(p-2) / r^(p-1) for r > x0
+
+    with the classic exponent ``p = 3`` giving a ``1/r^2`` radius tail.
+    ``p > 2`` is required for the density to normalize; ``p > 3`` for a
+    finite mean.  Sampling is by inverse transform.
+    """
+
+    def __init__(self, x0: float, exponent: float = 3.0):
+        if x0 <= 0:
+            raise ValueError(f"x0 must be > 0, got {x0}")
+        if exponent <= 2.0:
+            raise ValueError(
+                f"exponent must be > 2 for a normalizable density, got {exponent}"
+            )
+        self.x0 = x0
+        self.exponent = exponent
+        # Mass below x0 (triangular part) relative to the tail.
+        # integral below: c*x0/2 ; integral above: c*x0/(p-2)
+        below = 0.5
+        above = 1.0 / (exponent - 2.0)
+        self._p_below = below / (below + above)
+
+    def mean(self) -> float:
+        """Mean radius; infinite for exponent <= 3."""
+        p = self.exponent
+        if p <= 3.0:
+            return math.inf
+        # E[r | below] = 2/3 x0; E[r | above] = x0 (p-2)/(p-3).
+        mean_below = 2.0 / 3.0 * self.x0
+        mean_above = self.x0 * (p - 2.0) / (p - 3.0)
+        return self._p_below * mean_below + (1 - self._p_below) * mean_above
+
+    def sample(self, rng, size: int) -> np.ndarray:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        rng = make_rng(rng)
+        u = rng.random(size)
+        below = u < self._p_below
+        radii = np.empty(size)
+        # Triangular part: cdf ~ (r/x0)^2 within its mass.
+        u_below = u[below] / self._p_below
+        radii[below] = self.x0 * np.sqrt(u_below)
+        # Tail: survival ~ (x0/r)^(p-2) within its mass.
+        u_above = (u[~below] - self._p_below) / (1.0 - self._p_below)
+        radii[~below] = self.x0 * (1.0 - u_above) ** (-1.0 / (self.exponent - 2.0))
+        return radii
+
+    def __repr__(self) -> str:
+        return f"InversePowerSizes(x0={self.x0!r}, exponent={self.exponent!r})"
+
+
+class LogNormalSizes(DefectSizeDistribution):
+    """Log-normal radii with a specified mean (the default generator's law)."""
+
+    def __init__(self, mean_radius: float, sigma: float = 0.5):
+        if mean_radius <= 0:
+            raise ValueError(f"mean_radius must be > 0, got {mean_radius}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        self.mean_radius = mean_radius
+        self.sigma = sigma
+        self._mu = math.log(mean_radius) - 0.5 * sigma * sigma
+
+    def mean(self) -> float:
+        return self.mean_radius
+
+    def sample(self, rng, size: int) -> np.ndarray:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        rng = make_rng(rng)
+        if self.sigma == 0.0:
+            return np.full(size, self.mean_radius)
+        return rng.lognormal(self._mu, self.sigma, size=size)
+
+    def __repr__(self) -> str:
+        return (
+            f"LogNormalSizes(mean_radius={self.mean_radius!r}, "
+            f"sigma={self.sigma!r})"
+        )

@@ -1,0 +1,23 @@
+"""Regeneration harness for every table and figure in the paper.
+
+One module per artifact:
+
+=============  =====================================================
+module         reproduces
+=============  =====================================================
+``fig1``       Fig. 1 — r(f) curves for (y, n0) in {0.8, 0.2} x {2, 10}
+``fig234``     Figs. 2-4 — required coverage vs yield, n0 = 1..12
+``fig5``       Fig. 5 — n0 determination from (Monte-Carlo) lot data
+``fig6``       Fig. 6 — q0(n) approximation tiers, N = 1000
+``table1``     Table 1 — first-fail record of a 277-chip lot
+``example``    Section 7 — required coverage vs Wadsack for the LSI chip
+``fineline``   Section 8 — feature-shrink study
+=============  =====================================================
+
+``runner.main()`` (installed as ``repro-experiments``) runs everything and
+prints the paper-versus-measured comparison for each artifact.
+"""
+
+from repro.experiments import config
+
+__all__ = ["config"]

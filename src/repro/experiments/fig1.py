@@ -1,0 +1,87 @@
+"""Fig. 1 — field reject rate versus fault coverage.
+
+The paper plots ``r(f)`` (log scale) for yields 0.80 and 0.20, each at
+``n0 = 2`` and ``n0 = 10``, and reads off the coverage needed for a
+0.5-percent reject rate: about 95 / 38 percent at 80-percent yield and
+99 / 63 percent at 20-percent yield.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.coverage_solver import required_coverage
+from repro.core.reject_rate import field_reject_rate
+from repro.paperdata import FIG1_CASES
+from repro.utils.asciiplot import AsciiPlot
+from repro.utils.tables import TextTable
+
+__all__ = ["Fig1Result", "run", "render"]
+
+# The coverage values the paper's prose quotes for r <= 0.005.
+_PAPER_SPOT_COVERAGE = {
+    (0.80, 2.0): 0.95,
+    (0.80, 10.0): 0.38,
+    (0.20, 2.0): 0.99,
+    (0.20, 10.0): 0.63,
+}
+_SPOT_REJECT_RATE = 0.005
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Curves and spot values of the Fig. 1 reproduction."""
+
+    coverages: np.ndarray
+    curves: dict[tuple[float, float], np.ndarray]
+    spot_values: dict[tuple[float, float], float]
+    paper_spot_values: dict[tuple[float, float], float]
+
+
+def run(num_points: int = 101) -> Fig1Result:
+    """Compute the four r(f) curves and the r = 0.5 percent spot coverages."""
+    coverages = np.linspace(0.0, 0.999, num_points)
+    curves = {}
+    spots = {}
+    for yield_, n0 in FIG1_CASES:
+        curves[(yield_, n0)] = np.array(
+            [field_reject_rate(float(f), yield_, n0) for f in coverages]
+        )
+        spots[(yield_, n0)] = required_coverage(yield_, n0, _SPOT_REJECT_RATE)
+    return Fig1Result(
+        coverages=coverages,
+        curves=curves,
+        spot_values=spots,
+        paper_spot_values=dict(_PAPER_SPOT_COVERAGE),
+    )
+
+
+def render(result: Fig1Result) -> str:
+    """Render the figure as an ASCII log plot plus the spot-value table."""
+    plot = AsciiPlot(
+        width=72,
+        height=24,
+        title="Fig. 1 — field reject rate r(f) vs fault coverage f (log y)",
+        xlabel="fault coverage f",
+        logy=True,
+    )
+    for (yield_, n0), curve in result.curves.items():
+        mask = curve > 1e-4
+        plot.add_series(
+            f"y={yield_:.2f} n0={n0:g}",
+            list(result.coverages[mask]),
+            list(curve[mask]),
+        )
+
+    table = TextTable(
+        ["yield", "n0", "f for r<=0.5% (ours)", "f (paper)", "delta"],
+        title="Coverage required for a 0.5 percent field reject rate",
+    )
+    for key, ours in result.spot_values.items():
+        paper = result.paper_spot_values[key]
+        table.add_row(
+            [key[0], key[1], f"{ours:.3f}", f"{paper:.2f}", f"{ours - paper:+.3f}"]
+        )
+    return plot.render() + "\n\n" + table.render()

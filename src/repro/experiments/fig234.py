@@ -1,0 +1,86 @@
+"""Figs. 2-4 — required fault coverage versus yield.
+
+One figure per target reject rate (1-in-100, 1-in-200, 1-in-1000), each a
+family of curves for ``n0 = 1..12``.  The paper's quoted spot value: at
+``r = 0.001``, yield 0.3, ``n0 = 8``, the required coverage is about 85
+percent (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.coverage_solver import CoverageCurve, coverage_sweep
+from repro.paperdata import FIG234_N0_FAMILY, FIG234_REJECT_RATES
+from repro.utils.asciiplot import AsciiPlot
+from repro.utils.tables import TextTable
+
+__all__ = ["Fig234Result", "run", "render"]
+
+PAPER_FIG4_SPOT = {"reject_rate": 0.001, "yield": 0.3, "n0": 8, "coverage": 0.85}
+
+
+@dataclass(frozen=True)
+class Fig234Result:
+    """One family of required-coverage curves per reject rate."""
+
+    families: dict[float, list[CoverageCurve]]
+    fig4_spot_value: float
+
+    def curve(self, reject_rate: float, n0: float) -> CoverageCurve:
+        for c in self.families[reject_rate]:
+            if c.n0 == n0:
+                return c
+        raise KeyError(f"no curve for r={reject_rate}, n0={n0}")
+
+
+def run(num_yields: int = 50) -> Fig234Result:
+    """Sweep all three figures' curve families."""
+    yields = np.linspace(0.02, 0.98, num_yields)
+    families = {
+        rate: [coverage_sweep(float(n0), rate, yields=yields) for n0 in FIG234_N0_FAMILY]
+        for rate in FIG234_REJECT_RATES
+    }
+    spot = families[0.001][FIG234_N0_FAMILY.index(8)].interpolate(0.3)
+    return Fig234Result(families=families, fig4_spot_value=spot)
+
+
+def render(result: Fig234Result) -> str:
+    """Render the three figures plus the Fig. 4 spot-value check."""
+    fig_names = {0.01: "Fig. 2 (r = 1/100)", 0.005: "Fig. 3 (r = 1/200)",
+                 0.001: "Fig. 4 (r = 1/1000)"}
+    sections = []
+    for rate, curves in result.families.items():
+        plot = AsciiPlot(
+            width=72,
+            height=20,
+            title=f"{fig_names[rate]} — required coverage vs yield, n0 = 1..12",
+            xlabel="yield y",
+        )
+        for curve in curves:
+            if curve.n0 in (1, 2, 4, 8, 12):  # legible subset
+                plot.add_series(
+                    f"n0={curve.n0:g}", list(curve.yields), list(curve.coverages)
+                )
+        sections.append(plot.render())
+
+        table = TextTable(
+            ["n0"] + [f"y={y:.1f}" for y in (0.1, 0.3, 0.5, 0.7, 0.9)],
+            title=f"{fig_names[rate]}: required f at sample yields",
+        )
+        for curve in curves:
+            table.add_row(
+                [f"{curve.n0:g}"]
+                + [f"{curve.interpolate(y):.3f}" for y in (0.1, 0.3, 0.5, 0.7, 0.9)]
+            )
+        sections.append(table.render())
+
+    spot = PAPER_FIG4_SPOT
+    sections.append(
+        f"Fig. 4 spot check: y={spot['yield']}, n0={spot['n0']}, "
+        f"r={spot['reject_rate']} -> required f = {result.fig4_spot_value:.3f} "
+        f"(paper: ~{spot['coverage']:.2f})"
+    )
+    return "\n\n".join(sections)

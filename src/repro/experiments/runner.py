@@ -1,0 +1,85 @@
+"""Run every experiment and print the paper-versus-measured report.
+
+Installed as the ``repro-experiments`` console script::
+
+    repro-experiments                        # run everything
+    repro-experiments fig1 fig6              # run a subset
+    repro-experiments --output-dir results/  # also write one .txt each
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import example, fig1, fig234, fig5, fig6, fineline, table1
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS = {
+    "fig1": (fig1.run, fig1.render),
+    "fig234": (fig234.run, fig234.render),
+    "fig5": (fig5.run, fig5.render),
+    "fig6": (fig6.run, fig6.render),
+    "table1": (table1.run, table1.render),
+    "example": (example.run, example.render),
+    "fineline": (fineline.run, fineline.render),
+}
+
+
+def run_experiment(name: str) -> str:
+    """Run one experiment by name and return its rendered report."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    run, render = EXPERIMENTS[name]
+    return render(run())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point."""
+    parser = argparse.ArgumentParser(
+        description=(
+            "Regenerate the tables and figures of 'LSI Product Quality and "
+            "Fault Coverage' (Agrawal, Seth & Agrawal, DAC 1981)."
+        )
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help=f"subset to run (default: all of {sorted(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="also write each report to <dir>/<experiment>.txt",
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments or list(EXPERIMENTS)
+    if args.output_dir is not None:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        start = time.perf_counter()
+        try:
+            report = run_experiment(name)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - start
+        banner = f"=== {name} ({elapsed:.1f}s) ==="
+        print(banner)
+        print(report)
+        print()
+        if args.output_dir is not None:
+            (args.output_dir / f"{name}.txt").write_text(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

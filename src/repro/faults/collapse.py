@@ -1,0 +1,123 @@
+"""Structural equivalence collapsing of stuck-at faults.
+
+Two faults are equivalent when every test detecting one detects the other;
+equivalent faults are indistinguishable and only one representative needs
+simulation.  The classical local rules per gate:
+
+=========  ==========================================
+gate       equivalence
+=========  ==========================================
+AND        any input s-a-0  ==  output s-a-0
+NAND       any input s-a-0  ==  output s-a-1
+OR         any input s-a-1  ==  output s-a-1
+NOR        any input s-a-1  ==  output s-a-0
+NOT        input s-a-v      ==  output s-a-(1-v)
+BUF        input s-a-v      ==  output s-a-v
+XOR/XNOR   (no structural equivalences)
+=========  ==========================================
+
+Applying the rules transitively via union-find partitions the fault
+universe into equivalence classes; collapsing keeps one representative per
+class.  Collapsed coverage percentages differ slightly from full-universe
+percentages (classes have unequal sizes); the fault simulator can expand a
+collapsed result back to the full universe for exact accounting.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+from repro.faults.model import StuckAtFault, full_fault_universe
+
+__all__ = ["equivalence_classes", "collapse_equivalent"]
+
+
+class _UnionFind:
+    def __init__(self):
+        self._parent: dict[StuckAtFault, StuckAtFault] = {}
+
+    def add(self, item: StuckAtFault) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+
+    def find(self, item: StuckAtFault) -> StuckAtFault:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: StuckAtFault, b: StuckAtFault) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Deterministic representative: the lexicographically smaller.
+            if rb.sort_key < ra.sort_key:
+                ra, rb = rb, ra
+            self._parent[rb] = ra
+
+    def classes(self) -> dict[StuckAtFault, list[StuckAtFault]]:
+        grouped: dict[StuckAtFault, list[StuckAtFault]] = {}
+        for item in self._parent:
+            grouped.setdefault(self.find(item), []).append(item)
+        return grouped
+
+
+def _input_site(
+    netlist: Netlist, fanout_counts: dict[str, int], gate_name: str, pin: int
+) -> StuckAtFault | None:
+    """The fault site feeding pin ``pin`` of ``gate_name`` (value filled later)."""
+    source = netlist.gate(gate_name).inputs[pin]
+    if fanout_counts[source] > 1:
+        return StuckAtFault(source, 0, gate=gate_name, pin=pin)
+    return StuckAtFault(source, 0)
+
+
+def equivalence_classes(
+    netlist: Netlist,
+) -> dict[StuckAtFault, list[StuckAtFault]]:
+    """Partition the full fault universe into structural equivalence classes.
+
+    Returns ``{representative: [members...]}``; singletons included.
+    """
+    netlist.validate()
+    universe = full_fault_universe(netlist)
+    fanout_counts = netlist.fanout_counts()
+    uf = _UnionFind()
+    for fault in universe:
+        uf.add(fault)
+
+    def with_value(site: StuckAtFault, value: int) -> StuckAtFault:
+        return StuckAtFault(site.signal, value, gate=site.gate, pin=site.pin)
+
+    for gate in netlist:
+        if gate.gate_type is GateType.INPUT:
+            continue
+        out_name = gate.name
+        gtype = gate.gate_type
+        if gtype in (GateType.BUF, GateType.NOT):
+            site = _input_site(netlist, fanout_counts, out_name, 0)
+            invert = gtype is GateType.NOT
+            for v in (0, 1):
+                out_v = (1 - v) if invert else v
+                uf.union(with_value(site, v), StuckAtFault(out_name, out_v))
+            continue
+        ctrl = gtype.controlling_value
+        if ctrl is None:  # XOR / XNOR: no structural equivalence
+            continue
+        out_v = gtype.controlled_response
+        for pin in range(len(gate.inputs)):
+            site = _input_site(netlist, fanout_counts, out_name, pin)
+            uf.union(with_value(site, ctrl), StuckAtFault(out_name, out_v))
+
+    return uf.classes()
+
+
+def collapse_equivalent(netlist: Netlist) -> list[StuckAtFault]:
+    """Return one representative fault per equivalence class, sorted.
+
+    The ratio ``len(collapsed) / len(full)`` is typically 0.5-0.7 for
+    NAND-heavy logic — the same reduction production fault simulators of
+    the paper's era applied before simulation.
+    """
+    return sorted(equivalence_classes(netlist), key=lambda f: f.sort_key)

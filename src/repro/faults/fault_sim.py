@@ -1,0 +1,153 @@
+"""Parallel-pattern single-fault stuck-at simulation.
+
+For each fault, the circuit is re-simulated with the fault injected and
+outputs compared to the good machine, 64 patterns per pass.  Faults are
+dropped from later blocks once their first detecting pattern is known, so
+the cost is dominated by hard-to-detect faults — the same economics as the
+serial fault simulators the paper's LAMP reference implemented in hardware
+description.
+
+The headline artifact is :meth:`FaultSimResult.coverage_curve`: cumulative
+fault coverage after each pattern, i.e. the x-axis of the paper's Table 1
+and Fig. 5 calibration experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+from repro.faults.model import StuckAtFault, full_fault_universe
+from repro.simulator.parallel_sim import CompiledCircuit
+from repro.simulator.values import WORD_BITS, pack_patterns
+
+__all__ = ["FaultSimulator", "FaultSimResult"]
+
+
+@dataclass(frozen=True)
+class FaultSimResult:
+    """Outcome of fault-simulating a pattern sequence.
+
+    ``first_detect[i]`` is the 0-based index of the first pattern that
+    detects ``faults[i]``, or ``None`` if the sequence misses it.
+    """
+
+    faults: tuple[StuckAtFault, ...]
+    first_detect: tuple[int | None, ...]
+    num_patterns: int
+
+    @property
+    def num_detected(self) -> int:
+        return sum(1 for d in self.first_detect if d is not None)
+
+    @property
+    def coverage(self) -> float:
+        """Final fault coverage f = detected / universe."""
+        if not self.faults:
+            raise ValueError("empty fault list has no coverage")
+        return self.num_detected / len(self.faults)
+
+    def coverage_curve(self) -> np.ndarray:
+        """Cumulative coverage after each pattern (length ``num_patterns``).
+
+        ``curve[k]`` is the fault coverage of the test *prefix* ending at
+        pattern ``k`` — the quantity the paper's calibration procedure reads
+        off the fault simulator.
+        """
+        counts = np.zeros(self.num_patterns, dtype=np.int64)
+        for det in self.first_detect:
+            if det is not None:
+                counts[det] += 1
+        return np.cumsum(counts) / len(self.faults)
+
+    def detected_faults(self) -> list[StuckAtFault]:
+        return [f for f, d in zip(self.faults, self.first_detect) if d is not None]
+
+    def undetected_faults(self) -> list[StuckAtFault]:
+        return [f for f, d in zip(self.faults, self.first_detect) if d is None]
+
+    def expand(
+        self, classes: Mapping[StuckAtFault, Sequence[StuckAtFault]]
+    ) -> "FaultSimResult":
+        """Expand a collapsed-run result to the full fault universe.
+
+        Every member of an equivalence class inherits its representative's
+        first-detect index (equivalent faults are detected by exactly the
+        same tests), restoring full-universe coverage percentages.
+        """
+        faults: list[StuckAtFault] = []
+        detects: list[int | None] = []
+        for rep, det in zip(self.faults, self.first_detect):
+            members = classes.get(rep)
+            if members is None:
+                raise KeyError(f"representative {rep} missing from class map")
+            for member in members:
+                faults.append(member)
+                detects.append(det)
+        return FaultSimResult(tuple(faults), tuple(detects), self.num_patterns)
+
+
+class FaultSimulator:
+    """Single-stuck-at fault simulator over a compiled netlist."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.compiled = CompiledCircuit(netlist)
+
+    def run(
+        self,
+        patterns: Sequence[Mapping[str, int] | Sequence[int]],
+        faults: Sequence[StuckAtFault] | None = None,
+    ) -> FaultSimResult:
+        """Fault-simulate ``patterns`` in order against ``faults``.
+
+        ``faults`` defaults to the full universe.  Patterns are processed in
+        64-wide blocks with fault dropping across blocks.
+        """
+        if not patterns:
+            raise ValueError("need at least one pattern")
+        if faults is None:
+            faults = full_fault_universe(self.netlist)
+        faults = list(faults)
+        input_names = self.netlist.inputs
+
+        first_detect: list[int | None] = [None] * len(faults)
+        remaining = list(range(len(faults)))
+
+        for block_start in range(0, len(patterns), WORD_BITS):
+            block = patterns[block_start : block_start + WORD_BITS]
+            words = pack_patterns(input_names, block)
+            good = self.compiled.simulate(words)
+            still_remaining: list[int] = []
+            for fi in remaining:
+                fault = faults[fi]
+                faulty = self.compiled.simulate(words, **fault.injection_args())
+                detect_word = 0
+                for name, good_word in good.items():
+                    detect_word |= good_word ^ faulty[name]
+                # Mask off bits beyond the block's pattern count.
+                detect_word &= (1 << len(block)) - 1
+                if detect_word:
+                    first_bit = (detect_word & -detect_word).bit_length() - 1
+                    first_detect[fi] = block_start + first_bit
+                else:
+                    still_remaining.append(fi)
+            remaining = still_remaining
+            if not remaining:
+                break
+
+        return FaultSimResult(tuple(faults), tuple(first_detect), len(patterns))
+
+    def detects(
+        self,
+        pattern: Mapping[str, int] | Sequence[int],
+        fault: StuckAtFault,
+    ) -> bool:
+        """True iff a single pattern detects a single fault."""
+        words = pack_patterns(self.netlist.inputs, [pattern])
+        good = self.compiled.simulate(words)
+        faulty = self.compiled.simulate(words, **fault.injection_args())
+        return any((good[name] ^ faulty[name]) & 1 for name in good)

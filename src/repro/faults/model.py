@@ -1,0 +1,113 @@
+"""Stuck-at fault sites and fault-universe enumeration.
+
+A fault site is either a *stem* (the signal as driven by its gate or
+primary input) or a *branch* (one fanout connection into a specific gate
+input pin).  Branches are distinct sites only where fanout exceeds one —
+with a single sink, the branch is electrically the stem.
+
+The full single-stuck-at universe of a circuit is two faults (s-a-0,
+s-a-1) per distinct site.  This count is the paper's ``N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+
+__all__ = ["StuckAtFault", "full_fault_universe", "checkpoint_faults"]
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """A single stuck-at fault.
+
+    ``signal`` is the driving signal.  For a stem fault, ``gate`` and
+    ``pin`` are ``None``; for a branch fault they identify the sink gate
+    and its input-pin index.  ``value`` is the stuck level (0 or 1).
+    """
+
+    signal: str
+    value: int
+    gate: str | None = None
+    pin: int | None = None
+
+    def __post_init__(self):
+        if self.value not in (0, 1):
+            raise ValueError(f"stuck value must be 0 or 1, got {self.value!r}")
+        if (self.gate is None) != (self.pin is None):
+            raise ValueError("branch faults need both gate and pin; stems neither")
+
+    @property
+    def is_branch(self) -> bool:
+        return self.gate is not None
+
+    @property
+    def sort_key(self) -> tuple:
+        """Total order usable with ``sorted`` (None fields normalized)."""
+        return (
+            self.signal,
+            self.value,
+            self.gate if self.gate is not None else "",
+            self.pin if self.pin is not None else -1,
+        )
+
+    def injection_args(self) -> dict:
+        """Keyword arguments for ``CompiledCircuit.simulate``."""
+        if self.is_branch:
+            return {"stuck_pin": (self.gate, self.pin, self.value)}
+        return {"stuck_signal": (self.signal, self.value)}
+
+    def __str__(self) -> str:
+        site = (
+            f"{self.signal}->{self.gate}.{self.pin}" if self.is_branch else self.signal
+        )
+        return f"{site}/sa{self.value}"
+
+
+def full_fault_universe(netlist: Netlist) -> list[StuckAtFault]:
+    """Enumerate every single stuck-at fault of the circuit.
+
+    Stems: two faults per signal.  Branches: two faults per fanout
+    connection of signals whose fanout exceeds one.  The length of the
+    returned list is the paper's ``N`` for this circuit.
+    """
+    netlist.validate()
+    faults: list[StuckAtFault] = []
+    fanout_counts = netlist.fanout_counts()
+    for signal in netlist.signals:
+        for value in (0, 1):
+            faults.append(StuckAtFault(signal, value))
+        if fanout_counts[signal] > 1:
+            for sink, pin in netlist.fanout(signal):
+                for value in (0, 1):
+                    faults.append(StuckAtFault(signal, value, gate=sink, pin=pin))
+    return faults
+
+
+def checkpoint_faults(netlist: Netlist) -> list[StuckAtFault]:
+    """The checkpoint-theorem reduction: faults on primary inputs and
+    fanout branches only.
+
+    For fanout-free regions, a test set detecting all checkpoint faults
+    detects all stuck-at faults; checkpoints are the classical cheap
+    dominance-based reduction.  Exposed for ablation against the full and
+    equivalence-collapsed universes.
+    """
+    netlist.validate()
+    faults: list[StuckAtFault] = []
+    fanout_counts = netlist.fanout_counts()
+    for signal in netlist.inputs:
+        for value in (0, 1):
+            faults.append(StuckAtFault(signal, value))
+    for signal in netlist.signals:
+        if fanout_counts[signal] > 1:
+            for sink, pin in netlist.fanout(signal):
+                for value in (0, 1):
+                    faults.append(StuckAtFault(signal, value, gate=sink, pin=pin))
+    return faults
+
+
+def _output_gate_types(netlist: Netlist) -> dict[str, GateType]:
+    return {name: netlist.gate(name).gate_type for name in netlist.signals}

@@ -1,0 +1,25 @@
+"""Monte-Carlo wafer fabrication.
+
+Substitutes for the paper's production line: a :class:`ProcessRecipe`
+(defect density, clustering, defect footprint, chip area) drives wafer and
+lot fabrication, producing :class:`FabricatedChip` objects whose stuck-at
+fault sets follow the clustered spot-defect process.  The empirical yield
+of a lot matches Eq. 3 for the recipe's parameters, and the empirical mean
+fault count of defective chips is the ground-truth ``n0`` that the paper's
+calibration procedure is then asked to recover.
+"""
+
+from repro.manufacturing.process import ProcessRecipe
+from repro.manufacturing.wafer import FabricatedChip, Wafer
+from repro.manufacturing.lot import FabricatedLot, fabricate_lot
+from repro.manufacturing.wafermap import PlacedChip, WaferMap
+
+__all__ = [
+    "ProcessRecipe",
+    "FabricatedChip",
+    "Wafer",
+    "FabricatedLot",
+    "fabricate_lot",
+    "PlacedChip",
+    "WaferMap",
+]

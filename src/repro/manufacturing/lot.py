@@ -1,0 +1,94 @@
+"""Lot fabrication and empirical statistics.
+
+A lot is a set of wafers from one recipe.  :class:`FabricatedLot` exposes
+the empirical quantities the paper's analysis is built on — yield, the
+fault-count histogram, and the mean fault count of defective chips (the
+ground-truth ``n0``) — so experiments can compare what the calibration
+procedure *estimates* against what the fab actually *did*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+from repro.defects.layout import ChipLayout
+from repro.manufacturing.process import ProcessRecipe
+from repro.manufacturing.wafer import FabricatedChip, Wafer
+from repro.utils.rng import make_rng, spawn_rngs
+
+__all__ = ["FabricatedLot", "fabricate_lot"]
+
+
+@dataclass(frozen=True)
+class FabricatedLot:
+    """All chips of a lot plus the recipe that produced them."""
+
+    recipe: ProcessRecipe
+    chips: tuple[FabricatedChip, ...]
+
+    def __len__(self) -> int:
+        return len(self.chips)
+
+    def empirical_yield(self) -> float:
+        """Fraction of fault-free chips."""
+        if not self.chips:
+            raise ValueError("empty lot has no yield")
+        return sum(chip.is_good for chip in self.chips) / len(self.chips)
+
+    def fault_counts(self) -> np.ndarray:
+        """Per-chip logical-fault counts."""
+        return np.array([chip.fault_count for chip in self.chips])
+
+    def fault_count_histogram(self) -> dict[int, int]:
+        """``{fault count: number of chips}`` — the empirical Eq. 1."""
+        histogram: dict[int, int] = {}
+        for chip in self.chips:
+            histogram[chip.fault_count] = histogram.get(chip.fault_count, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def empirical_n0(self) -> float:
+        """Mean fault count over *defective* chips — the true ``n0``."""
+        counts = self.fault_counts()
+        defective = counts[counts > 0]
+        if defective.size == 0:
+            raise ValueError("lot has no defective chips; n0 undefined")
+        return float(defective.mean())
+
+    def empirical_nav(self) -> float:
+        """Mean fault count over all chips (the paper's ``nav``, Eq. 2)."""
+        return float(self.fault_counts().mean())
+
+    def defective_chips(self) -> list[FabricatedChip]:
+        return [chip for chip in self.chips if not chip.is_good]
+
+    def mean_defects_per_chip(self) -> float:
+        return float(np.mean([len(chip.defects) for chip in self.chips]))
+
+
+def fabricate_lot(
+    netlist: Netlist,
+    recipe: ProcessRecipe,
+    num_chips: int,
+    dies_per_wafer: int = 100,
+    seed=None,
+) -> FabricatedLot:
+    """Fabricate ``num_chips`` dies of ``netlist`` under ``recipe``.
+
+    Chips come off whole wafers; the final partial wafer is truncated so
+    exactly ``num_chips`` are returned.
+    """
+    if num_chips < 1:
+        raise ValueError(f"need >= 1 chip, got {num_chips}")
+    layout = ChipLayout(netlist, area=recipe.chip_area)
+    wafer = Wafer(recipe, layout, dies_per_wafer=dies_per_wafer)
+    rng = make_rng(seed)
+    chips: list[FabricatedChip] = []
+    num_wafers = -(-num_chips // dies_per_wafer)
+    for wafer_rng in spawn_rngs(rng, num_wafers):
+        chips.extend(wafer.fabricate(seed=wafer_rng, first_chip_id=len(chips)))
+        if len(chips) >= num_chips:
+            break
+    return FabricatedLot(recipe=recipe, chips=tuple(chips[:num_chips]))

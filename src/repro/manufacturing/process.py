@@ -1,0 +1,119 @@
+"""Process recipe: the knobs of the simulated fabrication line.
+
+Collects everything the fab needs — defect density and clustering (the
+paper's ``D0`` and ``lambda``), chip area, the defect footprint
+distribution, and the site-activation probability — and exposes the
+analytic predictions (yield via Eq. 3, expected fault multiplicity) that
+the Monte-Carlo output is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.defects.generation import DefectGenerator
+from repro.yieldmodels.density import DefectDensity, DeltaDensity, GammaDensity
+from repro.yieldmodels.models import solve_defects_for_yield
+
+__all__ = ["ProcessRecipe"]
+
+
+@dataclass(frozen=True)
+class ProcessRecipe:
+    """Parameters of one simulated process/chip pairing.
+
+    Parameters
+    ----------
+    defect_density:
+        Mean ``D0``, defects per unit area.
+    chip_area:
+        Die area in the same units; ``D0 * chip_area`` is the expected
+        defect count per die.
+    clustering:
+        The paper's lambda (relative variance of D0); 0 selects the
+        Poisson (unclustered) limit.
+    mean_defect_radius:
+        Mean spot-defect footprint radius in die-length units.
+    defect_radius_sigma:
+        Log-normal spread of the footprint radius.
+    activation_probability:
+        Probability a covered fault site is actually damaged.
+    """
+
+    defect_density: float
+    chip_area: float = 1.0
+    clustering: float = 0.0
+    mean_defect_radius: float = 0.05
+    defect_radius_sigma: float = 0.5
+    activation_probability: float = 0.7
+
+    def __post_init__(self):
+        if self.defect_density < 0:
+            raise ValueError(f"defect density must be >= 0, got {self.defect_density}")
+        if self.chip_area <= 0:
+            raise ValueError(f"chip area must be > 0, got {self.chip_area}")
+        if self.clustering < 0:
+            raise ValueError(f"clustering must be >= 0, got {self.clustering}")
+
+    # ------------------------------------------------------------ analytics
+
+    def density_distribution(self) -> DefectDensity:
+        """The mixing distribution implied by (D0, lambda)."""
+        if self.clustering == 0.0:
+            return DeltaDensity(self.defect_density)
+        return GammaDensity(self.defect_density, clustering=self.clustering)
+
+    def predicted_yield(self) -> float:
+        """Eq. 3 yield for this recipe — the zero-defect probability.
+
+        Note this is the probability of zero *physical defects*; a defect
+        that lands on empty die area is benign, so the realized good-chip
+        fraction is slightly higher.  :meth:`ProcessRecipe.for_target_yield`
+        accounts for that when calibrating.
+        """
+        return self.density_distribution().laplace(self.chip_area)
+
+    def expected_defects_per_chip(self) -> float:
+        return self.defect_density * self.chip_area
+
+    def defect_generator(self) -> DefectGenerator:
+        """The spot-defect process for this recipe."""
+        return DefectGenerator(
+            self.density_distribution(),
+            mean_radius=self.mean_defect_radius,
+            radius_sigma=self.defect_radius_sigma,
+        )
+
+    # ---------------------------------------------------------- calibration
+
+    @classmethod
+    def for_target_yield(
+        cls,
+        target_yield: float,
+        chip_area: float = 1.0,
+        clustering: float = 0.0,
+        hit_probability: float = 1.0,
+        **kwargs,
+    ) -> "ProcessRecipe":
+        """Build a recipe whose *killing*-defect rate gives ``target_yield``.
+
+        ``hit_probability`` is the fraction of defects that land on active
+        area (cover at least one fault site); the effective killing density
+        is ``D0 * hit_probability``, so the raw ``D0`` is scaled up to
+        compensate.  Callers can estimate the hit probability from the
+        layout (site coverage of the mean footprint) or leave 1.0 for the
+        dense-layout limit.
+        """
+        if not 0.0 < hit_probability <= 1.0:
+            raise ValueError(
+                f"hit probability must be in (0, 1], got {hit_probability}"
+            )
+        killing_density = solve_defects_for_yield(
+            target_yield, chip_area, clustering
+        )
+        return cls(
+            defect_density=killing_density / hit_probability,
+            chip_area=chip_area,
+            clustering=clustering,
+            **kwargs,
+        )

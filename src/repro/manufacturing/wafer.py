@@ -1,0 +1,90 @@
+"""Wafer- and chip-level fabrication.
+
+A wafer draws one defect-density realization from the recipe's mixing
+distribution — defect clustering in real lines is dominated by
+wafer-to-wafer and lot-to-lot variation — and every die on the wafer then
+sees an independent Poisson defect count at that density.  Each defect is
+placed on the die, mapped through the layout to stuck-at faults, and the
+die's fault list recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.defects.generation import Defect
+from repro.defects.layout import ChipLayout
+from repro.defects.mapping import DefectToFaultMapper
+from repro.faults.model import StuckAtFault
+from repro.manufacturing.process import ProcessRecipe
+from repro.utils.rng import make_rng, spawn_rngs
+
+__all__ = ["FabricatedChip", "Wafer"]
+
+
+@dataclass(frozen=True)
+class FabricatedChip:
+    """One die: its physical defects and the logical faults they caused."""
+
+    chip_id: int
+    defects: tuple[Defect, ...]
+    faults: tuple[StuckAtFault, ...]
+
+    @property
+    def is_good(self) -> bool:
+        """A chip is good iff it carries no logical fault.
+
+        A die can have physical defects yet be good — a defect on empty
+        area damages nothing, which is one reason the paper separates the
+        defect count (yield) from the fault count (``n0``).
+        """
+        return not self.faults
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.faults)
+
+
+class Wafer:
+    """A wafer of dies fabricated under one density realization."""
+
+    def __init__(
+        self,
+        recipe: ProcessRecipe,
+        layout: ChipLayout,
+        dies_per_wafer: int = 100,
+    ):
+        if dies_per_wafer < 1:
+            raise ValueError(f"need >= 1 die per wafer, got {dies_per_wafer}")
+        if abs(layout.area - recipe.chip_area) > 1e-9:
+            raise ValueError(
+                f"layout area {layout.area} != recipe chip area {recipe.chip_area}"
+            )
+        self.recipe = recipe
+        self.layout = layout
+        self.dies_per_wafer = dies_per_wafer
+        self._generator = recipe.defect_generator()
+        self._mapper = DefectToFaultMapper(
+            layout, activation_probability=recipe.activation_probability
+        )
+
+    def fabricate(self, seed=None, first_chip_id: int = 0) -> list[FabricatedChip]:
+        """Fabricate one wafer's worth of dies."""
+        rng = make_rng(seed)
+        density = float(
+            self.recipe.density_distribution().sample(rng, 1)[0]
+        )
+        chips = []
+        for die, die_rng in enumerate(spawn_rngs(rng, self.dies_per_wafer)):
+            defects = self._generator.chip_defects(
+                self.recipe.chip_area, rng=die_rng, density_value=density
+            )
+            faults = self._mapper.faults_for_chip(defects, rng=die_rng)
+            chips.append(
+                FabricatedChip(
+                    chip_id=first_chip_id + die,
+                    defects=tuple(defects),
+                    faults=tuple(faults),
+                )
+            )
+        return chips

@@ -1,0 +1,66 @@
+"""Published data from the paper, transcribed for tests and benchmarks.
+
+Table 1 records the Sentry-tester experiment on the 25 000-transistor LSI
+chip of Section 7: a 277-chip lot with estimated yield 0.07, tested by a
+pattern sequence whose cumulative stuck-at fault coverage was known from
+LAMP fault simulation.  Each row is (cumulative coverage, cumulative
+fraction of chips failed).
+"""
+
+from __future__ import annotations
+
+from repro.core.estimation import CoveragePoint
+
+__all__ = [
+    "TABLE1_POINTS",
+    "TABLE1_LOT_SIZE",
+    "TABLE1_YIELD",
+    "TABLE1_FAILED_COUNTS",
+    "PAPER_N0_FIT",
+    "PAPER_N0_SLOPE",
+    "FIG1_CASES",
+    "FIG234_REJECT_RATES",
+    "FIG234_N0_FAMILY",
+    "FIG6_N_VALUES",
+    "FIG6_UNIVERSE",
+]
+
+TABLE1_LOT_SIZE = 277
+TABLE1_YIELD = 0.07
+
+# (fault coverage percent, cumulative chips failed) — Table 1 verbatim.
+_TABLE1_RAW = [
+    (5, 113),
+    (8, 134),
+    (10, 144),
+    (15, 186),
+    (20, 209),
+    (30, 226),
+    (36, 242),
+    (45, 251),
+    (50, 256),
+    (65, 257),
+]
+
+TABLE1_FAILED_COUNTS = [count for _, count in _TABLE1_RAW]
+
+TABLE1_POINTS = [
+    CoveragePoint(coverage=pct / 100.0, fraction_failed=count / TABLE1_LOT_SIZE)
+    for pct, count in _TABLE1_RAW
+]
+
+# The paper's calibration results for Table 1 (Section 7).
+PAPER_N0_FIT = 8.0       # "experimental points closely match the curve n0 = 8"
+PAPER_N0_SLOPE = 8.8     # P'(0) = 0.41/0.05 = 8.2; n0 = 8.2/0.93 = 8.8
+
+# Fig. 1 plots r(f) for these (yield, n0) pairs.
+FIG1_CASES = [(0.80, 2.0), (0.80, 10.0), (0.20, 2.0), (0.20, 10.0)]
+
+# Figs. 2-4 plot required coverage vs yield for these reject rates and the
+# family n0 = 1..12.
+FIG234_REJECT_RATES = [0.01, 0.005, 0.001]
+FIG234_N0_FAMILY = list(range(1, 13))
+
+# Fig. 6 plots q0(n) for N = 1000 and this family of n values.
+FIG6_UNIVERSE = 1000
+FIG6_N_VALUES = [2, 4, 8, 16, 32]

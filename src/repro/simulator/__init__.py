@@ -1,0 +1,21 @@
+"""Logic simulation substrate.
+
+Two engines over the same :class:`~repro.circuit.netlist.Netlist` model:
+
+* :mod:`repro.simulator.event_sim` — a scalar event-driven simulator; the
+  readable reference implementation, also used to cross-check the fast path.
+* :mod:`repro.simulator.parallel_sim` — a levelized compiled simulator that
+  packs 64 test patterns per machine word, the classical parallel-pattern
+  technique used by fault simulators of the paper's era (LAMP among them).
+"""
+
+from repro.simulator.values import pack_patterns, unpack_outputs
+from repro.simulator.event_sim import EventSimulator
+from repro.simulator.parallel_sim import CompiledCircuit
+
+__all__ = [
+    "pack_patterns",
+    "unpack_outputs",
+    "EventSimulator",
+    "CompiledCircuit",
+]

@@ -1,0 +1,62 @@
+"""Pattern packing for 64-way bit-parallel simulation.
+
+A *pattern* is a mapping (or sequence) of 0/1 values for the primary
+inputs.  The parallel simulator processes patterns in words of 64: bit
+``k`` of every signal word belongs to pattern ``k`` of the block.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["WORD_BITS", "pack_patterns", "unpack_outputs"]
+
+WORD_BITS = 64
+
+
+def pack_patterns(
+    input_names: Sequence[str],
+    patterns: Sequence[Mapping[str, int] | Sequence[int]],
+) -> dict[str, int]:
+    """Pack up to 64 patterns into one word per input signal.
+
+    Each pattern is either a dict keyed by input name or a positional
+    sequence aligned with ``input_names``.  Returns ``{input_name: word}``
+    where bit ``k`` of the word is that input's value in pattern ``k``.
+    """
+    if len(patterns) == 0:
+        raise ValueError("need at least one pattern")
+    if len(patterns) > WORD_BITS:
+        raise ValueError(f"at most {WORD_BITS} patterns per word, got {len(patterns)}")
+    words = {name: 0 for name in input_names}
+    for k, pattern in enumerate(patterns):
+        for i, name in enumerate(input_names):
+            if isinstance(pattern, Mapping):
+                try:
+                    value = pattern[name]
+                except KeyError:
+                    raise ValueError(f"pattern {k} missing input {name!r}") from None
+            else:
+                if len(pattern) != len(input_names):
+                    raise ValueError(
+                        f"pattern {k} has {len(pattern)} values for "
+                        f"{len(input_names)} inputs"
+                    )
+                value = pattern[i]
+            if value not in (0, 1):
+                raise ValueError(f"pattern {k} input {name!r}: value must be 0/1")
+            if value:
+                words[name] |= 1 << k
+    return words
+
+
+def unpack_outputs(
+    output_words: Mapping[str, int], num_patterns: int
+) -> list[dict[str, int]]:
+    """Unpack output words back into one dict per pattern."""
+    if not 1 <= num_patterns <= WORD_BITS:
+        raise ValueError(f"num_patterns must be in [1, {WORD_BITS}]")
+    return [
+        {name: (word >> k) & 1 for name, word in output_words.items()}
+        for k in range(num_patterns)
+    ]

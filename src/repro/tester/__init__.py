@@ -1,0 +1,16 @@
+"""First-fail wafer testing — the Sentry-tester substitute.
+
+A :class:`TestProgram` is an ordered pattern sequence with its cumulative
+fault-coverage profile (from fault simulation, as the paper obtained from
+LAMP).  :class:`WaferTester` applies the program to fabricated chips,
+recording for each chip the first pattern at which its outputs differ from
+the good machine — exactly the measurement protocol of the paper's
+Section 7 experiment.  :mod:`repro.tester.results` turns the per-chip
+records into a Table-1 style cumulative-fail table.
+"""
+
+from repro.tester.program import TestProgram
+from repro.tester.tester import WaferTester, ChipTestRecord
+from repro.tester.results import LotTestResult
+
+__all__ = ["TestProgram", "WaferTester", "ChipTestRecord", "LotTestResult"]

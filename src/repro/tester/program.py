@@ -1,0 +1,95 @@
+"""Test programs: ordered patterns plus their coverage profile.
+
+The paper's procedure needs test patterns "evaluated on a fault simulator
+in the same order as they would be applied to the chip", yielding
+cumulative fault coverage as a function of pattern number.  A
+:class:`TestProgram` bundles the ordered patterns, that curve, and the
+good-machine responses the tester compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+from repro.faults.collapse import equivalence_classes
+from repro.faults.fault_sim import FaultSimulator
+from repro.faults.model import StuckAtFault
+
+__all__ = ["TestProgram"]
+
+
+@dataclass(frozen=True)
+class TestProgram:
+    """An ordered pattern sequence with its fault-coverage profile.
+
+    ``coverage_curve[k]`` is the cumulative single-stuck-at coverage (over
+    the *full* fault universe) of patterns ``0..k``.
+    """
+
+    netlist: Netlist
+    patterns: tuple[dict[str, int], ...]
+    coverage_curve: np.ndarray
+    universe_size: int
+
+    @classmethod
+    def build(
+        cls,
+        netlist: Netlist,
+        patterns: Sequence[Mapping[str, int]],
+        collapse: bool = True,
+    ) -> "TestProgram":
+        """Fault-simulate ``patterns`` and record the coverage profile.
+
+        ``collapse=True`` simulates one representative per equivalence
+        class and expands the result — same numbers, roughly half the work.
+        """
+        if not patterns:
+            raise ValueError("a test program needs at least one pattern")
+        simulator = FaultSimulator(netlist)
+        if collapse:
+            classes = equivalence_classes(netlist)
+            reps = sorted(classes, key=lambda f: f.sort_key)
+            result = simulator.run(patterns, faults=reps).expand(classes)
+        else:
+            result = simulator.run(patterns)
+        return cls(
+            netlist=netlist,
+            patterns=tuple(dict(p) for p in patterns),
+            coverage_curve=result.coverage_curve(),
+            universe_size=len(result.faults),
+        )
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    @property
+    def final_coverage(self) -> float:
+        """Coverage of the whole program — the paper's ``f`` for these tests."""
+        return float(self.coverage_curve[-1])
+
+    def coverage_at(self, pattern_index: int) -> float:
+        """Cumulative coverage of the prefix ending at ``pattern_index``."""
+        if not 0 <= pattern_index < len(self.patterns):
+            raise IndexError(
+                f"pattern index {pattern_index} out of range "
+                f"[0, {len(self.patterns)})"
+            )
+        return float(self.coverage_curve[pattern_index])
+
+    def truncated(self, num_patterns: int) -> "TestProgram":
+        """The program's prefix of ``num_patterns`` patterns."""
+        if not 1 <= num_patterns <= len(self.patterns):
+            raise ValueError(
+                f"num_patterns must be in [1, {len(self.patterns)}], "
+                f"got {num_patterns}"
+            )
+        return TestProgram(
+            netlist=self.netlist,
+            patterns=self.patterns[:num_patterns],
+            coverage_curve=self.coverage_curve[:num_patterns].copy(),
+            universe_size=self.universe_size,
+        )

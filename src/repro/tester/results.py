@@ -1,0 +1,129 @@
+"""Lot test results: the Table-1 artifact and its derived statistics.
+
+:class:`LotTestResult` aggregates per-chip first-fail records against the
+program's coverage curve, producing (a) the cumulative-fraction-failed
+versus cumulative-coverage table the paper publishes as Table 1, (b) the
+:class:`~repro.core.estimation.CoveragePoint` list its calibration
+consumes, and (c) the escape statistics that validate the analytic
+``Ybg``/``r(f)`` predictions against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.estimation import CoveragePoint
+from repro.tester.program import TestProgram
+from repro.tester.tester import ChipTestRecord
+from repro.utils.tables import TextTable
+
+__all__ = ["LotTestResult"]
+
+
+@dataclass(frozen=True)
+class LotTestResult:
+    """All chip test records for one program run over one lot."""
+
+    program: TestProgram
+    records: tuple[ChipTestRecord, ...]
+
+    def __post_init__(self):
+        if not self.records:
+            raise ValueError("a lot test result needs at least one record")
+
+    @property
+    def lot_size(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------- fail profile
+
+    def cumulative_failed(self) -> np.ndarray:
+        """Chips failed at or before each pattern index."""
+        counts = np.zeros(len(self.program), dtype=np.int64)
+        for record in self.records:
+            if record.first_fail is not None:
+                counts[record.first_fail] += 1
+        return np.cumsum(counts)
+
+    def coverage_points(
+        self, checkpoints: Sequence[int] | None = None
+    ) -> list[CoveragePoint]:
+        """Calibration input: (cumulative coverage, fraction failed) pairs.
+
+        ``checkpoints`` are pattern indices to sample; by default every
+        index where the coverage curve increased (deduplicated), which is
+        how the paper's Table 1 rows were chosen.
+        """
+        curve = self.program.coverage_curve
+        failed = self.cumulative_failed()
+        if checkpoints is None:
+            checkpoints = []
+            last = -1.0
+            for k, cov in enumerate(curve):
+                if cov > last:
+                    checkpoints.append(k)
+                    last = cov
+        points = []
+        for k in checkpoints:
+            if not 0 <= k < len(self.program):
+                raise IndexError(f"checkpoint {k} out of range")
+            points.append(
+                CoveragePoint(
+                    coverage=float(curve[k]),
+                    fraction_failed=float(failed[k]) / self.lot_size,
+                )
+            )
+        return points
+
+    # ---------------------------------------------------------- statistics
+
+    def fraction_rejected(self) -> float:
+        """Fraction of the lot rejected by the full program."""
+        return sum(r.first_fail is not None for r in self.records) / self.lot_size
+
+    def escapes(self) -> list[ChipTestRecord]:
+        """Defective chips that passed — the paper's bad-tested-good set."""
+        return [r for r in self.records if r.is_test_escape]
+
+    def empirical_reject_rate(self) -> float:
+        """Ground-truth field reject rate: escapes / shipped.
+
+        The Monte-Carlo measurement that the analytic Eq. 8 prediction is
+        validated against.
+        """
+        shipped = [r for r in self.records if r.passed]
+        if not shipped:
+            return 0.0
+        return len(self.escapes()) / len(shipped)
+
+    def empirical_bad_pass_yield(self) -> float:
+        """Ground-truth ``Ybg``: bad-but-passing chips over all chips."""
+        return len(self.escapes()) / self.lot_size
+
+    # ------------------------------------------------------------- display
+
+    def to_table(self, checkpoints: Sequence[int] | None = None) -> TextTable:
+        """Render the Table-1 style cumulative-fail table."""
+        table = TextTable(
+            [
+                "Fault Coverage (pct)",
+                "Cumulative Chips Failed",
+                "Cumulative Fraction Failed",
+            ],
+            title=(
+                f"Lot test result: {self.lot_size} chips, "
+                f"program of {len(self.program)} patterns"
+            ),
+        )
+        for point in self.coverage_points(checkpoints):
+            table.add_row(
+                [
+                    f"{point.coverage * 100:.1f}",
+                    int(round(point.fraction_failed * self.lot_size)),
+                    f"{point.fraction_failed:.2f}",
+                ]
+            )
+        return table

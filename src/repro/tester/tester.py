@@ -1,0 +1,92 @@
+"""The wafer tester: apply a program, record the first failing pattern.
+
+Each chip's *actual* multi-fault machine is simulated (all of its stuck-at
+faults injected simultaneously), so fault masking between coexisting
+faults is physical, not assumed away — the tester sees exactly what a
+Sentry saw: output disagreement at some pattern, or a clean pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.manufacturing.wafer import FabricatedChip
+from repro.simulator.parallel_sim import CompiledCircuit
+from repro.simulator.values import WORD_BITS, pack_patterns
+from repro.tester.program import TestProgram
+
+__all__ = ["ChipTestRecord", "WaferTester"]
+
+
+@dataclass(frozen=True)
+class ChipTestRecord:
+    """Outcome of testing one chip.
+
+    ``first_fail`` is the 0-based index of the first failing pattern, or
+    ``None`` when the chip passed the whole program.
+    """
+
+    chip_id: int
+    is_good: bool
+    first_fail: int | None
+
+    @property
+    def passed(self) -> bool:
+        return self.first_fail is None
+
+    @property
+    def is_test_escape(self) -> bool:
+        """A defective chip that passed — the paper's ``Ybg`` event."""
+        return self.passed and not self.is_good
+
+
+class WaferTester:
+    """Applies a :class:`TestProgram` to fabricated chips, first-fail mode."""
+
+    def __init__(self, program: TestProgram):
+        self.program = program
+        self._compiled = CompiledCircuit(program.netlist)
+        inputs = program.netlist.inputs
+        # Pre-pack pattern blocks and good-machine responses once.
+        self._blocks: list[tuple[dict[str, int], int]] = []
+        self._good: list[dict[str, int]] = []
+        patterns = program.patterns
+        for start in range(0, len(patterns), WORD_BITS):
+            block = patterns[start : start + WORD_BITS]
+            words = pack_patterns(inputs, block)
+            self._blocks.append((words, len(block)))
+            self._good.append(self._compiled.simulate(words))
+
+    def test_chip(self, chip: FabricatedChip) -> ChipTestRecord:
+        """Test one chip, stopping at its first failing pattern."""
+        stems = []
+        pins = []
+        for fault in chip.faults:
+            if fault.is_branch:
+                pins.append((fault.gate, fault.pin, fault.value))
+            else:
+                stems.append((fault.signal, fault.value))
+        if not stems and not pins:
+            return ChipTestRecord(chip.chip_id, is_good=True, first_fail=None)
+
+        offset = 0
+        for (words, block_len), good in zip(self._blocks, self._good):
+            observed = self._compiled.simulate(
+                words, stuck_signals=stems, stuck_pins=pins
+            )
+            fail_word = 0
+            for name, good_word in good.items():
+                fail_word |= good_word ^ observed[name]
+            fail_word &= (1 << block_len) - 1
+            if fail_word:
+                first_bit = (fail_word & -fail_word).bit_length() - 1
+                return ChipTestRecord(
+                    chip.chip_id, is_good=False, first_fail=offset + first_bit
+                )
+            offset += block_len
+        return ChipTestRecord(chip.chip_id, is_good=False, first_fail=None)
+
+    def test_lot(self, chips: Sequence[FabricatedChip]) -> list[ChipTestRecord]:
+        """Test every chip of a lot."""
+        return [self.test_chip(chip) for chip in chips]

@@ -1,0 +1,28 @@
+"""Shared low-level utilities: stable math, RNG plumbing, text output.
+
+These helpers are deliberately dependency-light; every other ``repro``
+subpackage builds on them.
+"""
+
+from repro.utils.mathtools import (
+    log_binomial,
+    log_factorial,
+    logsumexp_pair,
+    clamp,
+    bisect_root,
+)
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.tables import TextTable
+from repro.utils.asciiplot import AsciiPlot
+
+__all__ = [
+    "log_binomial",
+    "log_factorial",
+    "logsumexp_pair",
+    "clamp",
+    "bisect_root",
+    "make_rng",
+    "spawn_rngs",
+    "TextTable",
+    "AsciiPlot",
+]

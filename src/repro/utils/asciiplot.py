@@ -1,0 +1,115 @@
+"""Terminal line plots.
+
+The paper's results are figures; with no plotting library available offline
+we render each figure as an ASCII grid so the benchmark output visually
+reproduces the curve shapes (who wins, where the knees fall).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["AsciiPlot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+class AsciiPlot:
+    """A multi-series 2-D scatter/line plot rendered to characters.
+
+    Series are drawn in insertion order; each gets the next marker from a
+    fixed cycle.  Optionally the y axis is log-scaled (used for the paper's
+    Fig. 1 and Fig. 6, both published on log axes).
+    """
+
+    def __init__(
+        self,
+        width: int = 72,
+        height: int = 24,
+        title: str | None = None,
+        xlabel: str = "x",
+        ylabel: str = "y",
+        logy: bool = False,
+    ):
+        if width < 10 or height < 5:
+            raise ValueError("plot area too small to be legible")
+        self.width = width
+        self.height = height
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self.logy = logy
+        self._series: list[tuple[str, Sequence[float], Sequence[float]]] = []
+
+    def add_series(self, name: str, xs: Sequence[float], ys: Sequence[float]) -> None:
+        """Add a named series of equal-length x and y vectors."""
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+        if not xs:
+            raise ValueError(f"series {name!r} is empty")
+        self._series.append((name, list(xs), list(ys)))
+
+    def _transform_y(self, y: float) -> float:
+        if not self.logy:
+            return y
+        if y <= 0:
+            return float("nan")
+        return math.log10(y)
+
+    def render(self) -> str:
+        """Rasterize all series onto a character grid and return it."""
+        if not self._series:
+            raise ValueError("nothing to plot")
+        xs_all = [x for _, xs, _ in self._series for x in xs]
+        ys_all = [
+            ty
+            for _, _, ys in self._series
+            for ty in (self._transform_y(y) for y in ys)
+            if not math.isnan(ty)
+        ]
+        if not ys_all:
+            raise ValueError("no plottable points (log scale with all y <= 0?)")
+        x_min, x_max = min(xs_all), max(xs_all)
+        y_min, y_max = min(ys_all), max(ys_all)
+        if x_max == x_min:
+            x_max = x_min + 1.0
+        if y_max == y_min:
+            y_max = y_min + 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for idx, (_, xs, ys) in enumerate(self._series):
+            marker = _MARKERS[idx % len(_MARKERS)]
+            for x, y in zip(xs, ys):
+                ty = self._transform_y(y)
+                if math.isnan(ty):
+                    continue
+                col = round((x - x_min) / (x_max - x_min) * (self.width - 1))
+                row = round((ty - y_min) / (y_max - y_min) * (self.height - 1))
+                grid[self.height - 1 - row][col] = marker
+
+        def y_tick(row: int) -> str:
+            frac = (self.height - 1 - row) / (self.height - 1)
+            val = y_min + frac * (y_max - y_min)
+            if self.logy:
+                val = 10.0**val
+            return f"{val:9.3g}"
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        for row in range(self.height):
+            label = y_tick(row) if row % 4 == 0 or row == self.height - 1 else " " * 9
+            lines.append(f"{label} |{''.join(grid[row])}")
+        lines.append(" " * 10 + "+" + "-" * self.width)
+        lines.append(
+            " " * 10 + f"{x_min:<12.4g}{self.xlabel:^{max(self.width - 24, 1)}}{x_max:>12.4g}"
+        )
+        legend = "   ".join(
+            f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, (name, _, _) in enumerate(self._series)
+        )
+        lines.append(" " * 10 + legend)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,118 @@
+"""Numerically stable combinatorics and root finding.
+
+The paper's detection probabilities (Eqs. 4-5 and Appendix A) involve ratios
+of binomial coefficients with arguments in the tens of thousands (the fault
+universe of an LSI chip).  All such quantities are computed in log space
+here so that ``q0(n)`` stays exact down to 1e-300 instead of overflowing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+__all__ = [
+    "log_factorial",
+    "log_binomial",
+    "logsumexp_pair",
+    "clamp",
+    "bisect_root",
+    "poisson_log_pmf",
+]
+
+
+def log_factorial(n: int) -> float:
+    """Return ``log(n!)`` using the log-gamma function.
+
+    Raises ``ValueError`` for negative ``n`` — a negative factorial in this
+    code base always indicates a logic error upstream (e.g. more detected
+    faults than present), so it must not be silently absorbed.
+    """
+    if n < 0:
+        raise ValueError(f"log_factorial requires n >= 0, got {n}")
+    return math.lgamma(n + 1)
+
+
+def log_binomial(n: int, k: int) -> float:
+    """Return ``log(C(n, k))``; ``-inf`` when the coefficient is zero.
+
+    ``C(n, k)`` is zero for ``k < 0`` or ``k > n``; returning ``-inf``
+    (rather than raising) lets hypergeometric sums skip impossible terms
+    naturally.
+    """
+    if n < 0:
+        raise ValueError(f"log_binomial requires n >= 0, got n={n}")
+    if k < 0 or k > n:
+        return float("-inf")
+    return log_factorial(n) - log_factorial(k) - log_factorial(n - k)
+
+
+def logsumexp_pair(a: float, b: float) -> float:
+    """Return ``log(exp(a) + exp(b))`` without overflow."""
+    if a == float("-inf"):
+        return b
+    if b == float("-inf"):
+        return a
+    hi, lo = (a, b) if a >= b else (b, a)
+    return hi + math.log1p(math.exp(lo - hi))
+
+
+def poisson_log_pmf(k: int, mean: float) -> float:
+    """Return ``log P[X = k]`` for ``X ~ Poisson(mean)``.
+
+    Handles the degenerate ``mean == 0`` case (point mass at zero), which
+    arises in the paper's model when ``n0 == 1`` — every defective chip
+    then has exactly one fault.
+    """
+    if k < 0:
+        return float("-inf")
+    if mean < 0:
+        raise ValueError(f"Poisson mean must be >= 0, got {mean}")
+    if mean == 0.0:
+        return 0.0 if k == 0 else float("-inf")
+    return k * math.log(mean) - mean - log_factorial(k)
+
+
+def clamp(x: float, lo: float, hi: float) -> float:
+    """Clamp ``x`` into the closed interval ``[lo, hi]``."""
+    if lo > hi:
+        raise ValueError(f"empty interval [{lo}, {hi}]")
+    return lo if x < lo else hi if x > hi else x
+
+
+def bisect_root(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Find a root of ``func`` on ``[lo, hi]`` by bisection.
+
+    Used to invert the paper's Eq. 11 (required fault coverage for a target
+    reject rate).  Bisection is chosen over Newton because the curves are
+    monotonic but their derivatives vanish near f = 1, where Newton stalls.
+
+    The endpoints must bracket a sign change; endpoints that are themselves
+    roots are returned immediately.
+    """
+    f_lo = func(lo)
+    f_hi = func(hi)
+    if f_lo == 0.0:
+        return lo
+    if f_hi == 0.0:
+        return hi
+    if f_lo * f_hi > 0:
+        raise ValueError(
+            f"root not bracketed on [{lo}, {hi}]: f(lo)={f_lo}, f(hi)={f_hi}"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        f_mid = func(mid)
+        if f_mid == 0.0 or (hi - lo) < tol:
+            return mid
+        if f_lo * f_mid < 0:
+            hi = mid
+        else:
+            lo, f_lo = mid, f_mid
+    return 0.5 * (lo + hi)

@@ -1,0 +1,62 @@
+"""Fixed-width text tables for experiment and benchmark output.
+
+The benchmarks regenerate the paper's tables as aligned text so that a
+side-by-side comparison with the published numbers is a single glance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["TextTable"]
+
+
+class TextTable:
+    """Accumulate rows, then render them as an aligned monospace table.
+
+    >>> t = TextTable(["f", "r(f)"])
+    >>> t.add_row([0.5, 0.0123])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable[object], float_fmt: str = "{:.4g}") -> None:
+        """Append one row; floats are formatted with ``float_fmt``."""
+        formatted = []
+        for cell in cells:
+            if isinstance(cell, float):
+                formatted.append(float_fmt.format(cell))
+            else:
+                formatted.append(str(cell))
+        if len(formatted) != len(self.headers):
+            raise ValueError(
+                f"row has {len(formatted)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(formatted)
+
+    def render(self) -> str:
+        """Return the table as a string with a header rule."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_line(cells: Sequence[str]) -> str:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_line(self.headers))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt_line(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,46 @@
+"""Integrated-circuit yield models (the paper's Eq. 3 and its family).
+
+The paper computes chip yield from the negative-binomial (Stapper) formula
+
+    y = (1 + lambda * D0 * A) ** (-1 / lambda)
+
+which arises from a Poisson defect count whose density ``D0`` is itself
+gamma-distributed across the wafer.  References [7]-[12] of the paper span
+the classical alternatives (Poisson, Murphy, Seeds, Price); all are
+implemented here so the benches can show how sensitive the required fault
+coverage is to the yield model chosen.
+"""
+
+from repro.yieldmodels.density import (
+    DefectDensity,
+    DeltaDensity,
+    TriangularDensity,
+    ExponentialDensity,
+    GammaDensity,
+)
+from repro.yieldmodels.models import (
+    YieldModel,
+    PoissonYield,
+    MurphyYield,
+    SeedsYield,
+    PriceYield,
+    NegativeBinomialYield,
+    yield_from_defects,
+    solve_defects_for_yield,
+)
+
+__all__ = [
+    "DefectDensity",
+    "DeltaDensity",
+    "TriangularDensity",
+    "ExponentialDensity",
+    "GammaDensity",
+    "YieldModel",
+    "PoissonYield",
+    "MurphyYield",
+    "SeedsYield",
+    "PriceYield",
+    "NegativeBinomialYield",
+    "yield_from_defects",
+    "solve_defects_for_yield",
+]

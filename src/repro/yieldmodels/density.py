@@ -1,0 +1,170 @@
+"""Defect-density mixing distributions.
+
+Compound-Poisson yield models assume the defect density ``D`` varies from
+chip to chip (wafer-to-wafer and across a wafer).  The yield is then
+
+    y = E[ exp(-D * A) ]
+
+i.e. the Laplace transform of the mixing distribution evaluated at the chip
+area ``A``.  Each classical yield model corresponds to one mixing choice:
+
+=================  =============================
+mixing density     resulting yield model
+=================  =============================
+delta (constant)   Poisson                 [7]
+triangular         Murphy                  [7]
+exponential        Seeds / Price           [8,9]
+gamma              negative binomial (Eq.3) [10-12]
+=================  =============================
+
+Every density knows its mean, variance, Laplace transform, and how to draw
+samples — the Monte-Carlo fab (``repro.manufacturing``) uses the sampling
+interface to create chip lots whose *empirical* yield follows the chosen
+model, which is exactly the property the paper's Eq. 3 relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "DefectDensity",
+    "DeltaDensity",
+    "TriangularDensity",
+    "ExponentialDensity",
+    "GammaDensity",
+]
+
+
+class DefectDensity(ABC):
+    """A distribution of defect density ``D`` (defects per unit area)."""
+
+    def __init__(self, mean: float):
+        if mean < 0:
+            raise ValueError(f"mean defect density must be >= 0, got {mean}")
+        self.mean = mean
+
+    @property
+    @abstractmethod
+    def variance(self) -> float:
+        """Variance of the density distribution."""
+
+    @abstractmethod
+    def laplace(self, area: float) -> float:
+        """Return ``E[exp(-D * area)]`` — the yield for chip area ``area``."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` density realizations."""
+
+    @property
+    def relative_variance(self) -> float:
+        """``Var[D] / E[D]^2`` — the paper's clustering parameter ``lambda``."""
+        if self.mean == 0:
+            return 0.0
+        return self.variance / (self.mean * self.mean)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(mean={self.mean!r})"
+
+
+class DeltaDensity(DefectDensity):
+    """Constant density: every chip sees the same ``D0`` (Poisson yield)."""
+
+    @property
+    def variance(self) -> float:
+        return 0.0
+
+    def laplace(self, area: float) -> float:
+        return math.exp(-self.mean * area)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self.mean)
+
+
+class TriangularDensity(DefectDensity):
+    """Symmetric triangular density on ``[0, 2*D0]`` (Murphy's model [7]).
+
+    Murphy approximated a bell-shaped density by a triangle; its Laplace
+    transform gives the classic ``((1 - e^{-D0 A}) / (D0 A))^2`` yield.
+    """
+
+    @property
+    def variance(self) -> float:
+        # Var of symmetric triangular on [0, 2m] with mode m is m^2/6.
+        return self.mean * self.mean / 6.0
+
+    def laplace(self, area: float) -> float:
+        t = self.mean * area
+        if t == 0.0:
+            return 1.0
+        return ((1.0 - math.exp(-t)) / t) ** 2
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if self.mean == 0:
+            return np.zeros(size)
+        return rng.triangular(0.0, self.mean, 2.0 * self.mean, size=size)
+
+
+class ExponentialDensity(DefectDensity):
+    """Exponential density (Seeds [8] / Price [9]).
+
+    Laplace transform ``1 / (1 + D0 A)`` — the most pessimistic of the
+    classical mixes (widest spread, relative variance 1).
+    """
+
+    @property
+    def variance(self) -> float:
+        return self.mean * self.mean
+
+    def laplace(self, area: float) -> float:
+        return 1.0 / (1.0 + self.mean * area)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if self.mean == 0:
+            return np.zeros(size)
+        return rng.exponential(self.mean, size=size)
+
+
+class GammaDensity(DefectDensity):
+    """Gamma-distributed density (Stapper [10, 12]) — the paper's Eq. 3.
+
+    Parameterized by the mean ``D0`` and the paper's ``lambda`` (relative
+    variance ``Var[D]/D0^2``).  Shape ``alpha = 1/lambda`` and scale
+    ``theta = D0 * lambda`` give Laplace transform
+
+        y(A) = (1 + lambda * D0 * A) ** (-1/lambda)
+
+    As ``lambda -> 0`` this approaches the Poisson model; ``lambda = 1``
+    recovers Seeds' exponential.
+    """
+
+    def __init__(self, mean: float, clustering: float):
+        super().__init__(mean)
+        if clustering <= 0:
+            raise ValueError(
+                f"clustering parameter lambda must be > 0, got {clustering} "
+                "(use DeltaDensity for the lambda -> 0 Poisson limit)"
+            )
+        self.clustering = clustering
+
+    @property
+    def variance(self) -> float:
+        return self.clustering * self.mean * self.mean
+
+    def laplace(self, area: float) -> float:
+        # Stable form of (1 + c*D0*A)^(-1/c); see NegativeBinomialYield.
+        return math.exp(-math.log1p(self.clustering * self.mean * area) / self.clustering)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if self.mean == 0:
+            return np.zeros(size)
+        shape = 1.0 / self.clustering
+        scale = self.mean * self.clustering
+        return rng.gamma(shape, scale, size=size)
+
+    def __repr__(self) -> str:
+        return f"GammaDensity(mean={self.mean!r}, clustering={self.clustering!r})"

@@ -1,0 +1,193 @@
+"""Closed-form chip-yield models (paper references [7]-[12]).
+
+Each model maps ``(D0, A)`` — average defect density and chip area — to the
+probability that a manufactured chip is good.  The paper's Eq. 3 is
+``NegativeBinomialYield``; the others are the classical alternatives it
+cites, kept here so sensitivity studies can swap the yield model without
+touching the quality analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.utils.mathtools import bisect_root
+from repro.yieldmodels.density import (
+    DefectDensity,
+    DeltaDensity,
+    ExponentialDensity,
+    GammaDensity,
+    TriangularDensity,
+)
+
+__all__ = [
+    "YieldModel",
+    "PoissonYield",
+    "MurphyYield",
+    "SeedsYield",
+    "PriceYield",
+    "NegativeBinomialYield",
+    "yield_from_defects",
+    "solve_defects_for_yield",
+]
+
+
+class YieldModel(ABC):
+    """Maps average defect count ``D0 * A`` to chip yield."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def evaluate(self, defect_density: float, area: float) -> float:
+        """Return the yield for density ``defect_density`` and area ``area``."""
+
+    @abstractmethod
+    def density(self, defect_density: float) -> DefectDensity:
+        """Return the mixing distribution this model corresponds to."""
+
+    def average_defects(self, defect_density: float, area: float) -> float:
+        """Mean number of physical defects per chip, ``D0 * A``."""
+        self._check(defect_density, area)
+        return defect_density * area
+
+    @staticmethod
+    def _check(defect_density: float, area: float) -> None:
+        if defect_density < 0:
+            raise ValueError(f"defect density must be >= 0, got {defect_density}")
+        if area <= 0:
+            raise ValueError(f"chip area must be > 0, got {area}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PoissonYield(YieldModel):
+    """``y = exp(-D0 A)`` — no clustering; pessimistic for large chips [7]."""
+
+    name = "poisson"
+
+    def evaluate(self, defect_density: float, area: float) -> float:
+        self._check(defect_density, area)
+        return math.exp(-defect_density * area)
+
+    def density(self, defect_density: float) -> DefectDensity:
+        return DeltaDensity(defect_density)
+
+
+class MurphyYield(YieldModel):
+    """Murphy's triangular-mix yield ``((1 - e^{-D0 A}) / (D0 A))^2`` [7]."""
+
+    name = "murphy"
+
+    def evaluate(self, defect_density: float, area: float) -> float:
+        self._check(defect_density, area)
+        return TriangularDensity(defect_density).laplace(area)
+
+    def density(self, defect_density: float) -> DefectDensity:
+        return TriangularDensity(defect_density)
+
+
+class SeedsYield(YieldModel):
+    """Seeds' exponential-mix yield ``1 / (1 + D0 A)`` [8]."""
+
+    name = "seeds"
+
+    def evaluate(self, defect_density: float, area: float) -> float:
+        self._check(defect_density, area)
+        return 1.0 / (1.0 + defect_density * area)
+
+    def density(self, defect_density: float) -> DefectDensity:
+        return ExponentialDensity(defect_density)
+
+
+class PriceYield(YieldModel):
+    """Price's Bose-Einstein yield with ``k`` critical mask levels [9].
+
+    ``y = prod_{i=1..k} 1 / (1 + D0_i A)``; with equal per-level densities
+    this is ``(1 + D0 A / k)^{-k}`` here, reducing to Seeds for k = 1.
+    """
+
+    name = "price"
+
+    def __init__(self, levels: int = 1):
+        if levels < 1:
+            raise ValueError(f"need at least one mask level, got {levels}")
+        self.levels = levels
+
+    def evaluate(self, defect_density: float, area: float) -> float:
+        self._check(defect_density, area)
+        per_level = defect_density * area / self.levels
+        return (1.0 + per_level) ** (-self.levels)
+
+    def density(self, defect_density: float) -> DefectDensity:
+        # Equivalent single-mix is gamma with shape = levels.
+        return GammaDensity(defect_density, clustering=1.0 / self.levels)
+
+    def __repr__(self) -> str:
+        return f"PriceYield(levels={self.levels})"
+
+
+class NegativeBinomialYield(YieldModel):
+    """The paper's Eq. 3: ``y = (1 + lambda D0 A)^{-1/lambda}`` [10-12].
+
+    ``clustering`` is the paper's lambda — the relative variance of the
+    defect density D0.  Typical values for 1980s LSI lines are 0.3-5.
+    """
+
+    name = "negative_binomial"
+
+    def __init__(self, clustering: float):
+        if clustering <= 0:
+            raise ValueError(
+                f"clustering lambda must be > 0, got {clustering} "
+                "(use PoissonYield for the lambda -> 0 limit)"
+            )
+        self.clustering = clustering
+
+    def evaluate(self, defect_density: float, area: float) -> float:
+        self._check(defect_density, area)
+        # exp(-log1p(x)/c) rather than (1+x)^(-1/c): stable in the c -> 0
+        # Poisson limit where 1 + c*D0*A rounds to exactly 1.0.
+        return math.exp(
+            -math.log1p(self.clustering * defect_density * area) / self.clustering
+        )
+
+    def density(self, defect_density: float) -> DefectDensity:
+        return GammaDensity(defect_density, clustering=self.clustering)
+
+    def __repr__(self) -> str:
+        return f"NegativeBinomialYield(clustering={self.clustering})"
+
+
+def yield_from_defects(
+    defect_density: float, area: float, clustering: float = 0.0
+) -> float:
+    """Paper Eq. 3 convenience: yield from ``(D0, A, lambda)``.
+
+    ``clustering = 0`` selects the Poisson limit, matching how the paper
+    treats lambda as "a parameter depending on the variance of D0".
+    """
+    if clustering == 0.0:
+        return PoissonYield().evaluate(defect_density, area)
+    return NegativeBinomialYield(clustering).evaluate(defect_density, area)
+
+
+def solve_defects_for_yield(
+    target_yield: float, area: float, clustering: float = 0.0
+) -> float:
+    """Invert Eq. 3: find the ``D0`` giving ``target_yield`` at area ``area``.
+
+    Used by the Monte-Carlo fab to configure a process that reproduces the
+    paper's measured yield (e.g. the 7 percent of the Section 7 chip).
+    """
+    if not 0.0 < target_yield <= 1.0:
+        raise ValueError(f"target yield must be in (0, 1], got {target_yield}")
+    if target_yield == 1.0:
+        return 0.0
+    if clustering == 0.0:
+        return -math.log(target_yield) / area
+    # (1 + c*D0*A)^(-1/c) = y  =>  D0 = (y^(-c) - 1) / (c*A).
+    # expm1 keeps the small-c limit (-log(y)/A, the Poisson case) exact
+    # instead of collapsing to 0/c.
+    return math.expm1(-clustering * math.log(target_yield)) / (clustering * area)

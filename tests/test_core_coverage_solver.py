@@ -1,0 +1,130 @@
+"""Tests for Eq. 11 and the required-coverage inversion (Figs. 2-4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coverage_solver import (
+    coverage_sweep,
+    required_coverage,
+    yield_for_coverage,
+)
+from repro.core.reject_rate import field_reject_rate
+
+yields = st.floats(min_value=0.02, max_value=0.98)
+n0s = st.floats(min_value=1.0, max_value=20.0)
+rates = st.floats(min_value=1e-4, max_value=0.2)
+
+
+class TestYieldForCoverage:
+    def test_eq11_consistent_with_eq8(self):
+        """y = yield_for_coverage(f, n0, r)  implies  r(f; y, n0) = r."""
+        f, n0, r = 0.6, 5.0, 0.01
+        y = yield_for_coverage(f, n0, r)
+        assert field_reject_rate(f, y, n0) == pytest.approx(r, rel=1e-9)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.99),
+        n0s,
+        rates,
+    )
+    @settings(max_examples=80)
+    def test_eq11_round_trip_property(self, f, n0, r):
+        y = yield_for_coverage(f, n0, r)
+        assert 0.0 < y < 1.0
+        assert field_reject_rate(f, y, n0) == pytest.approx(r, rel=1e-6)
+
+    def test_full_coverage_gives_zero_yield_requirement(self):
+        assert yield_for_coverage(1.0, 5.0, 0.01) == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            yield_for_coverage(-0.1, 2.0, 0.01)
+        with pytest.raises(ValueError):
+            yield_for_coverage(0.5, 0.9, 0.01)
+        with pytest.raises(ValueError):
+            yield_for_coverage(0.5, 2.0, 0.0)
+        with pytest.raises(ValueError):
+            yield_for_coverage(0.5, 2.0, 1.0)
+
+
+class TestRequiredCoverage:
+    @given(yields, n0s, rates)
+    @settings(max_examples=80)
+    def test_achieves_target(self, y, n0, r):
+        f = required_coverage(y, n0, r)
+        assert 0.0 <= f <= 1.0
+        assert field_reject_rate(f, y, n0) <= r * (1 + 1e-6)
+
+    @given(yields, n0s, rates)
+    @settings(max_examples=80)
+    def test_is_minimal(self, y, n0, r):
+        """Slightly less coverage must violate the target (when f > 0)."""
+        f = required_coverage(y, n0, r)
+        if f > 1e-6:
+            assert field_reject_rate(max(0.0, f - 1e-4), y, n0) >= r * (1 - 1e-6)
+
+    def test_zero_when_target_already_met(self):
+        # y = 0.999: raw defect rate 0.001 < r = 0.01
+        assert required_coverage(0.999, 2.0, 0.01) == 0.0
+
+    def test_monotone_in_n0(self):
+        """Higher n0 -> lower required coverage (the paper's key message)."""
+        fs = [required_coverage(0.2, n0, 0.005) for n0 in (1, 2, 4, 8, 12)]
+        assert all(b < a for a, b in zip(fs, fs[1:]))
+
+    def test_monotone_in_target(self):
+        """Stricter reject-rate targets require more coverage."""
+        fs = [required_coverage(0.3, 5.0, r) for r in (0.05, 0.01, 0.005, 0.001)]
+        assert all(b > a for a, b in zip(fs, fs[1:]))
+
+    def test_monotone_in_yield(self):
+        """Higher yield -> fewer bad chips -> less coverage needed."""
+        fs = [required_coverage(y, 5.0, 0.005) for y in (0.1, 0.3, 0.6, 0.9)]
+        assert all(b <= a for a, b in zip(fs, fs[1:]))
+
+    def test_paper_fig4_spot_value(self):
+        """Fig. 4: r=0.001, y=0.3, n0=8 -> f about 85 percent."""
+        f = required_coverage(0.3, 8.0, 0.001)
+        assert 0.82 <= f <= 0.88
+
+    def test_paper_section7_spot_values(self):
+        """Section 7: y=0.07, n0=8 -> ~80% at r=0.01, ~95% at r=0.001."""
+        assert required_coverage(0.07, 8.0, 0.01) == pytest.approx(0.80, abs=0.02)
+        assert required_coverage(0.07, 8.0, 0.001) == pytest.approx(0.95, abs=0.02)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            required_coverage(0.0, 2.0, 0.01)
+        with pytest.raises(ValueError):
+            required_coverage(0.5, 0.0, 0.01)
+        with pytest.raises(ValueError):
+            required_coverage(0.5, 2.0, 0.0)
+
+
+class TestCoverageSweep:
+    def test_default_grid(self):
+        curve = coverage_sweep(4.0, 0.01)
+        assert curve.yields.size == 99
+        assert curve.coverages.size == 99
+
+    def test_decreasing_in_yield(self):
+        curve = coverage_sweep(4.0, 0.01)
+        diffs = np.diff(curve.coverages)
+        assert (diffs <= 1e-9).all()
+
+    def test_interpolate_matches_direct(self):
+        curve = coverage_sweep(6.0, 0.005, yields=np.linspace(0.05, 0.95, 181))
+        direct = required_coverage(0.30, 6.0, 0.005)
+        assert curve.interpolate(0.30) == pytest.approx(direct, abs=5e-3)
+
+    def test_invalid_yields(self):
+        with pytest.raises(ValueError):
+            coverage_sweep(2.0, 0.01, yields=np.array([]))
+        with pytest.raises(ValueError):
+            coverage_sweep(2.0, 0.01, yields=np.array([0.0, 0.5]))
+
+    def test_curve_metadata(self):
+        curve = coverage_sweep(3.0, 0.005)
+        assert curve.n0 == 3.0
+        assert curve.reject_rate == 0.005

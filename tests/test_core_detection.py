@@ -1,0 +1,169 @@
+"""Tests for detection/escape probabilities (paper Eqs. 4-5, A.1-A.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.detection import (
+    detection_pmf,
+    escape_probability_corrected,
+    escape_probability_exact,
+    escape_probability_simple,
+    simple_approximation_valid,
+)
+
+
+class TestDetectionPmf:
+    def test_normalized(self):
+        pmf = detection_pmf(total_faults=100, covered=30, present=10)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_mean_is_hypergeometric(self):
+        """E[detected] = n * m / N."""
+        n_total, m, n = 200, 80, 15
+        pmf = detection_pmf(n_total, m, n)
+        mean = sum(k * p for k, p in enumerate(pmf))
+        assert mean == pytest.approx(n * m / n_total, rel=1e-10)
+
+    def test_full_coverage_detects_all(self):
+        pmf = detection_pmf(total_faults=50, covered=50, present=7)
+        assert pmf[7] == pytest.approx(1.0)
+        assert pmf[:7].sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_coverage_detects_none(self):
+        pmf = detection_pmf(total_faults=50, covered=0, present=7)
+        assert pmf[0] == pytest.approx(1.0)
+
+    def test_matches_scipy_hypergeom(self):
+        from scipy import stats
+
+        n_total, m, n = 60, 25, 9
+        pmf = detection_pmf(n_total, m, n)
+        # scipy: M=population, n=successes(black), N=draws
+        ref = stats.hypergeom(n_total, n, m)
+        for k in range(n + 1):
+            assert pmf[k] == pytest.approx(ref.pmf(k), abs=1e-12)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            detection_pmf(0, 0, 0)
+        with pytest.raises(ValueError):
+            detection_pmf(10, 11, 1)
+        with pytest.raises(ValueError):
+            detection_pmf(10, 5, 11)
+
+    def test_q0_consistent_with_exact(self):
+        pmf = detection_pmf(100, 40, 6)
+        assert pmf[0] == pytest.approx(escape_probability_exact(100, 40, 6), rel=1e-12)
+
+
+class TestEscapeExact:
+    def test_zero_faults_always_escape(self):
+        assert escape_probability_exact(100, 50, 0) == 1.0
+
+    def test_full_coverage_no_escape(self):
+        assert escape_probability_exact(100, 100, 1) == 0.0
+
+    def test_one_fault(self):
+        # single fault escapes iff not among the m covered: (N-m)/N
+        assert escape_probability_exact(100, 30, 1) == pytest.approx(0.7)
+
+    def test_closed_form_small(self):
+        # N=5, m=2, n=2: C(3,2)/C(5,2) = 3/10
+        assert escape_probability_exact(5, 2, 2) == pytest.approx(0.3)
+
+    def test_large_universe_no_overflow(self):
+        val = escape_probability_exact(1_000_000, 900_000, 50)
+        assert 0.0 < val < 1e-40
+
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=100)
+    def test_bounds_property(self, n_total, m, n):
+        m = min(m, n_total)
+        n = min(n, n_total)
+        val = escape_probability_exact(n_total, m, n)
+        assert 0.0 <= val <= 1.0
+
+    def test_monotone_decreasing_in_coverage(self):
+        vals = [escape_probability_exact(1000, m, 5) for m in range(0, 1001, 50)]
+        assert all(b <= a for a, b in zip(vals, vals[1:]))
+
+    def test_monotone_decreasing_in_faults(self):
+        vals = [escape_probability_exact(1000, 300, n) for n in range(0, 20)]
+        assert all(b <= a for a, b in zip(vals, vals[1:]))
+
+
+class TestApproximations:
+    def test_simple_form(self):
+        assert escape_probability_simple(0.3, 4) == pytest.approx(0.7**4)
+
+    def test_simple_edge_cases(self):
+        assert escape_probability_simple(0.0, 10) == 1.0
+        assert escape_probability_simple(1.0, 10) == 0.0
+        assert escape_probability_simple(0.5, 0) == 1.0
+
+    def test_corrected_reduces_to_simple_for_n1(self):
+        assert escape_probability_corrected(1000, 0.4, 1) == pytest.approx(
+            escape_probability_simple(0.4, 1)
+        )
+
+    def test_corrected_below_simple(self):
+        """The A.2 correction factor is <= 1 (exponent is negative)."""
+        for n in (2, 8, 32):
+            corrected = escape_probability_corrected(1000, 0.5, n)
+            simple = escape_probability_simple(0.5, n)
+            assert corrected <= simple
+
+    def test_corrected_tracks_exact_paper_fig6(self):
+        """Fig. 6: for N=1000, A.2 'still coincides with the exact value'."""
+        n_total = 1000
+        for n in (2, 4, 8, 16, 32):
+            for f in (0.1, 0.3, 0.5, 0.7, 0.9):
+                m = round(f * n_total)
+                exact = escape_probability_exact(n_total, m, n)
+                approx = escape_probability_corrected(n_total, f, n)
+                if exact > 1e-12:
+                    assert approx == pytest.approx(exact, rel=0.25), (n, f)
+
+    def test_simple_close_for_small_n(self):
+        """Fig. 6: for n <= 4 all three values agree."""
+        n_total = 1000
+        for n in (1, 2, 4):
+            for f in (0.1, 0.5, 0.9):
+                m = round(f * n_total)
+                exact = escape_probability_exact(n_total, m, n)
+                simple = escape_probability_simple(f, n)
+                assert simple == pytest.approx(exact, rel=0.12), (n, f)
+
+    def test_validity_condition(self):
+        assert simple_approximation_valid(10_000, 0.5, 3)
+        assert not simple_approximation_valid(1000, 0.9, 50)
+        assert simple_approximation_valid(1000, 0.0, 100)
+        assert simple_approximation_valid(1000, 1.0, 0)
+        assert not simple_approximation_valid(1000, 1.0, 2)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.99),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=80)
+    def test_approximations_in_unit_interval(self, f, n):
+        assert 0.0 <= escape_probability_simple(f, n) <= 1.0
+        assert 0.0 <= escape_probability_corrected(5000, f, n) <= 1.0
+
+    def test_invalid_coverage_raises(self):
+        with pytest.raises(ValueError):
+            escape_probability_simple(1.5, 2)
+        with pytest.raises(ValueError):
+            escape_probability_corrected(100, -0.1, 2)
+
+    def test_negative_present_raises(self):
+        with pytest.raises(ValueError):
+            escape_probability_simple(0.5, -1)
+        with pytest.raises(ValueError):
+            escape_probability_corrected(100, 0.5, -1)

@@ -1,0 +1,185 @@
+"""Tests for n0 estimation from first-fail lot data (paper Section 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.estimation import (
+    CoveragePoint,
+    estimate_n0_least_squares,
+    estimate_n0_mle,
+    estimate_n0_slope,
+    estimate_yield_from_plateau,
+)
+from repro.core.reject_rate import reject_fraction
+from repro.paperdata import (
+    PAPER_N0_FIT,
+    PAPER_N0_SLOPE,
+    TABLE1_LOT_SIZE,
+    TABLE1_POINTS,
+    TABLE1_YIELD,
+)
+
+
+def synthetic_points(yield_, n0, coverages):
+    """Noise-free P(f) samples — the idealized calibration record."""
+    return [
+        CoveragePoint(coverage=f, fraction_failed=reject_fraction(f, yield_, n0))
+        for f in coverages
+    ]
+
+
+class TestCoveragePoint:
+    def test_valid(self):
+        p = CoveragePoint(0.5, 0.3)
+        assert p.coverage == 0.5
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            CoveragePoint(1.5, 0.3)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            CoveragePoint(0.5, -0.1)
+
+
+class TestSlopeEstimator:
+    def test_paper_table1_slope(self):
+        """Paper: P'(0) = 0.41/0.05 = 8.2, then n0 = 8.2/0.93 = 8.8."""
+        raw_slope = estimate_n0_slope(TABLE1_POINTS)
+        assert raw_slope == pytest.approx(8.157, abs=0.05)  # 113/277/0.05
+        n0 = estimate_n0_slope(TABLE1_POINTS, yield_=TABLE1_YIELD)
+        assert n0 == pytest.approx(PAPER_N0_SLOPE, abs=0.05)
+
+    def test_recovers_n0_from_synthetic_data(self):
+        y, n0 = 0.2, 6.0
+        pts = synthetic_points(y, n0, [0.005, 0.1, 0.3])
+        est = estimate_n0_slope(pts, yield_=y)
+        # finite-difference at f=0.005 is nearly exact
+        assert est == pytest.approx(n0, rel=0.02)
+
+    def test_without_yield_is_pessimistic(self):
+        """P'(0) = (1-y) n0 <= n0: the paper's 'safe' estimate."""
+        y, n0 = 0.3, 5.0
+        pts = synthetic_points(y, n0, [0.01, 0.2])
+        assert estimate_n0_slope(pts) <= n0
+
+    def test_zero_coverage_first_point_raises(self):
+        with pytest.raises(ValueError):
+            estimate_n0_slope([CoveragePoint(0.0, 0.0)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            estimate_n0_slope([])
+
+    def test_decreasing_fractions_raise(self):
+        pts = [CoveragePoint(0.1, 0.5), CoveragePoint(0.2, 0.4)]
+        with pytest.raises(ValueError):
+            estimate_n0_slope(pts)
+
+    def test_invalid_yield(self):
+        with pytest.raises(ValueError):
+            estimate_n0_slope(TABLE1_POINTS, yield_=1.0)
+
+
+class TestLeastSquares:
+    def test_paper_table1_fit(self):
+        """Fig. 5: the experimental points match the n0 = 8 curve."""
+        n0 = estimate_n0_least_squares(TABLE1_POINTS, TABLE1_YIELD)
+        assert n0 == pytest.approx(PAPER_N0_FIT, abs=1.0)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.6),
+        st.floats(min_value=1.5, max_value=15.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_recovers_exact_n0(self, y, n0):
+        pts = synthetic_points(y, n0, np.linspace(0.05, 0.7, 10))
+        est = estimate_n0_least_squares(pts, y)
+        assert est == pytest.approx(n0, rel=0.02)
+
+    def test_robust_to_noise(self):
+        rng = np.random.default_rng(7)
+        y, n0 = 0.1, 8.0
+        pts = []
+        for f in np.linspace(0.05, 0.65, 10):
+            frac = reject_fraction(f, y, n0) + rng.normal(0, 0.01)
+            pts.append(CoveragePoint(f, float(np.clip(frac, 0, 1))))
+        pts.sort(key=lambda p: p.coverage)
+        # force monotone (cumulative record)
+        mono, level = [], 0.0
+        for p in pts:
+            level = max(level, p.fraction_failed)
+            mono.append(CoveragePoint(p.coverage, level))
+        est = estimate_n0_least_squares(mono, y)
+        assert est == pytest.approx(n0, rel=0.2)
+
+    def test_invalid_yield(self):
+        with pytest.raises(ValueError):
+            estimate_n0_least_squares(TABLE1_POINTS, 1.0)
+
+
+class TestMle:
+    def test_paper_table1_mle_near_fit(self):
+        n0 = estimate_n0_mle(TABLE1_POINTS, TABLE1_YIELD, TABLE1_LOT_SIZE)
+        assert n0 == pytest.approx(PAPER_N0_FIT, abs=1.5)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.5),
+        st.floats(min_value=2.0, max_value=12.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_exact_n0(self, y, n0):
+        pts = synthetic_points(y, n0, np.linspace(0.05, 0.7, 12))
+        est = estimate_n0_mle(pts, y, lot_size=100_000)
+        assert est == pytest.approx(n0, rel=0.05)
+
+    def test_requires_positive_lot(self):
+        with pytest.raises(ValueError):
+            estimate_n0_mle(TABLE1_POINTS, TABLE1_YIELD, 0)
+
+    def test_overfull_lot_raises(self):
+        pts = [CoveragePoint(0.5, 1.0)]
+        # fraction 1.0 of lot 10 = 10 failures; fine. fraction > 1 impossible
+        est = estimate_n0_mle(pts, 0.0, 10)
+        assert est >= 1.0
+
+
+class TestYieldFromPlateau:
+    def test_raw_plateau(self):
+        pts = synthetic_points(0.3, 8.0, [0.2, 0.9])
+        est = estimate_yield_from_plateau(pts)
+        # P(0.9) is close to (1-y) for n0=8, so estimate is near 0.3
+        assert est == pytest.approx(0.3, abs=0.05)
+
+    def test_with_n0_hint_exact(self):
+        y, n0 = 0.25, 6.0
+        pts = synthetic_points(y, n0, [0.1, 0.5])
+        assert estimate_yield_from_plateau(pts, n0_hint=n0) == pytest.approx(
+            y, abs=1e-9
+        )
+
+    def test_paper_table1(self):
+        est = estimate_yield_from_plateau(TABLE1_POINTS, n0_hint=PAPER_N0_FIT)
+        assert est == pytest.approx(TABLE1_YIELD, abs=0.02)
+
+    def test_invalid_hint(self):
+        with pytest.raises(ValueError):
+            estimate_yield_from_plateau(TABLE1_POINTS, n0_hint=0.5)
+
+    def test_uninformative_tail_raises(self):
+        with pytest.raises(ValueError):
+            estimate_yield_from_plateau([CoveragePoint(0.0, 0.0)], n0_hint=2.0)
+
+
+class TestEstimatorConsistency:
+    def test_all_three_agree_on_clean_data(self):
+        y, n0 = 0.15, 7.0
+        coverages = [0.01] + list(np.linspace(0.05, 0.7, 12))
+        pts = synthetic_points(y, n0, coverages)
+        slope = estimate_n0_slope(pts, yield_=y)
+        ls = estimate_n0_least_squares(pts, y)
+        mle = estimate_n0_mle(pts, y, lot_size=10_000_000)
+        assert slope == pytest.approx(n0, rel=0.05)
+        assert ls == pytest.approx(n0, rel=0.02)
+        assert mle == pytest.approx(n0, rel=0.05)

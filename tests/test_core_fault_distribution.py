@@ -1,0 +1,150 @@
+"""Tests for the shifted-Poisson fault distribution (paper Eq. 1-2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fault_distribution import FaultDistribution
+
+yields = st.floats(min_value=0.0, max_value=1.0)
+n0s = st.floats(min_value=1.0, max_value=50.0)
+
+
+class TestPmf:
+    def test_p0_is_yield(self):
+        assert FaultDistribution(0.8, 2.0).pmf(0) == 0.8
+
+    def test_paper_eq1_form(self):
+        y, n0 = 0.3, 4.0
+        d = FaultDistribution(y, n0)
+        for n in range(1, 10):
+            expected = (
+                (1 - y)
+                * (n0 - 1) ** (n - 1)
+                * math.exp(-(n0 - 1))
+                / math.factorial(n - 1)
+            )
+            assert d.pmf(n) == pytest.approx(expected, rel=1e-12)
+
+    def test_negative_n_zero(self):
+        assert FaultDistribution(0.5, 2.0).pmf(-1) == 0.0
+
+    def test_perfect_yield(self):
+        d = FaultDistribution(1.0, 5.0)
+        assert d.pmf(0) == 1.0
+        assert d.pmf(1) == 0.0
+        assert d.log_pmf(3) == float("-inf")
+
+    def test_n0_one_point_mass(self):
+        """n0 = 1: every defective chip has exactly one fault."""
+        d = FaultDistribution(0.6, 1.0)
+        assert d.pmf(1) == pytest.approx(0.4)
+        assert d.pmf(2) == 0.0
+
+    @given(yields, n0s)
+    @settings(max_examples=80)
+    def test_normalization(self, y, n0):
+        d = FaultDistribution(y, n0)
+        n_max = int(n0 + 12 * math.sqrt(n0) + 20)
+        assert d.pmf_vector(n_max).sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(yields.filter(lambda y: y < 1.0), n0s)
+    @settings(max_examples=60)
+    def test_log_pmf_consistent(self, y, n0):
+        d = FaultDistribution(y, n0)
+        for n in (0, 1, 2, 5):
+            p = d.pmf(n)
+            if p > 0:
+                assert d.log_pmf(n) == pytest.approx(math.log(p), rel=1e-9)
+
+    def test_conditional_pmf_normalized(self):
+        d = FaultDistribution(0.4, 6.0)
+        total = sum(d.conditional_pmf(n) for n in range(1, 200))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_conditional_pmf_zero_for_good(self):
+        assert FaultDistribution(0.4, 6.0).conditional_pmf(0) == 0.0
+
+
+class TestMoments:
+    @given(yields, n0s)
+    @settings(max_examples=80)
+    def test_mean_eq2(self, y, n0):
+        """Paper Eq. 2: nav = (1-y) * n0."""
+        assert FaultDistribution(y, n0).mean() == pytest.approx((1 - y) * n0)
+
+    @given(yields, n0s)
+    @settings(max_examples=50)
+    def test_moments_match_numeric(self, y, n0):
+        d = FaultDistribution(y, n0)
+        n_max = int(n0 + 12 * math.sqrt(n0) + 30)
+        ns = np.arange(n_max + 1)
+        pmf = d.pmf_vector(n_max)
+        numeric_mean = float((ns * pmf).sum())
+        numeric_var = float((ns * ns * pmf).sum()) - numeric_mean**2
+        assert d.mean() == pytest.approx(numeric_mean, abs=1e-6)
+        assert d.variance() == pytest.approx(numeric_var, abs=1e-5)
+
+    def test_defective_probability(self):
+        assert FaultDistribution(0.75, 3.0).defective_probability() == pytest.approx(
+            0.25
+        )
+
+
+class TestSampling:
+    def test_sample_reproducible(self):
+        d = FaultDistribution(0.5, 4.0)
+        assert np.array_equal(d.sample(100, seed=3), d.sample(100, seed=3))
+
+    def test_sample_statistics(self):
+        d = FaultDistribution(0.3, 8.0)
+        counts = d.sample(300_000, seed=17)
+        assert counts.mean() == pytest.approx(d.mean(), rel=0.02)
+        assert (counts == 0).mean() == pytest.approx(0.3, abs=0.005)
+
+    def test_defective_chips_have_at_least_one_fault(self):
+        counts = FaultDistribution(0.5, 3.0).sample(10_000, seed=2)
+        assert ((counts == 0) | (counts >= 1)).all()
+
+    def test_sample_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            FaultDistribution(0.5, 2.0).sample(-1)
+
+    def test_empirical_pmf_matches(self):
+        d = FaultDistribution(0.4, 5.0)
+        counts = d.sample(400_000, seed=23)
+        for n in range(0, 8):
+            assert (counts == n).mean() == pytest.approx(d.pmf(n), abs=0.005)
+
+
+class TestTruncation:
+    def test_truncation_mass_decreasing(self):
+        d = FaultDistribution(0.2, 10.0)
+        masses = [d.truncation_mass(n) for n in (5, 10, 20, 40, 80)]
+        assert all(b <= a for a, b in zip(masses, masses[1:]))
+
+    def test_quantile_bound(self):
+        d = FaultDistribution(0.2, 10.0)
+        n_max = d.quantile_n_max(1e-9)
+        assert d.truncation_mass(n_max) <= 1e-9
+
+    def test_quantile_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            FaultDistribution(0.5, 2.0).quantile_n_max(0.0)
+
+
+class TestValidation:
+    def test_bad_yield(self):
+        with pytest.raises(ValueError):
+            FaultDistribution(-0.1, 2.0)
+        with pytest.raises(ValueError):
+            FaultDistribution(1.1, 2.0)
+
+    def test_bad_n0(self):
+        with pytest.raises(ValueError):
+            FaultDistribution(0.5, 0.5)
+
+    def test_repr(self):
+        assert "0.5" in repr(FaultDistribution(0.5, 2.0))

@@ -1,0 +1,182 @@
+"""Tests for Ybg(f), r(f), P(f) (paper Eqs. 6-10), including Monte-Carlo
+validation of the analytic formulas against the sampled fault distribution."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fault_distribution import FaultDistribution
+from repro.core.reject_rate import (
+    bad_chip_pass_yield,
+    bad_chip_pass_yield_exact,
+    field_reject_rate,
+    field_reject_rate_exact,
+    reject_fraction,
+    reject_fraction_slope,
+)
+from repro.utils.rng import make_rng
+
+yields = st.floats(min_value=0.01, max_value=0.99)
+n0s = st.floats(min_value=1.0, max_value=30.0)
+coverages = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestBadChipPassYield:
+    def test_eq7_form(self):
+        f, y, n0 = 0.4, 0.3, 5.0
+        expected = (1 - f) * (1 - y) * math.exp(-(n0 - 1) * f)
+        assert bad_chip_pass_yield(f, y, n0) == pytest.approx(expected)
+
+    def test_zero_coverage(self):
+        assert bad_chip_pass_yield(0.0, 0.3, 5.0) == pytest.approx(0.7)
+
+    def test_full_coverage(self):
+        assert bad_chip_pass_yield(1.0, 0.3, 5.0) == 0.0
+
+    @given(coverages, yields, n0s)
+    @settings(max_examples=80)
+    def test_bounds(self, f, y, n0):
+        assert 0.0 <= bad_chip_pass_yield(f, y, n0) <= 1.0 - y + 1e-12
+
+    def test_matches_summation(self):
+        """Eq. 7 must equal sum (1-f)^n p(n) over defective chips."""
+        f, y, n0 = 0.35, 0.25, 6.0
+        dist = FaultDistribution(y, n0)
+        direct = sum(
+            (1 - f) ** n * dist.pmf(n) for n in range(1, dist.quantile_n_max(1e-14) + 1)
+        )
+        assert bad_chip_pass_yield(f, y, n0) == pytest.approx(direct, rel=1e-9)
+
+
+class TestFieldRejectRate:
+    def test_anchors(self):
+        y, n0 = 0.4, 3.0
+        assert field_reject_rate(0.0, y, n0) == pytest.approx(1 - y)
+        assert field_reject_rate(1.0, y, n0) == 0.0
+
+    @given(yields, n0s)
+    @settings(max_examples=60)
+    def test_monotone_decreasing(self, y, n0):
+        fs = np.linspace(0, 1, 41)
+        rs = [field_reject_rate(float(f), y, n0) for f in fs]
+        assert all(b <= a + 1e-12 for a, b in zip(rs, rs[1:]))
+
+    def test_zero_yield_zero_coverage(self):
+        assert field_reject_rate(0.0, 0.0, 2.0) == pytest.approx(1.0)
+
+    def test_zero_yield_full_coverage_defined(self):
+        assert field_reject_rate(1.0, 0.0, 2.0) == 0.0
+
+    def test_paper_fig1_spot_values(self):
+        """Fig. 1 narrative: for r = 0.5% the required coverages are about
+        95% (y=.8, n0=2), 38% (y=.8, n0=10), 99%+ (y=.2, n0=2), and
+        63% (y=.2, n0=10).  The paper reads these off the graph, so we allow
+        a couple of points of slack."""
+        from repro.core.coverage_solver import required_coverage
+
+        assert required_coverage(0.80, 2.0, 0.005) == pytest.approx(0.95, abs=0.01)
+        assert required_coverage(0.80, 10.0, 0.005) == pytest.approx(0.38, abs=0.01)
+        assert required_coverage(0.20, 2.0, 0.005) >= 0.99
+        assert required_coverage(0.20, 10.0, 0.005) == pytest.approx(0.63, abs=0.01)
+
+    def test_higher_n0_lower_reject(self):
+        """More faults per bad chip -> easier to catch -> lower r at fixed f."""
+        for f in (0.2, 0.5, 0.8):
+            assert field_reject_rate(f, 0.3, 10.0) < field_reject_rate(f, 0.3, 2.0)
+
+    def test_monte_carlo_agreement(self):
+        """r(f) from Eq. 8 must match a direct simulation of the model."""
+        y, n0, f = 0.3, 6.0, 0.6
+        rng = make_rng(5)
+        counts = FaultDistribution(y, n0).sample(400_000, seed=rng)
+        # each fault escapes detection independently w.p. (1-f) in the
+        # large-N limit the closed form assumes
+        escaped = rng.random(counts.size) < (1 - f) ** counts
+        passed = (counts == 0) | escaped
+        bad_and_passed = (counts > 0) & escaped
+        mc_reject = bad_and_passed.sum() / passed.sum()
+        assert mc_reject == pytest.approx(field_reject_rate(f, y, n0), rel=0.05)
+
+
+class TestRejectFraction:
+    def test_eq9_form(self):
+        f, y, n0 = 0.25, 0.1, 7.0
+        expected = (1 - y) * (1 - (1 - f) * math.exp(-(n0 - 1) * f))
+        assert reject_fraction(f, y, n0) == pytest.approx(expected)
+
+    def test_anchors(self):
+        y, n0 = 0.4, 5.0
+        assert reject_fraction(0.0, y, n0) == 0.0
+        assert reject_fraction(1.0, y, n0) == pytest.approx(1 - y)
+
+    @given(yields, n0s)
+    @settings(max_examples=60)
+    def test_monotone_increasing(self, y, n0):
+        fs = np.linspace(0, 1, 41)
+        ps = [reject_fraction(float(f), y, n0) for f in fs]
+        assert all(b >= a - 1e-12 for a, b in zip(ps, ps[1:]))
+
+    def test_identity_with_ybg(self):
+        """P(f) = 1 - y - Ybg(f) (the definition above Eq. 9)."""
+        f, y, n0 = 0.45, 0.2, 9.0
+        assert reject_fraction(f, y, n0) == pytest.approx(
+            1 - y - bad_chip_pass_yield(f, y, n0)
+        )
+
+
+class TestSlope:
+    def test_eq10_at_origin(self):
+        """P'(0) = (1-y) * n0 = nav."""
+        y, n0 = 0.07, 8.0
+        assert reject_fraction_slope(0.0, y, n0) == pytest.approx((1 - y) * n0)
+
+    def test_matches_finite_difference(self):
+        y, n0, f = 0.3, 6.0, 0.4
+        h = 1e-7
+        fd = (reject_fraction(f + h, y, n0) - reject_fraction(f - h, y, n0)) / (2 * h)
+        assert reject_fraction_slope(f, y, n0) == pytest.approx(fd, rel=1e-5)
+
+    @given(coverages, yields, n0s)
+    @settings(max_examples=60)
+    def test_slope_nonnegative(self, f, y, n0):
+        assert reject_fraction_slope(f, y, n0) >= 0.0
+
+
+class TestExactVariants:
+    def test_exact_close_to_closed_form_in_paper_regime(self):
+        """For n0 << sqrt(N) the Eq. 7 closed form is accurate."""
+        f, y, n0, n_faults = 0.5, 0.3, 8.0, 50_000
+        closed = bad_chip_pass_yield(f, y, n0)
+        exact = bad_chip_pass_yield_exact(f, y, n0, n_faults)
+        assert exact == pytest.approx(closed, rel=0.01)
+
+    def test_exact_below_closed_form(self):
+        """Sampling without replacement detects faster than the (1-f)^n
+        limit, so the exact escape yield is smaller."""
+        f, y, n0, n_faults = 0.5, 0.3, 10.0, 500
+        assert bad_chip_pass_yield_exact(f, y, n0, n_faults) <= bad_chip_pass_yield(
+            f, y, n0
+        ) * (1 + 1e-9)
+
+    def test_exact_reject_rate_close(self):
+        f, y, n0, n_faults = 0.7, 0.2, 6.0, 20_000
+        assert field_reject_rate_exact(f, y, n0, n_faults) == pytest.approx(
+            field_reject_rate(f, y, n0), rel=0.02
+        )
+
+    def test_invalid_universe(self):
+        with pytest.raises(ValueError):
+            bad_chip_pass_yield_exact(0.5, 0.3, 2.0, 0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("func", [bad_chip_pass_yield, field_reject_rate, reject_fraction])
+    def test_invalid_args_raise(self, func):
+        with pytest.raises(ValueError):
+            func(-0.1, 0.5, 2.0)
+        with pytest.raises(ValueError):
+            func(0.5, 1.5, 2.0)
+        with pytest.raises(ValueError):
+            func(0.5, 0.5, 0.5)

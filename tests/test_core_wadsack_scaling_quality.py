@@ -1,0 +1,203 @@
+"""Tests for the Wadsack baseline, the shrink study, and the QualityModel facade."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.estimation import CoveragePoint
+from repro.core.quality import QualityModel
+from repro.core.reject_rate import field_reject_rate, reject_fraction
+from repro.core.scaling import ShrinkStudy
+from repro.core.wadsack import (
+    wadsack_reject_rate,
+    wadsack_reject_rate_shipped,
+    wadsack_required_coverage,
+)
+from repro.paperdata import TABLE1_LOT_SIZE, TABLE1_POINTS, TABLE1_YIELD
+from repro.yieldmodels.models import NegativeBinomialYield, PoissonYield
+
+
+class TestWadsack:
+    def test_paper_section7_values(self):
+        """Paper: y=0.07 -> f=99% for r=0.01, f=99.9% for r=0.001."""
+        assert wadsack_required_coverage(0.07, 0.01) == pytest.approx(0.989, abs=0.002)
+        assert wadsack_required_coverage(0.07, 0.001) == pytest.approx(
+            0.9989, abs=0.0005
+        )
+
+    def test_original_form(self):
+        assert wadsack_reject_rate(0.4, 0.3) == pytest.approx(0.7 * 0.6)
+
+    def test_round_trip(self):
+        y, r = 0.2, 0.01
+        f = wadsack_required_coverage(y, r)
+        assert wadsack_reject_rate(f, y) == pytest.approx(r, rel=1e-9)
+
+    def test_shipped_round_trip(self):
+        y, r = 0.2, 0.01
+        f = wadsack_required_coverage(y, r, shipped=True)
+        assert wadsack_reject_rate_shipped(f, y) == pytest.approx(r, rel=1e-9)
+
+    def test_shipped_equals_paper_model_with_n0_one(self):
+        """Wadsack (shipped form) is the paper's Eq. 8 at n0 = 1."""
+        for f in (0.1, 0.5, 0.9):
+            assert wadsack_reject_rate_shipped(f, 0.3) == pytest.approx(
+                field_reject_rate(f, 0.3, 1.0)
+            )
+
+    def test_full_yield_needs_no_tests(self):
+        assert wadsack_required_coverage(1.0, 0.01) == 0.0
+
+    def test_target_already_met(self):
+        # 1-y = 0.005 < r = 0.01: zero coverage suffices
+        assert wadsack_required_coverage(0.995, 0.01) == 0.0
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=1e-4, max_value=0.1),
+    )
+    @settings(max_examples=60)
+    def test_more_demanding_than_paper_model(self, y, r):
+        """Wadsack always requires at least as much coverage as the
+        shifted-Poisson model with n0 > 1 — the paper's core claim."""
+        from repro.core.coverage_solver import required_coverage
+
+        wadsack_f = wadsack_required_coverage(y, r, shipped=True)
+        paper_f = required_coverage(y, 8.0, r)
+        assert wadsack_f >= paper_f - 1e-9
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            wadsack_reject_rate(1.5, 0.5)
+        with pytest.raises(ValueError):
+            wadsack_required_coverage(0.0, 0.01)
+        with pytest.raises(ValueError):
+            wadsack_required_coverage(0.5, 0.0)
+
+
+class TestShrinkStudy:
+    def make_study(self, exponent=2.0):
+        return ShrinkStudy(
+            yield_model=NegativeBinomialYield(clustering=2.0),
+            defect_density=2.0,
+            base_area=1.0,
+            base_n0=6.0,
+            multiplicity_exponent=exponent,
+        )
+
+    def test_identity_at_unit_shrink(self):
+        study = self.make_study()
+        s = study.evaluate(1.0, 0.005)
+        assert s.area == 1.0
+        assert s.n0 == 6.0
+
+    def test_shrink_raises_yield(self):
+        study = self.make_study()
+        full = study.evaluate(1.0, 0.005)
+        small = study.evaluate(0.7, 0.005)
+        assert small.yield_ > full.yield_
+
+    def test_shrink_raises_n0(self):
+        study = self.make_study()
+        assert study.evaluate(0.7, 0.005).n0 > 6.0
+
+    def test_shrink_lowers_required_coverage(self):
+        """Section 8: both effects push required coverage down."""
+        study = self.make_study()
+        scenarios = study.sweep([1.0, 0.9, 0.8, 0.7, 0.5], 0.005)
+        covs = [s.required_coverage for s in scenarios]
+        assert all(b <= a + 1e-12 for a, b in zip(covs, covs[1:]))
+
+    def test_yield_only_effect(self):
+        """With exponent 0 (frozen n0), shrink still helps via yield alone."""
+        study = self.make_study(exponent=0.0)
+        full = study.evaluate(1.0, 0.005)
+        small = study.evaluate(0.6, 0.005)
+        assert small.n0 == full.n0
+        assert small.required_coverage <= full.required_coverage
+
+    def test_poisson_yield_model_works_too(self):
+        study = ShrinkStudy(PoissonYield(), 1.0, 2.0, 4.0)
+        assert 0.0 < study.evaluate(0.8, 0.01).yield_ < 1.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ShrinkStudy(PoissonYield(), -1.0, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            ShrinkStudy(PoissonYield(), 1.0, 0.0, 2.0)
+        with pytest.raises(ValueError):
+            ShrinkStudy(PoissonYield(), 1.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            self.make_study().evaluate(0.0, 0.01)
+
+
+class TestQualityModel:
+    def test_paper_section7(self):
+        model = QualityModel(yield_=0.07, n0=8.0)
+        assert model.required_coverage(0.01) == pytest.approx(0.80, abs=0.02)
+        assert model.required_coverage(0.001) == pytest.approx(0.95, abs=0.02)
+        assert model.wadsack_required_coverage(0.01) == pytest.approx(0.99, abs=0.005)
+        assert model.coverage_savings(0.01) > 0.15
+
+    def test_reject_rate_delegates(self):
+        m = QualityModel(0.3, 5.0)
+        assert m.reject_rate(0.6) == pytest.approx(field_reject_rate(0.6, 0.3, 5.0))
+        assert m.reject_fraction(0.6) == pytest.approx(reject_fraction(0.6, 0.3, 5.0))
+
+    def test_escapes_per_million(self):
+        m = QualityModel(0.3, 5.0)
+        assert m.escapes_per_million(0.6) == pytest.approx(m.reject_rate(0.6) * 1e6)
+
+    def test_shipped_fraction(self):
+        m = QualityModel(0.3, 5.0)
+        assert m.shipped_fraction(0.0) == pytest.approx(1.0)
+        assert m.shipped_fraction(1.0) == pytest.approx(0.3)
+
+    def test_fault_distribution_property(self):
+        m = QualityModel(0.4, 3.0)
+        d = m.fault_distribution
+        assert d.yield_ == 0.4
+        assert d.n0 == 3.0
+
+    def test_calibrate_table1_least_squares(self):
+        model = QualityModel.calibrate(TABLE1_POINTS, yield_=TABLE1_YIELD)
+        assert model.n0 == pytest.approx(8.0, abs=1.0)
+        report = model.calibration_report
+        assert report is not None
+        assert report.method == "least_squares"
+        assert report.n0_slope == pytest.approx(8.8, abs=0.1)
+
+    def test_calibrate_with_mle(self):
+        model = QualityModel.calibrate(
+            TABLE1_POINTS,
+            yield_=TABLE1_YIELD,
+            lot_size=TABLE1_LOT_SIZE,
+            method="mle",
+        )
+        assert model.calibration_report.n0_mle is not None
+        assert model.n0 == pytest.approx(8.0, abs=1.5)
+
+    def test_calibrate_estimates_yield_when_missing(self):
+        model = QualityModel.calibrate(TABLE1_POINTS)
+        assert model.yield_ == pytest.approx(TABLE1_YIELD, abs=0.03)
+
+    def test_calibrate_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            QualityModel.calibrate(TABLE1_POINTS, yield_=0.07, method="magic")
+
+    def test_calibrate_mle_needs_lot_size(self):
+        with pytest.raises(ValueError):
+            QualityModel.calibrate(TABLE1_POINTS, yield_=0.07, method="mle")
+
+    def test_calibrate_all_good_lot_raises(self):
+        pts = [CoveragePoint(0.5, 0.0)]
+        with pytest.raises(ValueError):
+            QualityModel.calibrate(pts, yield_=1.0)
+
+    def test_constructed_model_has_no_report(self):
+        assert QualityModel(0.5, 2.0).calibration_report is None
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            QualityModel(0.0, 2.0)
+        with pytest.raises(ValueError):
+            QualityModel(0.5, 0.9)

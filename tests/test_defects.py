@@ -1,0 +1,206 @@
+"""Tests for layout, defect generation, and defect-to-fault mapping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.generators import c17, synthetic_chip
+from repro.defects.generation import Defect, DefectGenerator
+from repro.defects.layout import ChipLayout
+from repro.defects.mapping import DefectToFaultMapper
+from repro.faults.model import full_fault_universe
+from repro.utils.rng import make_rng
+from repro.yieldmodels.density import DeltaDensity, GammaDensity
+
+
+class TestChipLayout:
+    def test_every_fault_site_placed(self):
+        net = c17()
+        layout = ChipLayout(net, area=1.0)
+        assert layout.num_sites == len(full_fault_universe(net))
+        assert layout.coordinates.shape == (layout.num_sites, 2)
+
+    def test_coordinates_within_die(self):
+        layout = ChipLayout(synthetic_chip(1, seed=0), area=4.0)
+        side = math.sqrt(4.0)
+        assert (layout.coordinates >= 0).all()
+        assert (layout.coordinates <= side).all()
+
+    def test_layout_deterministic(self):
+        net = c17()
+        a = ChipLayout(net, area=1.0)
+        b = ChipLayout(net, area=1.0)
+        assert np.array_equal(a.coordinates, b.coordinates)
+
+    def test_same_signal_sites_cluster(self):
+        """Sites of one signal sit within a cell-sized neighborhood."""
+        net = synthetic_chip(1, seed=1)
+        layout = ChipLayout(net, area=1.0)
+        by_signal = {}
+        for i, site in enumerate(layout.sites):
+            by_signal.setdefault(site.signal, []).append(layout.coordinates[i])
+        for signal, coords in by_signal.items():
+            coords = np.array(coords)
+            spread = coords.max(axis=0) - coords.min(axis=0)
+            assert (spread <= layout.cell_size).all(), signal
+
+    def test_sites_within_disc(self):
+        layout = ChipLayout(c17(), area=1.0)
+        all_sites = layout.sites_within(layout.side / 2, layout.side / 2, 10.0)
+        assert len(all_sites) == layout.num_sites
+        none = layout.sites_within(-5.0, -5.0, 0.01)
+        assert none == []
+
+    def test_sites_within_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            ChipLayout(c17()).sites_within(0, 0, -1.0)
+
+    def test_site_faults_mapping(self):
+        layout = ChipLayout(c17())
+        faults = layout.site_faults([0, 1])
+        assert faults == layout.sites[:2]
+
+    def test_invalid_area(self):
+        with pytest.raises(ValueError):
+            ChipLayout(c17(), area=0.0)
+
+
+class TestDefect:
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            Defect(0.0, 0.0, -0.1)
+
+
+class TestDefectGenerator:
+    def test_zero_density_no_defects(self):
+        gen = DefectGenerator(DeltaDensity(0.0), mean_radius=0.1)
+        assert gen.chip_defects(1.0, rng=make_rng(0)) == []
+
+    def test_poisson_counts(self):
+        gen = DefectGenerator(DeltaDensity(2.0), mean_radius=0.05)
+        counts = gen.defect_counts(1.0, 100_000, rng=make_rng(1))
+        assert counts.mean() == pytest.approx(2.0, rel=0.02)
+        assert counts.var() == pytest.approx(2.0, rel=0.05)
+
+    def test_clustered_counts_overdispersed(self):
+        """Gamma mixing inflates the variance beyond the Poisson mean."""
+        gen = DefectGenerator(GammaDensity(2.0, clustering=2.0), mean_radius=0.05)
+        counts = gen.defect_counts(1.0, 100_000, rng=make_rng(2))
+        assert counts.mean() == pytest.approx(2.0, rel=0.05)
+        assert counts.var() > 2.0 * 2.0  # var = m + lambda m^2 = 10
+
+    def test_zero_fraction_matches_yield_formula(self):
+        """P[0 defects] must equal the Eq. 3 yield — the key invariant."""
+        density = GammaDensity(1.5, clustering=1.0)
+        gen = DefectGenerator(density, mean_radius=0.05)
+        counts = gen.defect_counts(2.0, 200_000, rng=make_rng(3))
+        assert (counts == 0).mean() == pytest.approx(
+            density.laplace(2.0), abs=0.005
+        )
+
+    def test_defects_inside_die(self):
+        gen = DefectGenerator(DeltaDensity(50.0), mean_radius=0.02)
+        defects = gen.chip_defects(4.0, rng=make_rng(4))
+        side = math.sqrt(4.0)
+        assert defects
+        for d in defects:
+            assert 0 <= d.x <= side
+            assert 0 <= d.y <= side
+            assert d.radius > 0
+
+    def test_radius_mean(self):
+        gen = DefectGenerator(DeltaDensity(100.0), mean_radius=0.08, radius_sigma=0.5)
+        rng = make_rng(5)
+        radii = [
+            d.radius for _ in range(200) for d in gen.chip_defects(1.0, rng=rng)
+        ]
+        assert np.mean(radii) == pytest.approx(0.08, rel=0.05)
+
+    def test_fixed_radius(self):
+        gen = DefectGenerator(DeltaDensity(10.0), mean_radius=0.05, radius_sigma=0.0)
+        defects = gen.chip_defects(1.0, rng=make_rng(6))
+        assert all(d.radius == 0.05 for d in defects)
+
+    def test_shared_density_value(self):
+        gen = DefectGenerator(GammaDensity(1.0, clustering=3.0), mean_radius=0.05)
+        # density_value = 0 -> no defects ever
+        assert gen.chip_defects(1.0, rng=make_rng(7), density_value=0.0) == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            DefectGenerator(DeltaDensity(1.0), mean_radius=-0.1)
+        with pytest.raises(ValueError):
+            DefectGenerator(DeltaDensity(1.0), mean_radius=0.1, radius_sigma=-1)
+        gen = DefectGenerator(DeltaDensity(1.0), mean_radius=0.1)
+        with pytest.raises(ValueError):
+            gen.chip_defects(0.0)
+        with pytest.raises(ValueError):
+            gen.defect_counts(1.0, -1)
+
+
+class TestDefectToFaultMapper:
+    def make(self, activation=0.7):
+        layout = ChipLayout(synthetic_chip(1, seed=2), area=1.0)
+        return layout, DefectToFaultMapper(layout, activation_probability=activation)
+
+    def test_defect_on_empty_area_benign(self):
+        layout, mapper = self.make()
+        defect = Defect(-10.0, -10.0, 0.001)  # off-die
+        assert mapper.faults_for_defect(defect, rng=make_rng(0)) == []
+
+    def test_covering_defect_always_produces_a_fault(self):
+        """A defect covering sites must produce >= 1 fault even at low
+        activation probability (a killing defect kills)."""
+        layout, mapper = self.make(activation=0.01)
+        center = (layout.side / 2, layout.side / 2)
+        defect = Defect(*center, layout.side)  # covers everything
+        rng = make_rng(1)
+        for _ in range(20):
+            assert len(mapper.faults_for_defect(defect, rng=rng)) >= 1
+
+    def test_faults_lie_within_footprint(self):
+        layout, mapper = self.make(activation=1.0)
+        defect = Defect(layout.side / 2, layout.side / 2, 0.2)
+        faults = mapper.faults_for_defect(defect, rng=make_rng(2))
+        covered = set(layout.sites_within(defect.x, defect.y, defect.radius))
+        covered_sites = {
+            (layout.sites[i].signal, layout.sites[i].gate, layout.sites[i].pin)
+            for i in covered
+        }
+        for fault in faults:
+            assert (fault.signal, fault.gate, fault.pin) in covered_sites
+
+    def test_chip_faults_deduplicated(self):
+        layout, mapper = self.make(activation=1.0)
+        defect = Defect(layout.side / 2, layout.side / 2, 0.3)
+        faults = mapper.faults_for_chip([defect, defect], rng=make_rng(3))
+        keys = [(f.signal, f.gate, f.pin) for f in faults]
+        assert len(keys) == len(set(keys))
+
+    def test_bigger_defects_hit_more_sites(self):
+        layout, mapper = self.make(activation=1.0)
+        rng = make_rng(4)
+        small = mapper.faults_for_defect(
+            Defect(layout.side / 2, layout.side / 2, 0.05), rng=rng
+        )
+        large = mapper.faults_for_defect(
+            Defect(layout.side / 2, layout.side / 2, 0.4), rng=rng
+        )
+        assert len(large) > len(small)
+
+    def test_expected_sites_per_defect(self):
+        layout, mapper = self.make()
+        expected = mapper.expected_sites_per_defect(0.1)
+        assert expected == pytest.approx(
+            layout.num_sites / layout.area * math.pi * 0.01, rel=1e-9
+        )
+        with pytest.raises(ValueError):
+            mapper.expected_sites_per_defect(-1.0)
+
+    def test_invalid_activation(self):
+        layout = ChipLayout(c17())
+        with pytest.raises(ValueError):
+            DefectToFaultMapper(layout, activation_probability=0.0)
+        with pytest.raises(ValueError):
+            DefectToFaultMapper(layout, activation_probability=1.5)

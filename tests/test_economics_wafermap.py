@@ -1,0 +1,195 @@
+"""Tests for test economics and wafer-map analytics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.generators import c17
+from repro.core.economics import TestEconomics, TestLengthModel
+from repro.core.quality import QualityModel
+from repro.defects.layout import ChipLayout
+from repro.manufacturing.process import ProcessRecipe
+from repro.manufacturing.wafermap import WaferMap
+
+
+class TestTestLengthModel:
+    def test_fit_recovers_tau(self):
+        tau = 25.0
+        curve = 1 - np.exp(-np.arange(1, 300) / tau)
+        fitted = TestLengthModel.fit(curve)
+        assert fitted.tau == pytest.approx(tau, rel=1e-6)
+
+    def test_round_trip(self):
+        model = TestLengthModel(tau=40.0)
+        for f in (0.1, 0.5, 0.9, 0.99):
+            assert model.coverage(model.patterns(f)) == pytest.approx(f)
+
+    def test_full_coverage_costs_infinity(self):
+        assert TestLengthModel(10.0).patterns(1.0) == math.inf
+
+    def test_patterns_monotone(self):
+        model = TestLengthModel(tau=30.0)
+        values = [model.patterns(f) for f in (0.1, 0.5, 0.9, 0.99)]
+        assert values == sorted(values)
+
+    def test_fit_real_program_curve(self):
+        """Fitting the canonical program's curve gives a usable tau."""
+        from repro.experiments import config
+
+        program = config.make_program(num_patterns=64)
+        fitted = TestLengthModel.fit(program.coverage_curve)
+        assert fitted.tau > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TestLengthModel(0.0)
+        with pytest.raises(ValueError):
+            TestLengthModel.fit(np.array([]))
+        with pytest.raises(ValueError):
+            TestLengthModel.fit(np.array([1.5]))
+        with pytest.raises(ValueError):
+            TestLengthModel.fit(np.array([1.0]))
+        with pytest.raises(ValueError):
+            TestLengthModel(5.0).patterns(-0.1)
+        with pytest.raises(ValueError):
+            TestLengthModel(5.0).coverage(-1.0)
+
+
+class TestTestEconomics:
+    def make(self, escape_cost=100.0):
+        return TestEconomics(
+            QualityModel(0.07, 8.0),
+            TestLengthModel(tau=30.0),
+            pattern_cost=0.001,
+            escape_cost=escape_cost,
+        )
+
+    def test_breakdown_components(self):
+        econ = self.make()
+        b = econ.breakdown(0.8)
+        assert b.total == pytest.approx(b.test_cost + b.escape_cost)
+        assert b.test_cost > 0
+        assert b.escape_cost > 0
+
+    def test_extremes(self):
+        econ = self.make()
+        no_test = econ.breakdown(0.0)
+        assert no_test.test_cost == 0.0
+        assert no_test.escape_cost > 0
+
+    def test_optimum_interior(self):
+        """With both cost terms active the optimum is strictly inside
+        (0, 1) — the paper's 'costs increase very rapidly' point."""
+        best = self.make().optimal_coverage()
+        assert 0.0 < best.coverage < 0.9999
+
+    def test_optimum_is_a_minimum(self):
+        econ = self.make()
+        best = econ.optimal_coverage()
+        for delta in (-0.05, 0.05):
+            f = min(max(best.coverage + delta, 0.0), 0.9999)
+            assert econ.breakdown(f).total >= best.total - 1e-9
+
+    def test_higher_escape_cost_more_coverage(self):
+        optima = [
+            self.make(escape_cost=c).optimal_coverage().coverage
+            for c in (10.0, 100.0, 1000.0, 10000.0)
+        ]
+        assert all(b > a for a, b in zip(optima, optima[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TestEconomics(
+                QualityModel(0.5, 2.0), TestLengthModel(10.0), -1.0, 1.0
+            )
+        with pytest.raises(ValueError):
+            self.make().optimal_coverage(grid_size=2)
+
+
+class TestWaferMap:
+    def make(self, edge_excess=2.0, grid=10):
+        recipe = ProcessRecipe(
+            defect_density=1.5, clustering=0.5, mean_defect_radius=0.15
+        )
+        return WaferMap(
+            recipe, ChipLayout(c17()), grid=grid, edge_excess=edge_excess
+        )
+
+    def test_dies_inside_circle(self):
+        wm = self.make()
+        for x, y in wm.positions:
+            assert x * x + y * y <= 1.0
+
+    def test_die_count_close_to_circle_area(self):
+        wm = self.make(grid=20)
+        # pi/4 of the grid cells lie in the circle, +- boundary effects.
+        assert wm.dies_per_wafer == pytest.approx(
+            math.pi / 4 * 400, rel=0.1
+        )
+
+    def test_fabricate_count_and_ids(self):
+        wm = self.make()
+        placed = wm.fabricate(seed=1, first_chip_id=50)
+        assert len(placed) == wm.dies_per_wafer
+        assert placed[0].chip.chip_id == 50
+
+    def test_reproducible(self):
+        wm = self.make()
+        a = wm.fabricate(seed=4)
+        b = wm.fabricate(seed=4)
+        assert [p.chip.faults for p in a] == [p.chip.faults for p in b]
+
+    def test_edge_yield_below_center(self):
+        wm = self.make(edge_excess=3.0, grid=12)
+        placed = []
+        for seed in range(80):
+            placed.extend(wm.fabricate(seed=seed))
+        zones = WaferMap.zone_yields(placed, 3)
+        assert len(zones) == 3
+        assert zones[0][2] > zones[-1][2]
+
+    def test_flat_wafer_uniform(self):
+        wm = self.make(edge_excess=0.0, grid=12)
+        placed = []
+        for seed in range(120):
+            placed.extend(wm.fabricate(seed=seed))
+        zones = WaferMap.zone_yields(placed, 2)
+        assert abs(zones[0][2] - zones[1][2]) < 0.05
+
+    def test_average_density_preserved(self):
+        """Normalization keeps the wafer-average defect rate at D0, so the
+        overall yield matches a flat wafer's."""
+        flat = self.make(edge_excess=0.0, grid=12)
+        graded = self.make(edge_excess=3.0, grid=12)
+        def overall_yield(wm):
+            placed = []
+            for seed in range(150):
+                placed.extend(wm.fabricate(seed=seed))
+            return sum(p.chip.is_good for p in placed) / len(placed)
+        assert overall_yield(graded) == pytest.approx(
+            overall_yield(flat), abs=0.04
+        )
+
+    def test_render_shapes(self):
+        wm = self.make(grid=8)
+        art = WaferMap.render(wm.fabricate(seed=0), 8)
+        lines = art.splitlines()
+        assert len(lines) == 8
+        assert set("".join(lines)) <= {".", "X", " "}
+
+    def test_validation(self):
+        recipe = ProcessRecipe(defect_density=1.0)
+        layout = ChipLayout(c17())
+        with pytest.raises(ValueError):
+            WaferMap(recipe, layout, grid=1)
+        with pytest.raises(ValueError):
+            WaferMap(recipe, layout, edge_excess=-1.0)
+        bad_recipe = ProcessRecipe(defect_density=1.0, chip_area=2.0)
+        with pytest.raises(ValueError):
+            WaferMap(bad_recipe, layout)
+        with pytest.raises(ValueError):
+            WaferMap.zone_yields([], 3)
+        wm = self.make()
+        with pytest.raises(ValueError):
+            WaferMap.zone_yields(wm.fabricate(seed=0), 0)

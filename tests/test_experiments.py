@@ -1,0 +1,171 @@
+"""Tests for the experiment harness (fast, reduced-size configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import config, example, fig1, fig234, fig5, fig6, fineline, table1
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+class TestConfig:
+    def test_chip_deterministic(self):
+        assert config.make_chip().signals == config.make_chip().signals
+
+    def test_chip_scales(self):
+        assert config.make_chip(2).num_gates > config.make_chip(1).num_gates
+        with pytest.raises(ValueError):
+            config.make_chip(0)
+
+    def test_recipe_hits_paper_regime(self):
+        """The canonical lot must look like the paper's: y ~ 0.07, n0 ~ 8."""
+        lot = config.make_lot()
+        assert 0.03 <= lot.empirical_yield() <= 0.12
+        assert 5.0 <= lot.empirical_n0() <= 14.0
+
+    def test_program_covers_most_faults(self):
+        program = config.make_program(num_patterns=64)
+        assert program.final_coverage > 0.9
+
+
+class TestFig1:
+    def test_spot_values_match_paper(self):
+        result = fig1.run(num_points=21)
+        for key, paper in result.paper_spot_values.items():
+            assert abs(result.spot_values[key] - paper) < 0.015
+
+    def test_render(self):
+        text = fig1.render(fig1.run(num_points=21))
+        assert "Fig. 1" in text
+        assert "0.5 percent" in text
+
+
+class TestFig234:
+    def test_families_complete(self):
+        result = fig234.run(num_yields=15)
+        assert set(result.families) == {0.01, 0.005, 0.001}
+        for curves in result.families.values():
+            assert len(curves) == 12
+
+    def test_fig4_spot(self):
+        result = fig234.run(num_yields=15)
+        assert abs(result.fig4_spot_value - 0.85) < 0.03
+
+    def test_curve_lookup(self):
+        result = fig234.run(num_yields=10)
+        assert result.curve(0.01, 8).n0 == 8
+        with pytest.raises(KeyError):
+            result.curve(0.01, 99)
+
+    def test_render(self):
+        assert "Fig. 4" in fig234.render(fig234.run(num_yields=10))
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run()
+
+    def test_paper_estimates_recovered(self, result):
+        assert result.paper_n0_least_squares == pytest.approx(8.0, abs=1.0)
+        assert result.paper_n0_slope == pytest.approx(8.8, abs=0.1)
+
+    def test_mc_fit_tight(self, result):
+        assert result.mc_fit_rms < 0.05
+
+    def test_render(self, result):
+        text = fig5.render(result)
+        assert "n0 estimates" in text
+
+
+class TestFig6:
+    def test_corrected_accurate(self):
+        result = fig6.run(num_points=15)
+        for n, err in result.max_rel_error_corrected.items():
+            assert err < 0.03, n
+
+    def test_simple_error_grows(self):
+        result = fig6.run(num_points=15)
+        errors = [result.max_rel_error_simple[n] for n in sorted(result.exact)]
+        assert errors == sorted(errors)
+
+    def test_render(self):
+        assert "Fig. 6" in fig6.render(fig6.run(num_points=10))
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1.run()
+
+    def test_fit_quality(self, result):
+        deltas = [
+            model - point.fraction_failed
+            for point, model in zip(result.paper_points, result.model_fractions)
+        ]
+        assert float(np.sqrt(np.mean(np.square(deltas)))) < 0.05
+
+    def test_mc_monotone(self, result):
+        fractions = [p.fraction_failed for p in result.mc_points]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_render(self, result):
+        text = table1.render(result)
+        assert "Table 1" in text
+        assert "Monte-Carlo" in text
+
+
+class TestExample:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return example.run(mc_lot_size=600)
+
+    def test_section7_numbers(self, result):
+        assert result.required[0.01] == pytest.approx(0.80, abs=0.02)
+        assert result.required[0.001] == pytest.approx(0.95, abs=0.02)
+        assert result.wadsack[0.01] > 0.985
+
+    def test_mc_rows_shape(self, result):
+        observed = [r["observed_reject_rate"] for r in result.mc_rows]
+        assert all(b <= a + 1e-9 for a, b in zip(observed, observed[1:]))
+
+    def test_render(self, result):
+        assert "Section 7" in example.render(result)
+
+
+class TestFineline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fineline.run()
+
+    def test_combined_beats_frozen(self, result):
+        assert (
+            result.combined[-1].required_coverage
+            < result.yield_only[-1].required_coverage
+        )
+
+    def test_fab_n0_rises(self, result):
+        n0s = [row["empirical_n0"] for row in result.fab_rows]
+        assert n0s == sorted(n0s)
+
+    def test_render(self, result):
+        assert "shrink" in fineline.render(result)
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "fig234",
+            "fig5",
+            "fig6",
+            "table1",
+            "example",
+            "fineline",
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("nope")
+
+    def test_run_cheap_experiment(self):
+        assert "Fig. 1" in run_experiment("fig1")

@@ -1,0 +1,176 @@
+"""Tests for the mixed-Poisson (negative binomial) fault-count extension."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fault_distribution import FaultDistribution
+from repro.core.mixed_poisson import MixedPoissonFaultModel
+from repro.core.reject_rate import (
+    bad_chip_pass_yield,
+    field_reject_rate,
+    reject_fraction,
+)
+
+yields = st.floats(min_value=0.01, max_value=0.95)
+n0s = st.floats(min_value=1.0, max_value=20.0)
+clusterings = st.floats(min_value=0.0, max_value=5.0)
+
+
+class TestShiftedPoissonLimit:
+    @given(yields, n0s)
+    @settings(max_examples=40)
+    def test_pmf_reduces_at_zero_clustering(self, y, n0):
+        mixed = MixedPoissonFaultModel(y, n0, 0.0)
+        shifted = FaultDistribution(y, n0)
+        for n in range(8):
+            assert mixed.pmf(n) == pytest.approx(shifted.pmf(n), abs=1e-12)
+
+    @given(yields, n0s, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40)
+    def test_quality_reduces_at_zero_clustering(self, y, n0, f):
+        mixed = MixedPoissonFaultModel(y, n0, 0.0)
+        assert mixed.bad_chip_pass_yield(f) == pytest.approx(
+            bad_chip_pass_yield(f, y, n0)
+        )
+        assert mixed.field_reject_rate(f) == pytest.approx(
+            field_reject_rate(f, y, n0)
+        )
+        assert mixed.reject_fraction(f) == pytest.approx(
+            reject_fraction(f, y, n0)
+        )
+
+    def test_small_clustering_is_continuous(self):
+        tight = MixedPoissonFaultModel(0.3, 6.0, 1e-9)
+        limit = MixedPoissonFaultModel(0.3, 6.0, 0.0)
+        assert tight.field_reject_rate(0.5) == pytest.approx(
+            limit.field_reject_rate(0.5), rel=1e-6
+        )
+
+
+class TestDistribution:
+    @given(yields, n0s, clusterings)
+    @settings(max_examples=40)
+    def test_normalization(self, y, n0, c):
+        model = MixedPoissonFaultModel(y, n0, c)
+        n_max = int(50 + 30 * n0 * (1 + c))
+        total = sum(model.pmf(n) for n in range(n_max))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    @given(yields, n0s, clusterings)
+    @settings(max_examples=40)
+    def test_mean_eq2_still_holds(self, y, n0, c):
+        assert MixedPoissonFaultModel(y, n0, c).mean() == pytest.approx(
+            (1 - y) * n0
+        )
+
+    def test_clustering_inflates_variance(self):
+        flat = MixedPoissonFaultModel(0.3, 8.0, 0.0)
+        clustered = MixedPoissonFaultModel(0.3, 8.0, 2.0)
+        assert clustered.variance_defective() > flat.variance_defective()
+        assert flat.variance_defective() == pytest.approx(7.0)  # Poisson mu
+
+    def test_n0_one_point_mass(self):
+        model = MixedPoissonFaultModel(0.5, 1.0, 2.0)
+        assert model.pmf(1) == pytest.approx(0.5)
+        assert model.pmf(2) == 0.0
+
+
+class TestQuality:
+    def test_clustering_raises_escape_yield(self):
+        """Heavier tails concentrate faults on few chips, so more
+        defective chips carry a single easy fault -> more escapes at a
+        given coverage."""
+        flat = MixedPoissonFaultModel(0.07, 8.0, 0.0)
+        clustered = MixedPoissonFaultModel(0.07, 8.0, 2.0)
+        for f in (0.3, 0.6, 0.9):
+            assert clustered.bad_chip_pass_yield(f) > flat.bad_chip_pass_yield(f)
+
+    def test_clustering_demands_more_coverage(self):
+        flat = MixedPoissonFaultModel(0.07, 8.0, 0.0)
+        clustered = MixedPoissonFaultModel(0.07, 8.0, 2.0)
+        assert clustered.required_coverage(0.01) > flat.required_coverage(0.01)
+
+    @given(yields, n0s, clusterings)
+    @settings(max_examples=40)
+    def test_reject_rate_monotone(self, y, n0, c):
+        model = MixedPoissonFaultModel(y, n0, c)
+        rates = [model.field_reject_rate(f) for f in np.linspace(0, 1, 21)]
+        assert all(b <= a + 1e-12 for a, b in zip(rates, rates[1:]))
+
+    @given(yields, n0s, clusterings, st.floats(min_value=1e-3, max_value=0.1))
+    @settings(max_examples=40)
+    def test_required_coverage_achieves_target(self, y, n0, c, r):
+        model = MixedPoissonFaultModel(y, n0, c)
+        f = model.required_coverage(r)
+        assert model.field_reject_rate(f) <= r * (1 + 1e-6)
+
+    def test_pgf_against_sampling(self):
+        model = MixedPoissonFaultModel(0.2, 8.0, 1.5)
+        counts = model.sample(300_000, seed=3)
+        defective = counts[counts > 0]
+        empirical = np.mean(0.5 ** (defective - 1))
+        assert empirical == pytest.approx(model.escape_pgf(0.5), rel=0.02)
+
+
+class TestSamplingAndFit:
+    def test_sample_statistics(self):
+        model = MixedPoissonFaultModel(0.3, 6.0, 1.0)
+        counts = model.sample(400_000, seed=7)
+        assert (counts == 0).mean() == pytest.approx(0.3, abs=0.005)
+        assert counts.mean() == pytest.approx(model.mean(), rel=0.02)
+
+    def test_fit_round_trip(self):
+        truth = MixedPoissonFaultModel(0.25, 7.0, 1.2)
+        counts = truth.sample(500_000, seed=5)
+        fitted = MixedPoissonFaultModel.fit(counts)
+        assert fitted.yield_ == pytest.approx(0.25, abs=0.01)
+        assert fitted.n0 == pytest.approx(7.0, rel=0.03)
+        assert fitted.clustering == pytest.approx(1.2, rel=0.15)
+
+    def test_fit_poisson_data_gives_near_zero_clustering(self):
+        truth = MixedPoissonFaultModel(0.3, 5.0, 0.0)
+        counts = truth.sample(300_000, seed=9)
+        fitted = MixedPoissonFaultModel.fit(counts)
+        assert fitted.clustering < 0.05
+
+    def test_fab_lot_is_overdispersed(self):
+        """The Monte-Carlo fab clusters defects, so its lots should fit
+        with clustering clearly above zero — the reason this extension
+        exists."""
+        from repro.experiments import config
+
+        lot = config.make_lot(num_chips=1500, seed=11)
+        fitted = MixedPoissonFaultModel.fit(lot.fault_counts())
+        assert fitted.clustering > 0.2
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            MixedPoissonFaultModel.fit(np.array([]))
+        with pytest.raises(ValueError):
+            MixedPoissonFaultModel.fit(np.array([-1]))
+        with pytest.raises(ValueError):
+            MixedPoissonFaultModel.fit(np.array([0, 0, 0]))
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            MixedPoissonFaultModel(0.5, 2.0, 1.0).sample(-1)
+
+
+class TestValidation:
+    def test_constructor_bounds(self):
+        with pytest.raises(ValueError):
+            MixedPoissonFaultModel(-0.1, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            MixedPoissonFaultModel(0.5, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            MixedPoissonFaultModel(0.5, 2.0, -1.0)
+
+    def test_bad_coverage(self):
+        model = MixedPoissonFaultModel(0.5, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            model.escape_pgf(1.5)
+        with pytest.raises(ValueError):
+            model.required_coverage(0.0)

@@ -1,0 +1,184 @@
+"""Tests for SCOAP testability analysis and its PODEM integration."""
+
+import math
+
+import pytest
+
+from repro.atpg.podem import PodemGenerator, PodemStatus
+from repro.atpg.scoap import ScoapAnalysis
+from repro.circuit.gates import GateType
+from repro.circuit.generators import c17, random_circuit
+from repro.circuit.library import parity_tree, ripple_carry_adder
+from repro.circuit.netlist import Netlist
+from repro.faults.collapse import collapse_equivalent
+from repro.faults.model import StuckAtFault, full_fault_universe
+
+
+class TestControllability:
+    def test_primary_inputs_cost_one(self):
+        scoap = ScoapAnalysis(c17())
+        for name in c17().inputs:
+            assert scoap.cc0[name] == 1.0
+            assert scoap.cc1[name] == 1.0
+
+    def test_c17_hand_values(self):
+        """Gate 10 = NAND(1, 3): CC1 = min(CC0) + 1 = 2, CC0 = sum(CC1) + 1 = 3."""
+        scoap = ScoapAnalysis(c17())
+        assert scoap.cc1["10"] == 2.0
+        assert scoap.cc0["10"] == 3.0
+
+    def test_and_or_asymmetry(self):
+        net = Netlist("n")
+        for s in ("a", "b", "c"):
+            net.add_input(s)
+        net.add_gate("z", GateType.AND, ["a", "b", "c"])
+        net.set_outputs(["z"])
+        scoap = ScoapAnalysis(net)
+        assert scoap.cc1["z"] == 4.0  # all three inputs to 1
+        assert scoap.cc0["z"] == 2.0  # any single input to 0
+
+    def test_not_swaps(self):
+        net = Netlist("n")
+        net.add_input("a")
+        net.add_gate("z", GateType.NOT, ["a"])
+        net.set_outputs(["z"])
+        scoap = ScoapAnalysis(net)
+        assert scoap.cc0["z"] == scoap.cc1["a"] + 1
+        assert scoap.cc1["z"] == scoap.cc0["a"] + 1
+
+    def test_xor_parity_dp(self):
+        """2-input XOR: CC1 = min(CC0+CC1 cross terms) + 1 = 3 at the PIs."""
+        net = Netlist("n")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("z", GateType.XOR, ["a", "b"])
+        net.set_outputs(["z"])
+        scoap = ScoapAnalysis(net)
+        assert scoap.cc1["z"] == 3.0
+        assert scoap.cc0["z"] == 3.0
+
+    def test_deeper_costs_more(self):
+        scoap = ScoapAnalysis(parity_tree(8))
+        assert scoap.cc1["parity"] > scoap.cc1["p0_0"]
+
+    def test_all_at_least_one(self):
+        net = random_circuit(8, 50, 4, seed=2)
+        scoap = ScoapAnalysis(net)
+        for name in net.signals:
+            assert scoap.cc0[name] >= 1.0
+            assert scoap.cc1[name] >= 1.0
+
+
+class TestObservability:
+    def test_outputs_cost_zero(self):
+        net = c17()
+        scoap = ScoapAnalysis(net)
+        for out in net.outputs:
+            assert scoap.co[out] == 0.0
+
+    def test_c17_hand_value(self):
+        """CO('1') = CO('10') + CC1('3') + 1 = (0 + CC1('16') + 1) + 2 = 5."""
+        scoap = ScoapAnalysis(c17())
+        assert scoap.co["1"] == 5.0
+
+    def test_stem_takes_best_branch(self):
+        net = Netlist("n")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("deep", GateType.AND, ["a", "b"])
+        net.add_gate("z", GateType.BUF, ["a"])
+        net.set_outputs(["z", "deep"])
+        scoap = ScoapAnalysis(net)
+        # a observes through the BUF (cost 1) rather than the AND.
+        assert scoap.co["a"] == 1.0
+
+    def test_finite_everywhere_in_observable_circuit(self):
+        net = ripple_carry_adder(4)
+        scoap = ScoapAnalysis(net)
+        for name in net.signals:
+            assert math.isfinite(scoap.co[name])
+
+
+class TestFaultDifficulty:
+    def test_output_faults_easiest(self):
+        net = c17()
+        scoap = ScoapAnalysis(net)
+        out_fault = StuckAtFault("22", 0)
+        in_fault = StuckAtFault("1", 0)
+        assert scoap.fault_difficulty(out_fault) < scoap.fault_difficulty(in_fault)
+
+    def test_branch_difficulty_defined(self):
+        net = c17()
+        scoap = ScoapAnalysis(net)
+        branch = StuckAtFault("3", 0, gate="10", pin=1)
+        assert math.isfinite(scoap.fault_difficulty(branch))
+
+    def test_hardest_faults_ranking(self):
+        net = ripple_carry_adder(6)
+        scoap = ScoapAnalysis(net)
+        universe = full_fault_universe(net)
+        hardest = scoap.hardest_faults(universe, count=5)
+        assert len(hardest) == 5
+        easiest_difficulty = min(scoap.fault_difficulty(f) for f in universe)
+        for fault in hardest:
+            assert scoap.fault_difficulty(fault) >= easiest_difficulty
+
+    def test_hardest_count_validation(self):
+        with pytest.raises(ValueError):
+            ScoapAnalysis(c17()).hardest_faults([], count=0)
+
+    def test_unknown_signal_raises(self):
+        scoap = ScoapAnalysis(c17())
+        with pytest.raises(KeyError):
+            scoap.controllability("nope", 0)
+        with pytest.raises(KeyError):
+            scoap.observability("nope")
+        with pytest.raises(ValueError):
+            scoap.controllability("1", 2)
+
+
+class TestInputWeights:
+    def test_weights_in_range(self):
+        for seed in (1, 2, 3):
+            net = random_circuit(10, 60, 5, seed=seed)
+            weights = ScoapAnalysis(net).input_weights()
+            assert set(weights) == set(net.inputs)
+            assert all(0.25 <= w <= 0.75 for w in weights.values())
+
+    def test_and_heavy_input_biased_high(self):
+        net = Netlist("n")
+        for s in ("a", "b", "c"):
+            net.add_input(s)
+        net.add_gate("z1", GateType.AND, ["a", "b"])
+        net.add_gate("z2", GateType.AND, ["a", "c"])
+        net.set_outputs(["z1", "z2"])
+        weights = ScoapAnalysis(net).input_weights()
+        assert weights["a"] > 0.5
+
+    def test_or_heavy_input_biased_low(self):
+        net = Netlist("n")
+        for s in ("a", "b"):
+            net.add_input(s)
+        net.add_gate("z", GateType.OR, ["a", "b"])
+        net.set_outputs(["z"])
+        weights = ScoapAnalysis(net).input_weights()
+        assert weights["a"] < 0.5
+
+
+class TestPodemIntegration:
+    def test_guided_podem_same_verdicts(self):
+        """SCOAP guidance changes the search order, never the answers."""
+        net = random_circuit(8, 50, 4, seed=13)
+        universe = collapse_equivalent(net)
+        plain = PodemGenerator(net, seed=1, backtrack_limit=5000)
+        guided = PodemGenerator(
+            net, seed=1, backtrack_limit=5000, guide=ScoapAnalysis(net)
+        )
+        for fault in universe:
+            assert plain.generate(fault).status == guided.generate(fault).status
+
+    def test_guided_detects_c17_universe(self):
+        net = c17()
+        guided = PodemGenerator(net, seed=0, guide=ScoapAnalysis(net))
+        for fault in full_fault_universe(net):
+            assert guided.generate(fault).status is PodemStatus.DETECTED

@@ -1,0 +1,119 @@
+"""Tests for calibration-sensitivity analysis and the scan cost model."""
+
+import pytest
+
+from repro.circuit.scan import ScanPlan
+from repro.core.coverage_solver import required_coverage
+from repro.core.sensitivity import analyze_sensitivity, miscalibration_risk
+
+
+class TestSensitivity:
+    def test_signs(self):
+        """More faults per bad chip or more yield -> less coverage needed."""
+        report = analyze_sensitivity(0.2, 8.0, 0.005)
+        assert report.d_coverage_d_n0 < 0
+        assert report.d_coverage_d_yield < 0
+
+    def test_matches_direct_difference(self):
+        report = analyze_sensitivity(0.3, 6.0, 0.01)
+        direct = (
+            required_coverage(0.3, 7.0, 0.01) - required_coverage(0.3, 5.0, 0.01)
+        ) / 2.0
+        assert report.d_coverage_d_n0 == pytest.approx(direct, rel=0.1)
+
+    def test_margin_positive_for_overestimate(self):
+        report = analyze_sensitivity(0.2, 8.0, 0.005)
+        assert report.coverage_margin_for_n0_error(1.0) > 0
+        assert report.coverage_margin_for_n0_error(-1.0) < 0
+
+    def test_required_matches_solver(self):
+        report = analyze_sensitivity(0.15, 9.0, 0.001)
+        assert report.required == pytest.approx(
+            required_coverage(0.15, 9.0, 0.001)
+        )
+
+    def test_rel_step_validation(self):
+        with pytest.raises(ValueError):
+            analyze_sensitivity(0.2, 8.0, 0.005, rel_step=0.0)
+        with pytest.raises(ValueError):
+            analyze_sensitivity(0.2, 8.0, 0.005, rel_step=0.5)
+
+
+class TestMiscalibrationRisk:
+    def test_correct_calibration_hits_target(self):
+        realized = miscalibration_risk(0.2, 8.0, 8.0, 0.005)
+        assert realized == pytest.approx(0.005, rel=1e-3)
+
+    def test_overestimate_misses_target(self):
+        """Believing n0 = 12 when it is 8 under-tests: realized r > target."""
+        realized = miscalibration_risk(0.2, 12.0, 8.0, 0.005)
+        assert realized > 0.005
+
+    def test_underestimate_is_safe(self):
+        """The paper's rule: a low (safe) n0 over-tests, beating the target."""
+        realized = miscalibration_risk(0.2, 5.0, 8.0, 0.005)
+        assert realized < 0.005
+
+    def test_risk_grows_with_error(self):
+        risks = [
+            miscalibration_risk(0.2, n0_cal, 8.0, 0.005)
+            for n0_cal in (8.0, 10.0, 12.0, 16.0)
+        ]
+        assert all(b > a for a, b in zip(risks, risks[1:]))
+
+
+class TestScanPlan:
+    def test_combinational_is_one_cycle(self):
+        plan = ScanPlan(num_flops=0)
+        assert plan.cycles_per_pattern == 1
+        assert plan.test_cycles(10) == 10
+
+    def test_single_chain(self):
+        plan = ScanPlan(num_flops=100, num_chains=1)
+        assert plan.chain_length == 100
+        assert plan.cycles_per_pattern == 101
+        assert plan.test_cycles(5) == 5 * 101 + 100
+
+    def test_chains_divide_shift_time(self):
+        one = ScanPlan(200, 1)
+        four = ScanPlan(200, 4)
+        assert four.chain_length == 50
+        assert one.speedup_from_chains(4) == pytest.approx(201 / 51)
+
+    def test_uneven_chains_round_up(self):
+        assert ScanPlan(10, 3).chain_length == 4
+
+    def test_pattern_cost(self):
+        plan = ScanPlan(63, 1)
+        assert plan.pattern_cost(0.01) == pytest.approx(0.64)
+
+    def test_economics_integration(self):
+        """Scan shift time raises the optimal-coverage price: the same
+        economics with longer chains settles on less coverage."""
+        from repro.core.economics import TestEconomics, TestLengthModel
+        from repro.core.quality import QualityModel
+
+        quality = QualityModel(0.07, 8.0)
+        length = TestLengthModel(tau=30.0)
+        short = ScanPlan(num_flops=16, num_chains=4)
+        long = ScanPlan(num_flops=4096, num_chains=4)
+        f_short = TestEconomics(
+            quality, length, short.pattern_cost(1e-4), 100.0
+        ).optimal_coverage().coverage
+        f_long = TestEconomics(
+            quality, length, long.pattern_cost(1e-4), 100.0
+        ).optimal_coverage().coverage
+        assert f_long < f_short
+
+    def test_zero_patterns(self):
+        assert ScanPlan(10, 2).test_cycles(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScanPlan(-1)
+        with pytest.raises(ValueError):
+            ScanPlan(10, 0)
+        with pytest.raises(ValueError):
+            ScanPlan(10).test_cycles(-1)
+        with pytest.raises(ValueError):
+            ScanPlan(10).pattern_cost(-0.1)

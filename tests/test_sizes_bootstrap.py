@@ -1,0 +1,131 @@
+"""Tests for defect-size distributions and the bootstrap n0 interval."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import estimate_n0_bootstrap, CoveragePoint
+from repro.core.reject_rate import reject_fraction
+from repro.defects.generation import DefectGenerator
+from repro.defects.sizes import InversePowerSizes, LogNormalSizes
+from repro.paperdata import TABLE1_LOT_SIZE, TABLE1_POINTS, TABLE1_YIELD
+from repro.utils.rng import make_rng
+from repro.yieldmodels.density import DeltaDensity
+
+
+class TestInversePowerSizes:
+    def test_mean_formula(self):
+        dist = InversePowerSizes(x0=0.01, exponent=4.0)
+        samples = dist.sample(make_rng(1), 400_000)
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.02)
+
+    def test_infinite_mean_at_classic_exponent(self):
+        assert InversePowerSizes(x0=0.01, exponent=3.0).mean() == math.inf
+
+    def test_heavy_tail(self):
+        """Inverse-power sizes produce far more large defects than a
+        log-normal with a comparable scale."""
+        power = InversePowerSizes(x0=0.01, exponent=3.0)
+        lognormal = LogNormalSizes(mean_radius=0.015, sigma=0.5)
+        rng = make_rng(2)
+        tail_power = (power.sample(rng, 200_000) > 0.1).mean()
+        tail_lognormal = (lognormal.sample(rng, 200_000) > 0.1).mean()
+        assert tail_power > 10 * max(tail_lognormal, 1e-9)
+
+    def test_samples_positive(self):
+        samples = InversePowerSizes(0.02, 3.5).sample(make_rng(3), 10_000)
+        assert (samples > 0).all()
+
+    def test_cdf_continuity_at_x0(self):
+        """About half the mass sits below x0 when the tail integral equals
+        the triangular one (exponent 4: below/above = 0.5/0.5)."""
+        dist = InversePowerSizes(x0=0.05, exponent=4.0)
+        samples = dist.sample(make_rng(4), 200_000)
+        assert (samples <= 0.05).mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InversePowerSizes(0.0)
+        with pytest.raises(ValueError):
+            InversePowerSizes(0.01, exponent=2.0)
+        with pytest.raises(ValueError):
+            InversePowerSizes(0.01).sample(make_rng(0), -1)
+
+
+class TestLogNormalSizes:
+    def test_mean(self):
+        dist = LogNormalSizes(0.03, sigma=0.7)
+        samples = dist.sample(make_rng(5), 300_000)
+        assert samples.mean() == pytest.approx(0.03, rel=0.02)
+
+    def test_zero_sigma_constant(self):
+        samples = LogNormalSizes(0.04, sigma=0.0).sample(make_rng(6), 100)
+        assert (samples == 0.04).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormalSizes(0.0)
+        with pytest.raises(ValueError):
+            LogNormalSizes(0.01, sigma=-1.0)
+
+
+class TestGeneratorIntegration:
+    def test_sizes_override_lognormal(self):
+        sizes = InversePowerSizes(x0=0.01, exponent=3.0)
+        gen = DefectGenerator(
+            DeltaDensity(50.0), mean_radius=0.9, sizes=sizes
+        )
+        rng = make_rng(7)
+        radii = [
+            d.radius for _ in range(100) for d in gen.chip_defects(1.0, rng=rng)
+        ]
+        # With the power law most radii sit near x0, far below the
+        # (ignored) mean_radius of 0.9.
+        assert np.median(radii) < 0.05
+
+
+class TestBootstrap:
+    def test_table1_interval(self):
+        est, lo, hi = estimate_n0_bootstrap(
+            TABLE1_POINTS, TABLE1_YIELD, TABLE1_LOT_SIZE, seed=1
+        )
+        assert lo <= est <= hi
+        assert est == pytest.approx(8.7, abs=0.3)
+        assert hi - lo < 5.0  # informative at 277 chips
+        assert lo > 5.0       # excludes the n0=3..4 the paper rules out
+
+    def test_interval_narrows_with_lot_size(self):
+        y, n0 = 0.1, 8.0
+        points = [
+            CoveragePoint(f, reject_fraction(f, y, n0))
+            for f in (0.05, 0.1, 0.2, 0.35, 0.5, 0.65)
+        ]
+        _, lo_small, hi_small = estimate_n0_bootstrap(
+            points, y, lot_size=100, seed=2
+        )
+        _, lo_big, hi_big = estimate_n0_bootstrap(
+            points, y, lot_size=10_000, seed=2
+        )
+        assert (hi_big - lo_big) < (hi_small - lo_small)
+
+    def test_interval_covers_truth_on_synthetic(self):
+        y, n0 = 0.2, 6.0
+        points = [
+            CoveragePoint(f, reject_fraction(f, y, n0))
+            for f in (0.05, 0.15, 0.3, 0.5, 0.7)
+        ]
+        est, lo, hi = estimate_n0_bootstrap(points, y, lot_size=500, seed=3)
+        assert lo <= n0 <= hi
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_n0_bootstrap(TABLE1_POINTS, TABLE1_YIELD, 0)
+        with pytest.raises(ValueError):
+            estimate_n0_bootstrap(
+                TABLE1_POINTS, TABLE1_YIELD, 100, num_resamples=5
+            )
+        with pytest.raises(ValueError):
+            estimate_n0_bootstrap(
+                TABLE1_POINTS, TABLE1_YIELD, 100, confidence=0.4
+            )

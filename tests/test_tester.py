@@ -1,0 +1,220 @@
+"""Tests for the test program, wafer tester, and lot results."""
+
+import numpy as np
+import pytest
+
+from repro.atpg.random_gen import random_patterns
+from repro.circuit.generators import c17, synthetic_chip
+from repro.faults.model import StuckAtFault
+from repro.manufacturing.process import ProcessRecipe
+from repro.manufacturing.lot import fabricate_lot
+from repro.manufacturing.wafer import FabricatedChip
+from repro.tester.program import TestProgram
+from repro.tester.results import LotTestResult
+from repro.tester.tester import ChipTestRecord, WaferTester
+
+
+def c17_program(n=40, seed=1, collapse=True):
+    net = c17()
+    return TestProgram.build(net, random_patterns(net, n, seed=seed), collapse=collapse)
+
+
+class TestTestProgram:
+    def test_coverage_curve_shape(self):
+        prog = c17_program()
+        assert len(prog.coverage_curve) == len(prog) == 40
+        assert prog.universe_size == 34
+
+    def test_curve_monotone(self):
+        curve = c17_program().coverage_curve
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_collapse_matches_full(self):
+        fast = c17_program(collapse=True)
+        slow = c17_program(collapse=False)
+        assert np.allclose(fast.coverage_curve, slow.coverage_curve)
+
+    def test_coverage_at(self):
+        prog = c17_program()
+        assert prog.coverage_at(0) == prog.coverage_curve[0]
+        with pytest.raises(IndexError):
+            prog.coverage_at(len(prog))
+
+    def test_truncated(self):
+        prog = c17_program()
+        short = prog.truncated(10)
+        assert len(short) == 10
+        assert np.array_equal(short.coverage_curve, prog.coverage_curve[:10])
+        with pytest.raises(ValueError):
+            prog.truncated(0)
+        with pytest.raises(ValueError):
+            prog.truncated(100)
+
+    def test_empty_patterns_raise(self):
+        with pytest.raises(ValueError):
+            TestProgram.build(c17(), [])
+
+
+class TestWaferTester:
+    def test_good_chip_passes(self):
+        prog = c17_program()
+        tester = WaferTester(prog)
+        record = tester.test_chip(FabricatedChip(0, (), ()))
+        assert record.passed
+        assert record.is_good
+        assert not record.is_test_escape
+
+    def test_detectable_fault_fails_at_first_detection(self):
+        """A chip with one fault must fail exactly at the pattern the fault
+        simulator says first detects that fault."""
+        from repro.faults.fault_sim import FaultSimulator
+
+        net = c17()
+        prog = c17_program(n=70, seed=5)
+        tester = WaferTester(prog)
+        sim = FaultSimulator(net)
+        result = sim.run(list(prog.patterns))
+        for fault, det in zip(result.faults, result.first_detect):
+            chip = FabricatedChip(1, (), (fault,))
+            record = tester.test_chip(chip)
+            assert record.first_fail == det, fault
+
+    def test_multi_fault_chip_fails_at_or_before_min(self):
+        """With several faults, the chip fails no later than the earliest
+        single-fault detection...unless masking intervenes; at minimum the
+        record must be consistent with an actual output mismatch."""
+        net = c17()
+        prog = c17_program(n=50, seed=6)
+        tester = WaferTester(prog)
+        faults = (StuckAtFault("10", 1), StuckAtFault("19", 0))
+        chip = FabricatedChip(2, (), faults)
+        record = tester.test_chip(chip)
+        assert record.first_fail is not None
+
+    def test_escape_flagged(self):
+        # A fault undetected by a tiny program escapes.
+        net = c17()
+        prog = TestProgram.build(
+            net, [{name: 0 for name in net.inputs}]
+        )
+        tester = WaferTester(prog)
+        # find a fault this one pattern misses
+        from repro.faults.fault_sim import FaultSimulator
+        from repro.faults.model import full_fault_universe
+
+        sim = FaultSimulator(net)
+        result = sim.run(list(prog.patterns))
+        missed = result.undetected_faults()
+        assert missed, "expected at least one escape for a 1-pattern program"
+        record = tester.test_chip(FabricatedChip(3, (), (missed[0],)))
+        assert record.passed
+        assert record.is_test_escape
+
+
+class TestLotTestResult:
+    def make_result(self, num_chips=150, seed=8):
+        net = c17()
+        prog = c17_program(n=60, seed=3)
+        recipe = ProcessRecipe(
+            defect_density=1.0, mean_defect_radius=0.15, clustering=1.0
+        )
+        lot = fabricate_lot(net, recipe, num_chips, seed=seed)
+        tester = WaferTester(prog)
+        return lot, LotTestResult(
+            program=prog, records=tuple(tester.test_lot(lot.chips))
+        )
+
+    def test_cumulative_failed_monotone(self):
+        _, result = self.make_result()
+        cumulative = result.cumulative_failed()
+        assert all(b >= a for a, b in zip(cumulative, cumulative[1:]))
+
+    def test_coverage_points_valid(self):
+        _, result = self.make_result()
+        points = result.coverage_points()
+        assert points
+        fractions = [p.fraction_failed for p in points]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_fraction_rejected_consistent(self):
+        _, result = self.make_result()
+        assert result.fraction_rejected() == pytest.approx(
+            result.cumulative_failed()[-1] / result.lot_size
+        )
+
+    def test_accounting_identity(self):
+        """good + escapes + rejected == lot size."""
+        lot, result = self.make_result()
+        good = sum(r.is_good for r in result.records)
+        escapes = len(result.escapes())
+        rejected = sum(r.first_fail is not None for r in result.records)
+        assert good + escapes + rejected == result.lot_size
+
+    def test_good_chips_never_rejected(self):
+        """The tester must never fail a fault-free chip (no overkill)."""
+        lot, result = self.make_result()
+        for chip, record in zip(lot.chips, result.records):
+            if chip.is_good:
+                assert record.passed
+
+    def test_empirical_rates(self):
+        _, result = self.make_result()
+        shipped = [r for r in result.records if r.passed]
+        if shipped:
+            assert result.empirical_reject_rate() == pytest.approx(
+                len(result.escapes()) / len(shipped)
+            )
+        assert result.empirical_bad_pass_yield() == pytest.approx(
+            len(result.escapes()) / result.lot_size
+        )
+
+    def test_table_renders(self):
+        _, result = self.make_result()
+        text = result.to_table().render()
+        assert "Cumulative" in text
+        assert str(result.lot_size) in text
+
+    def test_checkpoint_out_of_range(self):
+        _, result = self.make_result()
+        with pytest.raises(IndexError):
+            result.coverage_points(checkpoints=[10_000])
+
+    def test_empty_records_raise(self):
+        prog = c17_program()
+        with pytest.raises(ValueError):
+            LotTestResult(program=prog, records=())
+
+
+class TestEndToEndCalibration:
+    def test_calibration_recovers_effective_n0(self):
+        """Full pipeline: fab a lot, test it, calibrate n0 from the fail
+        curve, and check the calibrated model predicts the observed reject
+        fraction profile well (the paper's Fig. 5 agreement)."""
+        from repro.core.estimation import estimate_n0_least_squares
+        from repro.core.reject_rate import reject_fraction
+
+        net = synthetic_chip(1, seed=3)
+        patterns = random_patterns(net, 96, seed=7)
+        prog = TestProgram.build(net, patterns)
+        recipe = ProcessRecipe.for_target_yield(
+            0.3, clustering=1.0, mean_defect_radius=0.02
+        )
+        lot = fabricate_lot(net, recipe, 500, seed=21)
+        tester = WaferTester(prog)
+        result = LotTestResult(
+            program=prog, records=tuple(tester.test_lot(lot.chips))
+        )
+        y = lot.empirical_yield()
+        points = result.coverage_points()
+        n0 = estimate_n0_least_squares(points, y)
+        assert n0 >= 1.0
+        # The fitted P(f) should track the observed fail curve closely.
+        rms = np.sqrt(
+            np.mean(
+                [
+                    (reject_fraction(p.coverage, y, n0) - p.fraction_failed) ** 2
+                    for p in points
+                ]
+            )
+        )
+        assert rms < 0.06

@@ -1,0 +1,148 @@
+"""Unit and property tests for repro.utils.mathtools."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.mathtools import (
+    bisect_root,
+    clamp,
+    log_binomial,
+    log_factorial,
+    logsumexp_pair,
+    poisson_log_pmf,
+)
+
+
+class TestLogFactorial:
+    def test_small_values(self):
+        assert log_factorial(0) == pytest.approx(0.0)
+        assert log_factorial(1) == pytest.approx(0.0)
+        assert log_factorial(5) == pytest.approx(math.log(120))
+
+    def test_large_value_finite(self):
+        assert math.isfinite(log_factorial(1_000_000))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            log_factorial(-1)
+
+    @given(st.integers(min_value=1, max_value=300))
+    def test_recurrence(self, n):
+        # log(n!) = log((n-1)!) + log(n)
+        assert log_factorial(n) == pytest.approx(
+            log_factorial(n - 1) + math.log(n), rel=1e-12
+        )
+
+
+class TestLogBinomial:
+    def test_exact_small(self):
+        assert log_binomial(5, 2) == pytest.approx(math.log(10))
+        assert log_binomial(10, 0) == pytest.approx(0.0)
+        assert log_binomial(10, 10) == pytest.approx(0.0)
+
+    def test_out_of_range_is_neg_inf(self):
+        assert log_binomial(5, 6) == float("-inf")
+        assert log_binomial(5, -1) == float("-inf")
+
+    def test_negative_n_raises(self):
+        with pytest.raises(ValueError):
+            log_binomial(-1, 0)
+
+    @given(st.integers(min_value=0, max_value=60), st.integers(min_value=0, max_value=60))
+    def test_matches_math_comb(self, n, k):
+        expected = math.comb(n, k)
+        if expected == 0:
+            assert log_binomial(n, k) == float("-inf")
+        else:
+            assert log_binomial(n, k) == pytest.approx(math.log(expected), rel=1e-10)
+
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=0, max_value=200))
+    def test_symmetry(self, n, k):
+        assert log_binomial(n, k) == pytest.approx(
+            log_binomial(n, n - k), abs=1e-9
+        ) or (log_binomial(n, k) == float("-inf") and log_binomial(n, n - k) == float("-inf"))
+
+
+class TestLogSumExp:
+    def test_basic(self):
+        assert logsumexp_pair(math.log(2), math.log(3)) == pytest.approx(math.log(5))
+
+    def test_neg_inf_identity(self):
+        assert logsumexp_pair(float("-inf"), 1.5) == 1.5
+        assert logsumexp_pair(1.5, float("-inf")) == 1.5
+
+    def test_no_overflow(self):
+        result = logsumexp_pair(1e3, 1e3)
+        assert result == pytest.approx(1e3 + math.log(2))
+
+    @given(
+        st.floats(min_value=-50, max_value=50),
+        st.floats(min_value=-50, max_value=50),
+    )
+    def test_commutative(self, a, b):
+        assert logsumexp_pair(a, b) == pytest.approx(logsumexp_pair(b, a))
+
+
+class TestPoissonLogPmf:
+    def test_zero_mean_point_mass(self):
+        assert poisson_log_pmf(0, 0.0) == 0.0
+        assert poisson_log_pmf(1, 0.0) == float("-inf")
+
+    def test_negative_k(self):
+        assert poisson_log_pmf(-1, 2.0) == float("-inf")
+
+    def test_negative_mean_raises(self):
+        with pytest.raises(ValueError):
+            poisson_log_pmf(0, -1.0)
+
+    def test_matches_scipy(self):
+        from scipy import stats
+
+        for k in range(20):
+            assert poisson_log_pmf(k, 3.7) == pytest.approx(
+                stats.poisson.logpmf(k, 3.7), rel=1e-10
+            )
+
+    @given(st.floats(min_value=0.01, max_value=50))
+    def test_normalized(self, mean):
+        total = sum(math.exp(poisson_log_pmf(k, mean)) for k in range(400))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below_above(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1.0, 0.0)
+
+
+class TestBisectRoot:
+    def test_linear(self):
+        root = bisect_root(lambda x: x - 0.3, 0.0, 1.0)
+        assert root == pytest.approx(0.3, abs=1e-10)
+
+    def test_endpoint_roots(self):
+        assert bisect_root(lambda x: x, 0.0, 1.0) == 0.0
+        assert bisect_root(lambda x: x - 1.0, 0.0, 1.0) == 1.0
+
+    def test_not_bracketed_raises(self):
+        with pytest.raises(ValueError):
+            bisect_root(lambda x: x + 1.0, 0.0, 1.0)
+
+    def test_decreasing_function(self):
+        root = bisect_root(lambda x: 0.7 - x, 0.0, 1.0)
+        assert root == pytest.approx(0.7, abs=1e-10)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_recovers_exponential_root(self, target):
+        # exp(-x) = target on [0, 10]
+        root = bisect_root(lambda x: math.exp(-x) - target, 0.0, 10.0, tol=1e-12)
+        assert math.exp(-root) == pytest.approx(target, abs=1e-9)

@@ -1,0 +1,132 @@
+"""Tests for RNG plumbing, text tables, and ASCII plots."""
+
+import numpy as np
+import pytest
+
+from repro.utils.asciiplot import AsciiPlot
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.tables import TextTable
+
+
+class TestMakeRng:
+    def test_seed_reproducible(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(make_rng(7), 4)
+        assert len(children) == 4
+
+    def test_children_independent(self):
+        children = spawn_rngs(make_rng(7), 2)
+        a = children[0].random(100)
+        b = children[1].random(100)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_deterministic(self):
+        a = spawn_rngs(make_rng(9), 3)[2].random(10)
+        b = spawn_rngs(make_rng(9), 3)[2].random(10)
+        assert np.array_equal(a, b)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(make_rng(0), -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(make_rng(0), 0) == []
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        t = TextTable(["a", "long_header"])
+        t.add_row([1, 2.5])
+        out = t.render()
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert "long_header" in lines[0]
+        assert "2.5" in lines[2]
+
+    def test_title(self):
+        t = TextTable(["x"], title="My Table")
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "My Table"
+
+    def test_wrong_arity_raises(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_headers_raises(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_float_format(self):
+        t = TextTable(["v"])
+        t.add_row([0.123456789], float_fmt="{:.2f}")
+        assert "0.12" in t.render()
+
+    def test_str_dunder(self):
+        t = TextTable(["v"])
+        t.add_row(["x"])
+        assert str(t) == t.render()
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        p = AsciiPlot(width=40, height=10, title="T", xlabel="f")
+        p.add_series("s1", [0, 0.5, 1.0], [0, 0.5, 1.0])
+        out = p.render()
+        assert "T" in out
+        assert "*" in out
+        assert "s1" in out
+
+    def test_logy(self):
+        p = AsciiPlot(width=40, height=10, logy=True)
+        p.add_series("s", [0, 1, 2], [1e-3, 1e-2, 1e-1])
+        assert "*" in p.render()
+
+    def test_logy_all_nonpositive_raises(self):
+        p = AsciiPlot(logy=True)
+        p.add_series("s", [0, 1], [0.0, -1.0])
+        with pytest.raises(ValueError):
+            p.render()
+
+    def test_mismatched_lengths_raise(self):
+        p = AsciiPlot()
+        with pytest.raises(ValueError):
+            p.add_series("s", [1, 2], [1])
+
+    def test_empty_series_raises(self):
+        p = AsciiPlot()
+        with pytest.raises(ValueError):
+            p.add_series("s", [], [])
+
+    def test_render_without_series_raises(self):
+        with pytest.raises(ValueError):
+            AsciiPlot().render()
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            AsciiPlot(width=5, height=2)
+
+    def test_multiple_series_distinct_markers(self):
+        p = AsciiPlot(width=40, height=10)
+        p.add_series("a", [0, 1], [0, 1])
+        p.add_series("b", [0, 1], [1, 0])
+        out = p.render()
+        assert "*" in out and "o" in out
+
+    def test_constant_series(self):
+        p = AsciiPlot(width=20, height=8)
+        p.add_series("c", [0, 1, 2], [3, 3, 3])
+        assert "*" in p.render()

@@ -1,0 +1,130 @@
+"""Tests for defect-density mixing distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.rng import make_rng
+from repro.yieldmodels.density import (
+    DeltaDensity,
+    ExponentialDensity,
+    GammaDensity,
+    TriangularDensity,
+)
+
+ALL_DENSITIES = [
+    DeltaDensity(0.5),
+    TriangularDensity(0.5),
+    ExponentialDensity(0.5),
+    GammaDensity(0.5, clustering=2.0),
+]
+
+
+@pytest.mark.parametrize("density", ALL_DENSITIES, ids=lambda d: type(d).__name__)
+class TestCommonProperties:
+    def test_laplace_at_zero_area_is_one(self, density):
+        assert density.laplace(0.0) == pytest.approx(1.0)
+
+    def test_laplace_decreasing_in_area(self, density):
+        areas = np.linspace(0, 20, 50)
+        values = [density.laplace(a) for a in areas]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_laplace_in_unit_interval(self, density):
+        for area in (0.1, 1.0, 10.0, 100.0):
+            assert 0.0 <= density.laplace(area) <= 1.0
+
+    def test_sample_mean_matches(self, density):
+        samples = density.sample(make_rng(3), 200_000)
+        assert samples.mean() == pytest.approx(density.mean, rel=0.02)
+
+    def test_sample_nonnegative(self, density):
+        samples = density.sample(make_rng(4), 10_000)
+        assert (samples >= 0).all()
+
+    def test_sample_variance_matches(self, density):
+        samples = density.sample(make_rng(5), 400_000)
+        assert samples.var() == pytest.approx(density.variance, rel=0.05, abs=1e-12)
+
+    def test_monte_carlo_laplace(self, density):
+        """E[exp(-D*A)] from samples must match the closed form."""
+        area = 2.0
+        samples = density.sample(make_rng(6), 400_000)
+        mc = np.exp(-samples * area).mean()
+        assert mc == pytest.approx(density.laplace(area), rel=0.01)
+
+
+class TestDelta:
+    def test_variance_zero(self):
+        assert DeltaDensity(1.2).variance == 0.0
+
+    def test_relative_variance_zero_mean(self):
+        assert DeltaDensity(0.0).relative_variance == 0.0
+
+
+class TestTriangular:
+    def test_variance_formula(self):
+        d = TriangularDensity(3.0)
+        assert d.variance == pytest.approx(9.0 / 6.0)
+
+    def test_murphy_form(self):
+        d = TriangularDensity(1.0)
+        t = 1.0 * 2.0
+        assert d.laplace(2.0) == pytest.approx(((1 - math.exp(-t)) / t) ** 2)
+
+    def test_zero_mean_samples(self):
+        assert (TriangularDensity(0.0).sample(make_rng(0), 5) == 0).all()
+
+
+class TestExponential:
+    def test_relative_variance_is_one(self):
+        assert ExponentialDensity(2.0).relative_variance == pytest.approx(1.0)
+
+    def test_seeds_form(self):
+        assert ExponentialDensity(0.4).laplace(5.0) == pytest.approx(1 / 3.0)
+
+
+class TestGamma:
+    def test_matches_paper_eq3(self):
+        d0, lam, area = 0.8, 2.0, 1.5
+        d = GammaDensity(d0, clustering=lam)
+        expected = (1 + lam * d0 * area) ** (-1 / lam)
+        assert d.laplace(area) == pytest.approx(expected)
+
+    def test_clustering_one_equals_exponential(self):
+        g = GammaDensity(0.5, clustering=1.0)
+        e = ExponentialDensity(0.5)
+        for area in (0.5, 2.0, 7.0):
+            assert g.laplace(area) == pytest.approx(e.laplace(area))
+
+    def test_small_clustering_approaches_poisson(self):
+        g = GammaDensity(0.5, clustering=1e-6)
+        d = DeltaDensity(0.5)
+        assert g.laplace(3.0) == pytest.approx(d.laplace(3.0), rel=1e-4)
+
+    def test_invalid_clustering_raises(self):
+        with pytest.raises(ValueError):
+            GammaDensity(1.0, clustering=0.0)
+        with pytest.raises(ValueError):
+            GammaDensity(1.0, clustering=-1.0)
+
+    def test_relative_variance_is_clustering(self):
+        assert GammaDensity(3.0, clustering=0.7).relative_variance == pytest.approx(0.7)
+
+    @given(
+        st.floats(min_value=0.05, max_value=5.0),
+        st.floats(min_value=0.05, max_value=5.0),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=50)
+    def test_laplace_bounds_property(self, mean, clustering, area):
+        val = GammaDensity(mean, clustering).laplace(area)
+        assert 0.0 < val <= 1.0
+
+
+class TestValidation:
+    def test_negative_mean_raises(self):
+        with pytest.raises(ValueError):
+            DeltaDensity(-0.1)

@@ -1,0 +1,151 @@
+"""Tests for closed-form yield models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.rng import make_rng
+from repro.yieldmodels.models import (
+    MurphyYield,
+    NegativeBinomialYield,
+    PoissonYield,
+    PriceYield,
+    SeedsYield,
+    solve_defects_for_yield,
+    yield_from_defects,
+)
+
+ALL_MODELS = [
+    PoissonYield(),
+    MurphyYield(),
+    SeedsYield(),
+    PriceYield(levels=3),
+    NegativeBinomialYield(clustering=2.0),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+class TestCommon:
+    def test_zero_density_full_yield(self, model):
+        assert model.evaluate(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_yield_in_unit_interval(self, model):
+        for d0 in (0.1, 1.0, 5.0):
+            y = model.evaluate(d0, 2.0)
+            assert 0.0 < y <= 1.0
+
+    def test_monotone_decreasing_in_area(self, model):
+        ys = [model.evaluate(1.0, a) for a in np.linspace(0.1, 10, 40)]
+        assert all(b < a for a, b in zip(ys, ys[1:]))
+
+    def test_invalid_args_raise(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            model.evaluate(1.0, 0.0)
+
+    def test_average_defects(self, model):
+        assert model.average_defects(2.0, 3.0) == pytest.approx(6.0)
+
+    def test_density_consistent_with_model(self, model):
+        """The mixing density's Laplace transform must equal the yield formula."""
+        d0, area = 0.7, 2.5
+        assert model.density(d0).laplace(area) == pytest.approx(
+            model.evaluate(d0, area), rel=1e-9
+        )
+
+    def test_monte_carlo_yield(self, model):
+        """Empirical yield from the compound-Poisson process matches the formula.
+
+        Draw a density per chip, then a Poisson defect count; a chip is good
+        iff it has zero defects.
+        """
+        d0, area = 0.5, 1.5
+        rng = make_rng(11)
+        densities = model.density(d0).sample(rng, 300_000)
+        defects = rng.poisson(densities * area)
+        empirical = (defects == 0).mean()
+        assert empirical == pytest.approx(model.evaluate(d0, area), abs=0.005)
+
+
+class TestOrdering:
+    def test_clustered_models_more_optimistic_than_poisson(self):
+        """Clustering concentrates defects on few chips -> higher yield."""
+        d0, area = 1.0, 3.0
+        poisson = PoissonYield().evaluate(d0, area)
+        for model in (MurphyYield(), SeedsYield(), NegativeBinomialYield(1.0)):
+            assert model.evaluate(d0, area) > poisson
+
+
+class TestPrice:
+    def test_one_level_equals_seeds(self):
+        p = PriceYield(levels=1)
+        s = SeedsYield()
+        assert p.evaluate(0.8, 2.0) == pytest.approx(s.evaluate(0.8, 2.0))
+
+    def test_many_levels_approach_poisson(self):
+        p = PriceYield(levels=10_000)
+        assert p.evaluate(1.0, 2.0) == pytest.approx(math.exp(-2.0), rel=1e-3)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            PriceYield(levels=0)
+
+
+class TestNegativeBinomial:
+    def test_paper_eq3_form(self):
+        lam, d0, area = 0.5, 2.0, 1.0
+        expected = (1 + lam * d0 * area) ** (-1 / lam)
+        assert NegativeBinomialYield(lam).evaluate(d0, area) == pytest.approx(expected)
+
+    def test_invalid_clustering(self):
+        with pytest.raises(ValueError):
+            NegativeBinomialYield(0.0)
+
+    @given(
+        st.floats(min_value=0.05, max_value=5.0),
+        st.floats(min_value=0.05, max_value=5.0),
+        st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=60)
+    def test_between_poisson_and_lower_bound(self, lam, d0, area):
+        """NB yield is >= Poisson and <= 1 everywhere."""
+        nb = NegativeBinomialYield(lam).evaluate(d0, area)
+        po = PoissonYield().evaluate(d0, area)
+        assert po <= nb + 1e-12
+        assert nb <= 1.0
+
+
+class TestHelpers:
+    def test_yield_from_defects_poisson_limit(self):
+        assert yield_from_defects(1.0, 2.0, clustering=0.0) == pytest.approx(
+            math.exp(-2.0)
+        )
+
+    def test_yield_from_defects_clustered(self):
+        assert yield_from_defects(1.0, 2.0, clustering=1.0) == pytest.approx(1 / 3.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        # Subnormal clustering values lose all precision in x/c; they are
+        # far below any physical lambda, so exclude them.
+        st.floats(min_value=0.0, max_value=4.0, allow_subnormal=False),
+    )
+    @settings(max_examples=60)
+    def test_solve_round_trip(self, target, clustering):
+        area = 2.0
+        d0 = solve_defects_for_yield(target, area, clustering)
+        assert yield_from_defects(d0, area, clustering) == pytest.approx(
+            target, rel=1e-9
+        )
+
+    def test_solve_full_yield(self):
+        assert solve_defects_for_yield(1.0, 5.0) == 0.0
+
+    def test_solve_invalid_target(self):
+        with pytest.raises(ValueError):
+            solve_defects_for_yield(0.0, 1.0)
+        with pytest.raises(ValueError):
+            solve_defects_for_yield(1.5, 1.0)
