@@ -7,11 +7,54 @@ who wins, by roughly what factor, where the knees fall.
 
 Monte-Carlo benchmarks run once per session (``pedantic`` with a single
 round); the analytic ones are cheap enough to time normally.
+
+Hot-path benchmarks additionally persist a machine-readable record via
+:func:`write_bench_record` — one ``BENCH_<name>.json`` per tracked path,
+committed alongside the benches so the perf trajectory is visible in
+history.
 """
 
+import json
+import platform
+import time
+from pathlib import Path
+
 import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent
 
 
 def run_once(benchmark, func, *args, **kwargs):
     """Time ``func`` with exactly one execution and return its result."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def time_best_of(func, repeats=3):
+    """Wall-clock ``func`` ``repeats`` times; return (best_seconds, result).
+
+    Best-of timing (rather than mean) is the standard defense against
+    scheduler noise for single-process CPU-bound work.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def write_bench_record(name, payload):
+    """Write ``benchmarks/BENCH_<name>.json`` and return its path.
+
+    ``payload`` is any JSON-serializable mapping; a ``python`` version
+    stamp is added so records from different machines are comparable.
+    """
+    record = {"python": platform.python_version(), **payload}
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

@@ -3,9 +3,17 @@
 Not a paper artifact — these time the engines that every Monte-Carlo
 experiment leans on, so regressions in the substrate show up here rather
 than as mysteriously slow experiments.
+
+``test_bench_engine_speedup`` times the fault-parallel ``batch`` engine
+against the fault-at-a-time ``compiled`` engine on the same
+circuit/pattern workload, asserts bit-identical results and the claimed
+speedup, and writes ``BENCH_faultsim.json`` so the fault-sim hot path has
+a tracked perf record.
 """
 
 import pytest
+
+from bench_utils import time_best_of, write_bench_record
 
 from repro.atpg.random_gen import random_patterns
 from repro.circuit.generators import c17
@@ -31,7 +39,7 @@ def test_bench_good_simulation(benchmark, chip):
 
 
 def test_bench_fault_simulation_collapsed(benchmark, chip):
-    """Collapsed-universe fault simulation of 64 patterns."""
+    """Collapsed-universe fault simulation of 64 patterns (batch engine)."""
     simulator = FaultSimulator(chip)
     faults = collapse_equivalent(chip)
     patterns = random_patterns(chip, 64, seed=2)
@@ -52,3 +60,54 @@ def test_bench_c17_exhaustive_fault_sim(benchmark):
     ]
     result = benchmark(simulator.run, patterns)
     assert result.coverage == 1.0
+
+
+def test_bench_engine_speedup(request, chip):
+    """Batch vs compiled engine on the canonical collapsed workload.
+
+    Same circuit, same faults, same patterns; the batch engine must be
+    bit-identical and at least 5x faster (it is typically 30-110x — the
+    5x floor keeps the assertion robust on loaded machines).  Times by
+    hand (two engines, one ratio) rather than through the benchmark
+    fixture, so it honors the benchmark skip/disable flags explicitly.
+    """
+    if request.config.getoption("benchmark_skip", False) or (
+        request.config.getoption("benchmark_disable", False)
+    ):
+        pytest.skip("pytest-benchmark timing disabled for this run")
+    faults = collapse_equivalent(chip)
+    patterns = random_patterns(chip, 64, seed=2)
+    batch_sim = FaultSimulator(chip, engine="batch")
+    compiled_sim = FaultSimulator(chip, engine="compiled")
+
+    # Same repeats for both engines, so scheduler noise cannot bias the
+    # recorded ratio toward either side.
+    batch_seconds, batch_result = time_best_of(
+        lambda: batch_sim.run(patterns, faults=faults), repeats=3
+    )
+    compiled_seconds, compiled_result = time_best_of(
+        lambda: compiled_sim.run(patterns, faults=faults), repeats=3
+    )
+
+    assert batch_result.first_detect == compiled_result.first_detect
+    speedup = compiled_seconds / batch_seconds
+    record_path = write_bench_record(
+        "faultsim",
+        {
+            "workload": {
+                "circuit": chip.name,
+                "gates": chip.num_gates,
+                "faults": len(faults),
+                "patterns": len(patterns),
+            },
+            "batch_seconds": batch_seconds,
+            "compiled_seconds": compiled_seconds,
+            "speedup": speedup,
+        },
+    )
+    print(
+        f"\nfault-sim engines: batch {batch_seconds * 1e3:.1f} ms, "
+        f"compiled {compiled_seconds * 1e3:.1f} ms, speedup {speedup:.1f}x "
+        f"-> {record_path.name}"
+    )
+    assert speedup >= 5.0

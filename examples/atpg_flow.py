@@ -1,9 +1,23 @@
 """A complete test-development flow on a gate-level circuit.
 
 Exercises the substrate end to end the way a 1981 test engineer would
-have: random patterns for the easy faults, PODEM for the resistant tail,
-reverse-order compaction, and a final fault-simulation sign-off with the
-coverage curve the quality model consumes.
+have: random patterns for the easy faults, PODEM for the resistant tail
+(with fault dropping), reverse-order compaction, and a final
+fault-simulation sign-off with the coverage curve the quality model
+consumes.
+
+Engine selection: everything that fault-simulates takes an ``engine``
+argument —
+
+* ``FaultSimulator(circuit)`` / ``engine="batch"`` (the default) uses the
+  fault-parallel NumPy engine: one ``(num_faults + 1, num_signals)``
+  ``uint64`` array per 64-pattern block, row 0 the good machine, one
+  faulty machine per other row, every gate evaluated once for all faults;
+* ``engine="compiled"`` is the classical one-fault-at-a-time word loop;
+* ``engine="event"`` is the scalar reference implementation.
+
+All three produce bit-identical results — swap ``ENGINE`` below to see
+the wall-clock difference on this flow.
 
 Run:  python examples/atpg_flow.py
 """
@@ -12,6 +26,8 @@ from repro.atpg import PodemGenerator, compact_reverse, random_patterns
 from repro.circuit.generators import array_multiplier
 from repro.faults import FaultSimulator, collapse_equivalent, full_fault_universe
 from repro.tester import TestProgram
+
+ENGINE = "batch"  # or "compiled" / "event" — identical results, different speed
 
 
 def main() -> None:
@@ -24,7 +40,7 @@ def main() -> None:
     )
 
     # Phase 1: random patterns mop up the easy faults.
-    simulator = FaultSimulator(circuit)
+    simulator = FaultSimulator(circuit, engine=ENGINE)
     randoms = random_patterns(circuit, 48, seed=42)
     random_result = simulator.run(randoms, faults=collapsed)
     print(
@@ -32,10 +48,12 @@ def main() -> None:
         f"{random_result.coverage:.1%} collapsed coverage"
     )
 
-    # Phase 2: PODEM targets what random patterns missed.
+    # Phase 2: PODEM targets what random patterns missed; fault dropping
+    # simulates each new pattern against the untargeted tail so faults it
+    # catches incidentally skip their own PODEM run.
     generator = PodemGenerator(circuit, seed=1, backtrack_limit=2000)
     deterministic, report = generator.generate_suite(
-        random_result.undetected_faults()
+        random_result.undetected_faults(), fault_drop=True, engine=ENGINE
     )
     print(
         f"phase 2 (PODEM): {len(deterministic)} patterns for "
@@ -46,7 +64,7 @@ def main() -> None:
 
     # Phase 3: compact the combined set without losing coverage.
     combined = randoms + deterministic
-    compacted = compact_reverse(circuit, combined, faults=collapsed)
+    compacted = compact_reverse(circuit, combined, faults=collapsed, engine=ENGINE)
     final = simulator.run(compacted, faults=collapsed)
     print(
         f"phase 3 (compaction): {len(combined)} -> {len(compacted)} patterns, "
@@ -54,7 +72,7 @@ def main() -> None:
     )
 
     # Sign-off: the ordered program and its coverage profile.
-    program = TestProgram.build(circuit, compacted)
+    program = TestProgram.build(circuit, compacted, engine=ENGINE)
     print(
         f"sign-off: program of {len(program)} patterns reaches "
         f"{program.final_coverage:.1%} of the full universe"

@@ -22,18 +22,20 @@ def compact_reverse(
     netlist: Netlist,
     patterns: Sequence[Mapping[str, int]],
     faults: Sequence[StuckAtFault] | None = None,
+    engine: str = "batch",
 ) -> list[Mapping[str, int]]:
     """Return a subsequence of ``patterns`` with the same fault coverage.
 
     Patterns are considered in reverse; one is kept iff it detects at least
     one fault not detected by the patterns already kept.  The kept patterns
-    are returned in their original relative order.
+    are returned in their original relative order.  ``engine`` selects the
+    fault-simulation engine (see :func:`repro.simulator.make_engine`).
     """
-    if not patterns:
+    if len(patterns) == 0:
         raise ValueError("need at least one pattern")
     if faults is None:
         faults = full_fault_universe(netlist)
-    simulator = FaultSimulator(netlist)
+    simulator = FaultSimulator(netlist, engine=engine)
 
     undetected = list(faults)
     kept_indices: list[int] = []

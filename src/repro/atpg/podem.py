@@ -18,6 +18,7 @@ from enum import Enum
 
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Netlist
+from repro.faults.fault_sim import FaultSimulator
 from repro.faults.model import StuckAtFault
 from repro.utils.rng import make_rng
 
@@ -309,26 +310,58 @@ class PodemGenerator:
     # ---------------------------------------------------------- test suites
 
     def generate_suite(
-        self, faults, max_aborts: int | None = None
+        self,
+        faults,
+        max_aborts: int | None = None,
+        fault_drop: bool = False,
+        engine: str = "batch",
     ) -> tuple[list[dict[str, int]], dict[str, list[StuckAtFault]]]:
         """Generate patterns for a fault list.
 
         Returns ``(patterns, report)`` where ``report`` buckets the faults
         into ``"detected"``, ``"untestable"`` (provably redundant — the
         paper's Section 1 discusses exactly these), and ``"aborted"``.
+
+        ``fault_drop=True`` enables the classical ATPG fault-drop loop:
+        every generated pattern is fault-simulated against the not-yet-
+        targeted faults (on ``engine`` — see
+        :func:`repro.simulator.make_engine`), and incidentally-detected
+        faults are dropped from the target list without their own PODEM
+        run.  Same detected set, far fewer generator invocations.
         """
+        faults = list(faults)
+        simulator = (
+            FaultSimulator(self.netlist, engine=engine) if fault_drop else None
+        )
         patterns: list[dict[str, int]] = []
         report: dict[str, list[StuckAtFault]] = {
             "detected": [],
             "untestable": [],
             "aborted": [],
         }
+        dropped = [False] * len(faults)
         aborts = 0
-        for fault in faults:
+        for i, fault in enumerate(faults):
+            if dropped[i]:
+                # Already detected by an earlier generated pattern.
+                report["detected"].append(fault)
+                continue
             result = self.generate(fault)
             if result.status is PodemStatus.DETECTED:
                 patterns.append(result.pattern)
                 report["detected"].append(fault)
+                if simulator is not None:
+                    pending = [
+                        j for j in range(i + 1, len(faults)) if not dropped[j]
+                    ]
+                    if pending:
+                        drop_result = simulator.run(
+                            [result.pattern],
+                            faults=[faults[j] for j in pending],
+                        )
+                        for j, det in zip(pending, drop_result.first_detect):
+                            if det is not None:
+                                dropped[j] = True
             elif result.status is PodemStatus.UNTESTABLE:
                 report["untestable"].append(fault)
             else:

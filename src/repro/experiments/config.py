@@ -114,8 +114,15 @@ def make_program(
     chip: Netlist | None = None,
     num_patterns: int = NUM_PATTERNS,
     seed: int = PATTERN_SEED,
+    engine: str = "batch",
 ) -> TestProgram:
-    """The canonical test program: random patterns, fault-simulated."""
+    """The canonical test program: random patterns, fault-simulated.
+
+    ``engine`` selects the fault-simulation engine (all engines produce
+    identical programs; see :func:`repro.simulator.make_engine`).
+    """
     if chip is None:
         chip = make_chip()
-    return TestProgram.build(chip, random_patterns(chip, num_patterns, seed=seed))
+    return TestProgram.build(
+        chip, random_patterns(chip, num_patterns, seed=seed), engine=engine
+    )

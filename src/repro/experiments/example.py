@@ -40,13 +40,18 @@ class ExampleResult:
     mc_rows: list[dict]
 
 
-def run(seed: int = config.LOT_SEED, mc_lot_size: int = 4000) -> ExampleResult:
+def run(
+    seed: int = config.LOT_SEED,
+    mc_lot_size: int = 4000,
+    engine: str = "batch",
+) -> ExampleResult:
     """Compute the Section 7 numbers and validate r(f) by Monte Carlo.
 
     The validation follows the paper's methodology: calibrate the effective
     ``n0`` once from the lot's first-fail curve (a *calibration* lot), then
     predict the escape rate of truncated programs on a fresh *production*
-    lot and compare with the observed escapes.
+    lot and compare with the observed escapes.  ``engine`` selects the
+    fault-simulation engine (results are engine-independent).
     """
     from repro.core.estimation import estimate_n0_least_squares
 
@@ -55,11 +60,11 @@ def run(seed: int = config.LOT_SEED, mc_lot_size: int = 4000) -> ExampleResult:
     wadsack = {r: model.wadsack_required_coverage(r) for r in PAPER_VALUES}
 
     chip = config.make_chip()
-    program = config.make_program(chip)
+    program = config.make_program(chip, engine=engine)
 
     # Calibration lot: fit effective n0 from the full fail curve (Fig. 5).
     calibration_lot = config.make_lot(chip, num_chips=mc_lot_size, seed=seed)
-    tester = WaferTester(program)
+    tester = WaferTester(program, engine=engine)
     calibration = LotTestResult(
         program=program,
         records=tuple(tester.test_lot(calibration_lot.chips)),
@@ -74,7 +79,7 @@ def run(seed: int = config.LOT_SEED, mc_lot_size: int = 4000) -> ExampleResult:
     points = []
     for frac in (0.02, 0.1, 0.3, 1.0):
         truncated = program.truncated(max(1, int(len(program) * frac)))
-        prod_tester = WaferTester(truncated)
+        prod_tester = WaferTester(truncated, engine=engine)
         result = LotTestResult(
             program=truncated,
             records=tuple(prod_tester.test_lot(production_lot.chips)),

@@ -17,6 +17,7 @@ from repro.core.scaling import ShrinkScenario, ShrinkStudy
 from repro.experiments import config
 from repro.manufacturing.lot import fabricate_lot
 from repro.manufacturing.process import ProcessRecipe
+from repro.tester.tester import WaferTester
 from repro.utils.tables import TextTable
 from repro.yieldmodels.models import NegativeBinomialYield
 
@@ -35,8 +36,13 @@ class FinelineResult:
     fab_rows: list[dict]
 
 
-def run(seed: int = config.LOT_SEED) -> FinelineResult:
-    """Run the analytic shrink study and the fab cross-check."""
+def run(seed: int = config.LOT_SEED, engine: str = "batch") -> FinelineResult:
+    """Run the analytic shrink study and the fab cross-check.
+
+    ``engine`` selects the fault-simulation engine used to build the test
+    program and first-fail-test each shrink's lot (results are
+    engine-independent).
+    """
     base = ShrinkStudy(
         yield_model=NegativeBinomialYield(clustering=2.0),
         defect_density=2.0,
@@ -56,7 +62,11 @@ def run(seed: int = config.LOT_SEED) -> FinelineResult:
 
     # Fab cross-check: same chip, same absolute defect footprint, denser
     # layout (modeled by a *larger* footprint relative to the cell pitch).
+    # Each shrink's lot is also first-fail-tested against the canonical
+    # program, tying the n0 mechanism to an observed tester quantity.
     chip = config.make_chip()
+    program = config.make_program(chip, engine=engine)
+    tester = WaferTester(program, engine=engine)
     fab_rows = []
     for shrink in (1.0, 0.7, 0.5):
         recipe = ProcessRecipe(
@@ -66,11 +76,15 @@ def run(seed: int = config.LOT_SEED) -> FinelineResult:
             activation_probability=0.7,
         )
         lot = fabricate_lot(chip, recipe, 600, seed=seed)
+        records = tester.test_lot(lot.chips)
         fab_rows.append(
             {
                 "shrink": shrink,
                 "empirical_n0": lot.empirical_n0(),
                 "empirical_yield": lot.empirical_yield(),
+                "fraction_failed": sum(
+                    r.first_fail is not None for r in records
+                ) / len(records),
             }
         )
     return FinelineResult(
@@ -107,7 +121,7 @@ def render(result: FinelineResult) -> str:
         )
 
     fab_table = TextTable(
-        ["shrink", "empirical n0", "empirical yield"],
+        ["shrink", "empirical n0", "empirical yield", "fraction failed"],
         title="Fab cross-check: finer features -> more faults per defect",
     )
     for row in result.fab_rows:
@@ -116,6 +130,7 @@ def render(result: FinelineResult) -> str:
                 f"{row['shrink']:.1f}",
                 f"{row['empirical_n0']:.2f}",
                 f"{row['empirical_yield']:.3f}",
+                f"{row['fraction_failed']:.3f}",
             ]
         )
     return table.render() + "\n\n" + fab_table.render()

@@ -42,17 +42,22 @@ def run(
     lot_size: int = TABLE1_LOT_SIZE,
     num_patterns: int = config.NUM_PATTERNS,
     seed: int = config.LOT_SEED,
+    engine: str = "batch",
 ) -> Table1Result:
-    """Fit the paper's rows and regenerate the experiment by Monte Carlo."""
+    """Fit the paper's rows and regenerate the experiment by Monte Carlo.
+
+    ``engine`` selects the fault-simulation engine used for the program's
+    coverage curve and the lot tester (results are engine-independent).
+    """
     model_fractions = [
         reject_fraction(p.coverage, TABLE1_YIELD, PAPER_N0_FIT)
         for p in TABLE1_POINTS
     ]
 
     chip = config.make_chip()
-    program = config.make_program(chip, num_patterns=num_patterns)
+    program = config.make_program(chip, num_patterns=num_patterns, engine=engine)
     lot = config.make_lot(chip, num_chips=lot_size, seed=seed)
-    tester = WaferTester(program)
+    tester = WaferTester(program, engine=engine)
     lot_result = LotTestResult(
         program=program, records=tuple(tester.test_lot(lot.chips))
     )

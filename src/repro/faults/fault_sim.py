@@ -1,11 +1,23 @@
 """Parallel-pattern single-fault stuck-at simulation.
 
-For each fault, the circuit is re-simulated with the fault injected and
-outputs compared to the good machine, 64 patterns per pass.  Faults are
-dropped from later blocks once their first detecting pattern is known, so
-the cost is dominated by hard-to-detect faults — the same economics as the
-serial fault simulators the paper's LAMP reference implemented in hardware
-description.
+Patterns are processed in 64-wide blocks; within each block the simulation
+engine answers which patterns detect which faults.  Faults are dropped
+from later blocks once their first detecting pattern is known — the batch
+is *compacted* between blocks, so the cost is dominated by hard-to-detect
+faults, the same economics as the serial fault simulators the paper's
+LAMP reference implemented in hardware description.
+
+The engine is selectable (see :func:`repro.simulator.make_engine`):
+
+* ``"batch"`` (default) — fault-parallel NumPy evaluation: every gate is
+  evaluated once per block for *all* remaining faults simultaneously, one
+  machine per row of a ``(num_faults + 1, num_signals)`` ``uint64``
+  matrix;
+* ``"compiled"`` — the classical fault-at-a-time word-level loop;
+* ``"event"`` — scalar reference, pattern at a time.
+
+All engines produce bit-identical :class:`FaultSimResult` values; the
+differential test suite enforces it.
 
 The headline artifact is :meth:`FaultSimResult.coverage_curve`: cumulative
 fault coverage after each pattern, i.e. the x-axis of the paper's Table 1
@@ -21,8 +33,9 @@ import numpy as np
 
 from repro.circuit.netlist import Netlist
 from repro.faults.model import StuckAtFault, full_fault_universe
+from repro.simulator import Engine, make_engine
 from repro.simulator.parallel_sim import CompiledCircuit
-from repro.simulator.values import WORD_BITS, pack_patterns
+from repro.simulator.values import WORD_BITS, first_detecting_bits, pack_patterns
 
 __all__ = ["FaultSimulator", "FaultSimResult"]
 
@@ -91,11 +104,32 @@ class FaultSimResult:
 
 
 class FaultSimulator:
-    """Single-stuck-at fault simulator over a compiled netlist."""
+    """Single-stuck-at fault simulator with a selectable block engine.
 
-    def __init__(self, netlist: Netlist):
+    ``engine`` is ``"batch"`` (default), ``"compiled"``, ``"event"``, or a
+    ready :class:`~repro.simulator.Engine` instance to share a compiled
+    engine across simulators.
+    """
+
+    def __init__(self, netlist: Netlist, engine: str | Engine = "batch"):
         self.netlist = netlist
-        self.compiled = CompiledCircuit(netlist)
+        self.engine = make_engine(netlist, engine)
+        self._compiled: CompiledCircuit | None = None
+
+    @property
+    def compiled(self) -> CompiledCircuit:
+        """Word-level single-pattern circuit backing :meth:`detects`.
+
+        Built lazily (``run`` never needs it), reusing the engine's own
+        compilation when the engine is word-level already.
+        """
+        if self._compiled is None:
+            engine_compiled = getattr(self.engine, "compiled", None)
+            if isinstance(engine_compiled, CompiledCircuit):
+                self._compiled = engine_compiled
+            else:
+                self._compiled = CompiledCircuit(self.netlist)
+        return self._compiled
 
     def run(
         self,
@@ -104,10 +138,12 @@ class FaultSimulator:
     ) -> FaultSimResult:
         """Fault-simulate ``patterns`` in order against ``faults``.
 
-        ``faults`` defaults to the full universe.  Patterns are processed in
-        64-wide blocks with fault dropping across blocks.
+        ``faults`` defaults to the full universe.  ``patterns`` is any
+        sliceable sequence of patterns — a list of dicts, a list of 0/1
+        tuples, or a 2D NumPy array with one row per pattern.  Patterns
+        are processed in 64-wide blocks with fault dropping across blocks.
         """
-        if not patterns:
+        if len(patterns) == 0:
             raise ValueError("need at least one pattern")
         if faults is None:
             faults = full_fault_universe(self.netlist)
@@ -118,26 +154,24 @@ class FaultSimulator:
         remaining = list(range(len(faults)))
 
         for block_start in range(0, len(patterns), WORD_BITS):
+            if not remaining:
+                break
             block = patterns[block_start : block_start + WORD_BITS]
             words = pack_patterns(input_names, block)
-            good = self.compiled.simulate(words)
+            detect_words = self.engine.detect_block(
+                words, len(block), [faults[fi] for fi in remaining]
+            )
+            # Compact the batch: only still-undetected faults ride into the
+            # next block.
             still_remaining: list[int] = []
-            for fi in remaining:
-                fault = faults[fi]
-                faulty = self.compiled.simulate(words, **fault.injection_args())
-                detect_word = 0
-                for name, good_word in good.items():
-                    detect_word |= good_word ^ faulty[name]
-                # Mask off bits beyond the block's pattern count.
-                detect_word &= (1 << len(block)) - 1
-                if detect_word:
-                    first_bit = (detect_word & -detect_word).bit_length() - 1
-                    first_detect[fi] = block_start + first_bit
+            for fi, bit in zip(
+                remaining, first_detecting_bits(detect_words, len(block))
+            ):
+                if bit is not None:
+                    first_detect[fi] = block_start + bit
                 else:
                     still_remaining.append(fi)
             remaining = still_remaining
-            if not remaining:
-                break
 
         return FaultSimResult(tuple(faults), tuple(first_detect), len(patterns))
 

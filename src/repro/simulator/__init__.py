@@ -1,21 +1,119 @@
 """Logic simulation substrate.
 
-Two engines over the same :class:`~repro.circuit.netlist.Netlist` model:
+Three engines over the same :class:`~repro.circuit.netlist.Netlist` model,
+all exchangeable behind the :class:`Engine` protocol:
 
 * :mod:`repro.simulator.event_sim` — a scalar event-driven simulator; the
-  readable reference implementation, also used to cross-check the fast path.
+  readable reference implementation, also used to cross-check the fast
+  paths (``engine="event"``).
 * :mod:`repro.simulator.parallel_sim` — a levelized compiled simulator that
   packs 64 test patterns per machine word, the classical parallel-pattern
-  technique used by fault simulators of the paper's era (LAMP among them).
+  technique used by fault simulators of the paper's era, simulating one
+  fault at a time (``engine="compiled"``).
+* :mod:`repro.simulator.batch_sim` — the fault-parallel batched engine: a
+  NumPy ``uint64`` value matrix of shape ``(num_faults + 1, num_signals)``
+  whose row 0 is the good machine and whose other rows each carry one
+  injected fault set, so every gate is evaluated once per 64-pattern block
+  for *all* faults at once (``engine="batch"``, the default everywhere).
+
+Anything that fault-simulates (:class:`~repro.faults.fault_sim.FaultSimulator`,
+:class:`~repro.tester.tester.WaferTester`, PODEM fault dropping, the
+experiment harness) accepts an ``engine`` argument — either one of the
+names above or a ready :class:`Engine` instance — and routes its inner
+loop through :meth:`Engine.detect_block`.
 """
 
-from repro.simulator.values import pack_patterns, unpack_outputs
-from repro.simulator.event_sim import EventSimulator
-from repro.simulator.parallel_sim import CompiledCircuit
+from __future__ import annotations
+
+from typing import Mapping, Protocol, Sequence, runtime_checkable
+
+from repro.circuit.netlist import Netlist
+from repro.simulator.values import WORD_BITS, pack_patterns, unpack_outputs
+from repro.simulator.event_sim import EventEngine, EventSimulator
+from repro.simulator.parallel_sim import CompiledCircuit, CompiledEngine
+from repro.simulator.batch_sim import BatchCompiledCircuit, BatchEngine
 
 __all__ = [
+    "WORD_BITS",
     "pack_patterns",
     "unpack_outputs",
     "EventSimulator",
+    "EventEngine",
     "CompiledCircuit",
+    "CompiledEngine",
+    "BatchCompiledCircuit",
+    "BatchEngine",
+    "Engine",
+    "ENGINES",
+    "make_engine",
 ]
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """One 64-pattern block of fault simulation, however implemented.
+
+    The fault simulator owns pattern blocking, first-detect bookkeeping,
+    and fault dropping; an engine only answers the per-block question:
+    *which patterns of this block detect which of these faults?*
+
+    ``netlist`` is the circuit the engine was compiled for — required so
+    :func:`make_engine` can reject an engine handed to a simulator of a
+    *different* circuit, which would otherwise silently corrupt coverage.
+    """
+
+    name: str
+    netlist: Netlist
+
+    def detect_block(
+        self,
+        input_words: Mapping[str, int],
+        num_patterns: int,
+        faults: Sequence,
+    ) -> Sequence[int]:
+        """Detect words for ``faults`` under one packed pattern block.
+
+        ``input_words`` maps each primary input to a 64-bit packed word
+        (see :func:`pack_patterns`); ``num_patterns`` is the number of
+        valid patterns in the block.  Bit ``k`` of ``result[i]`` is set
+        iff pattern ``k`` detects ``faults[i]``.  Bits at or above
+        ``num_patterns`` are unspecified — callers mask them off.
+        """
+        ...
+
+
+ENGINES = {
+    "batch": BatchEngine,
+    "compiled": CompiledEngine,
+    "event": EventEngine,
+}
+
+
+def make_engine(netlist: Netlist, engine: str | Engine = "batch") -> Engine:
+    """Resolve an engine name (or pass through an instance) for ``netlist``.
+
+    An :class:`Engine` instance is returned as-is — callers sharing one
+    compiled engine across simulators pass the instance directly.  The
+    instance must have been built for the *same* netlist object: detect
+    words computed on a different circuit would silently corrupt every
+    downstream coverage number.
+    """
+    if isinstance(engine, str):
+        try:
+            engine_cls = ENGINES[engine]
+        except KeyError:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
+            ) from None
+        return engine_cls(netlist)
+    if not isinstance(engine, Engine):
+        raise TypeError(
+            f"engine must be a name or an Engine instance (with a "
+            f"netlist attribute), got {engine!r}"
+        )
+    if engine.netlist is not netlist:
+        raise ValueError(
+            f"engine {engine.name!r} was compiled for netlist "
+            f"{engine.netlist.name!r}, not {netlist.name!r}"
+        )
+    return engine

@@ -8,12 +8,14 @@ simulator is validated against it property-style in the test suite.
 from __future__ import annotations
 
 from collections import deque
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.circuit.gates import GateType, evaluate_word
 from repro.circuit.netlist import Netlist
+from repro.simulator.sites import validate_fault_site
+from repro.simulator.values import unpack_outputs
 
-__all__ = ["EventSimulator"]
+__all__ = ["EventSimulator", "EventEngine"]
 
 
 class EventSimulator:
@@ -62,6 +64,11 @@ class EventSimulator:
         """
         queue: deque[str] = deque()
         for name, value in inputs.items():
+            if name not in self.netlist:
+                raise ValueError(
+                    f"unknown primary input {name!r} in "
+                    f"{self.netlist.name!r}"
+                )
             gate = self.netlist.gate(name)
             if gate.gate_type is not GateType.INPUT:
                 raise ValueError(f"{name!r} is not a primary input")
@@ -101,3 +108,59 @@ class EventSimulator:
     def value(self, signal: str) -> int:
         """Current settled value of any signal."""
         return self._values[signal]
+
+
+class EventEngine:
+    """Scalar fault-at-a-time, pattern-at-a-time block engine.
+
+    Satisfies the :class:`~repro.simulator.Engine` protocol.  The good
+    machine runs on the incremental :class:`EventSimulator`; each faulty
+    machine is a fresh scalar topological pass with the fault injected
+    using the same semantics as the word-level engines (stem forced after
+    its driver evaluates, pin forced only inside the sink gate).  Slow and
+    obviously correct — the cross-check for both fast paths.
+    """
+
+    name = "event"
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self._good_sim = EventSimulator(netlist)
+        self._gates = list(netlist)  # topological order
+        self._outputs = list(netlist.outputs)
+
+    def _faulty_outputs(self, pattern: Mapping[str, int], fault) -> dict[str, int]:
+        values: dict[str, int] = {}
+        stem = None if fault.is_branch else fault.signal
+        for gate in self._gates:
+            if gate.gate_type is GateType.INPUT:
+                value = pattern[gate.name]
+            else:
+                operands = [values[s] for s in gate.inputs]
+                if fault.is_branch and fault.gate == gate.name:
+                    operands[fault.pin] = fault.value
+                value = evaluate_word(gate.gate_type, operands) & 1
+            if stem == gate.name:
+                value = fault.value
+            values[gate.name] = value
+        return {name: values[name] for name in self._outputs}
+
+    def detect_block(
+        self,
+        input_words: Mapping[str, int],
+        num_patterns: int,
+        faults: Sequence,
+    ) -> list[int]:
+        for fault in faults:
+            validate_fault_site(self.netlist, fault)
+        patterns = unpack_outputs(input_words, num_patterns)
+        detect_words = [0] * len(faults)
+        for k, pattern in enumerate(patterns):
+            good = self._good_sim.run_pattern(pattern)
+            bit = 1 << k
+            for i, fault in enumerate(faults):
+                faulty = self._faulty_outputs(pattern, fault)
+                if any(good[o] != faulty[o] for o in self._outputs):
+                    detect_words[i] |= bit
+        return detect_words

@@ -18,8 +18,9 @@ from typing import Mapping, Sequence
 
 from repro.circuit.gates import WORD_MASK, GateType, evaluate_word
 from repro.circuit.netlist import Netlist
+from repro.simulator.sites import validate_pin_site, validate_stem_site, validate_stuck_value
 
-__all__ = ["CompiledCircuit"]
+__all__ = ["CompiledCircuit", "CompiledEngine"]
 
 _ZERO = 0
 _ONES = WORD_MASK
@@ -120,22 +121,17 @@ class CompiledCircuit:
 
         stem_words: dict[int, int] = {}
         for name, v in all_stems:
-            if v not in (0, 1):
-                raise ValueError(f"stuck value must be 0/1, got {v!r}")
+            validate_stuck_value(v)
+            validate_stem_site(self.netlist, name)
             idx = self._index[name]
             stem_words[idx] = _ONES if v else _ZERO
             values[idx] = stem_words[idx]  # covers faults on primary inputs
 
         pin_words: dict[int, dict[int, int]] = {}
         for gate_name, pin_pos, v in all_pins:
-            if v not in (0, 1):
-                raise ValueError(f"stuck value must be 0/1, got {v!r}")
+            validate_stuck_value(v)
+            validate_pin_site(self.netlist, gate_name, pin_pos)
             gate_idx = self._index[gate_name]
-            arity = len(self.netlist.gate(gate_name).inputs)
-            if not 0 <= pin_pos < arity:
-                raise ValueError(
-                    f"gate {gate_name!r} has {arity} pins, no pin {pin_pos}"
-                )
             pin_words.setdefault(gate_idx, {})[pin_pos] = _ONES if v else _ZERO
 
         for gate_type, in_idx, out_idx in self._ops:
@@ -157,3 +153,37 @@ class CompiledCircuit:
             name: values[idx]
             for name, idx in zip(self._output_names, self._output_indices)
         }
+
+
+class CompiledEngine:
+    """Serial fault-at-a-time block engine over :class:`CompiledCircuit`.
+
+    Satisfies the :class:`~repro.simulator.Engine` protocol.  One good
+    pass plus one full resimulation per fault — the pre-batching fault
+    simulator inner loop, kept as the word-level reference the batch
+    engine must match bit for bit.
+    """
+
+    name = "compiled"
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.compiled = CompiledCircuit(netlist)
+
+    def detect_block(
+        self,
+        input_words: Mapping[str, int],
+        num_patterns: int,
+        faults: Sequence,
+    ) -> list[int]:
+        good = self.compiled.simulate(input_words)
+        detect_words: list[int] = []
+        for fault in faults:
+            faulty = self.compiled.simulate(
+                input_words, **fault.injection_args()
+            )
+            word = 0
+            for name, good_word in good.items():
+                word |= good_word ^ faulty[name]
+            detect_words.append(word)
+        return detect_words

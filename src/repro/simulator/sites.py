@@ -1,0 +1,47 @@
+"""Shared stuck-at fault-site validation used by every engine.
+
+One source of truth: the engines must diverge on speed only, never on
+which fault sets they accept.  The differential suite compares their
+*results*, which only means something if they reject the same bogus
+inputs with the same errors — a typo'd site silently simulated as the
+good machine would corrupt coverage instead of failing loudly.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Netlist
+
+__all__ = [
+    "validate_stuck_value",
+    "validate_stem_site",
+    "validate_pin_site",
+    "validate_fault_site",
+]
+
+
+def validate_stuck_value(value: int) -> None:
+    if value not in (0, 1):
+        raise ValueError(f"stuck value must be 0/1, got {value!r}")
+
+
+def validate_stem_site(netlist: Netlist, signal: str) -> None:
+    if signal not in netlist:
+        raise ValueError(f"no signal named {signal!r} in {netlist.name!r}")
+
+
+def validate_pin_site(netlist: Netlist, gate: str, pin: int) -> None:
+    if gate not in netlist:
+        raise ValueError(f"no gate named {gate!r} in {netlist.name!r}")
+    arity = len(netlist.gate(gate).inputs)
+    if not 0 <= pin < arity:
+        raise ValueError(f"gate {gate!r} has {arity} input pins, no pin {pin}")
+
+
+def validate_fault_site(netlist: Netlist, fault) -> None:
+    """Validate one stuck-at fault (site attributes of
+    :class:`~repro.faults.model.StuckAtFault`) against ``netlist``."""
+    validate_stuck_value(fault.value)
+    if fault.is_branch:
+        validate_pin_site(netlist, fault.gate, fault.pin)
+    else:
+        validate_stem_site(netlist, fault.signal)

@@ -9,9 +9,30 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["WORD_BITS", "pack_patterns", "unpack_outputs"]
+__all__ = ["WORD_BITS", "pack_patterns", "unpack_outputs", "first_detecting_bits"]
 
 WORD_BITS = 64
+
+
+def first_detecting_bits(
+    detect_words: Sequence[int], num_patterns: int
+) -> list[int | None]:
+    """Lowest set bit of each detect word within the block, or ``None``.
+
+    The one place the first-detect idiom lives: bits at or above
+    ``num_patterns`` are masked off (they belong to zero-filled pad
+    patterns), and the surviving word's lowest set bit is the block-local
+    index of the first detecting pattern.  Used by the fault simulator's
+    drop loop and the wafer tester's first-fail scan alike.
+    """
+    if not 1 <= num_patterns <= WORD_BITS:
+        raise ValueError(f"num_patterns must be in [1, {WORD_BITS}]")
+    mask = (1 << num_patterns) - 1
+    bits: list[int | None] = []
+    for word in detect_words:
+        word = int(word) & mask
+        bits.append((word & -word).bit_length() - 1 if word else None)
+    return bits
 
 
 def pack_patterns(
@@ -21,8 +42,14 @@ def pack_patterns(
     """Pack up to 64 patterns into one word per input signal.
 
     Each pattern is either a dict keyed by input name or a positional
-    sequence aligned with ``input_names``.  Returns ``{input_name: word}``
-    where bit ``k`` of the word is that input's value in pattern ``k``.
+    sequence aligned with ``input_names`` (lists, tuples, and NumPy rows
+    all work).  Returns ``{input_name: word}`` where bit ``k`` of the word
+    is that input's value in pattern ``k``.
+
+    Dict patterns must carry *exactly* the declared inputs: a missing key
+    raises, and so does an unknown one — a typo'd input name would
+    otherwise silently degrade to a stale 0 bit and corrupt every coverage
+    number downstream.
     """
     if len(patterns) == 0:
         raise ValueError("need at least one pattern")
@@ -30,23 +57,34 @@ def pack_patterns(
         raise ValueError(f"at most {WORD_BITS} patterns per word, got {len(patterns)}")
     words = {name: 0 for name in input_names}
     for k, pattern in enumerate(patterns):
-        for i, name in enumerate(input_names):
-            if isinstance(pattern, Mapping):
+        if isinstance(pattern, Mapping):
+            if len(pattern) != len(words):
+                unknown = sorted(set(pattern) - set(words))
+                if unknown:
+                    raise ValueError(
+                        f"pattern {k} has unknown inputs {unknown}"
+                    )
+            for name in input_names:
                 try:
                     value = pattern[name]
                 except KeyError:
                     raise ValueError(f"pattern {k} missing input {name!r}") from None
-            else:
-                if len(pattern) != len(input_names):
-                    raise ValueError(
-                        f"pattern {k} has {len(pattern)} values for "
-                        f"{len(input_names)} inputs"
-                    )
+                if value not in (0, 1):
+                    raise ValueError(f"pattern {k} input {name!r}: value must be 0/1")
+                if value:
+                    words[name] |= 1 << k
+        else:
+            if len(pattern) != len(input_names):
+                raise ValueError(
+                    f"pattern {k} has {len(pattern)} values for "
+                    f"{len(input_names)} inputs"
+                )
+            for i, name in enumerate(input_names):
                 value = pattern[i]
-            if value not in (0, 1):
-                raise ValueError(f"pattern {k} input {name!r}: value must be 0/1")
-            if value:
-                words[name] |= 1 << k
+                if value not in (0, 1):
+                    raise ValueError(f"pattern {k} input {name!r}: value must be 0/1")
+                if value:
+                    words[name] |= 1 << k
     return words
 
 

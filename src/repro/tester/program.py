@@ -41,15 +41,18 @@ class TestProgram:
         netlist: Netlist,
         patterns: Sequence[Mapping[str, int]],
         collapse: bool = True,
+        engine: str = "batch",
     ) -> "TestProgram":
         """Fault-simulate ``patterns`` and record the coverage profile.
 
         ``collapse=True`` simulates one representative per equivalence
         class and expands the result — same numbers, roughly half the work.
+        ``engine`` selects the fault-simulation engine (see
+        :func:`repro.simulator.make_engine`).
         """
-        if not patterns:
+        if len(patterns) == 0:
             raise ValueError("a test program needs at least one pattern")
-        simulator = FaultSimulator(netlist)
+        simulator = FaultSimulator(netlist, engine=engine)
         if collapse:
             classes = equivalence_classes(netlist)
             reps = sorted(classes, key=lambda f: f.sort_key)

@@ -4,6 +4,13 @@ Each chip's *actual* multi-fault machine is simulated (all of its stuck-at
 faults injected simultaneously), so fault masking between coexisting
 faults is physical, not assumed away — the tester sees exactly what a
 Sentry saw: output disagreement at some pattern, or a clean pass.
+
+Lot testing is chip-parallel by default (``engine="batch"``): every
+still-passing defective chip is one row of a
+:class:`~repro.simulator.batch_sim.BatchCompiledCircuit` batch, so one
+vectorized pass per 64-pattern block tests the whole lot at once, and
+chips drop out of the batch as soon as they fail.  ``engine="compiled"``
+keeps the serial chip-at-a-time loop as the word-level reference.
 """
 
 from __future__ import annotations
@@ -12,8 +19,9 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.manufacturing.wafer import FabricatedChip
+from repro.simulator.batch_sim import BatchCompiledCircuit
 from repro.simulator.parallel_sim import CompiledCircuit
-from repro.simulator.values import WORD_BITS, pack_patterns
+from repro.simulator.values import WORD_BITS, first_detecting_bits, pack_patterns
 from repro.tester.program import TestProgram
 
 __all__ = ["ChipTestRecord", "WaferTester"]
@@ -44,19 +52,44 @@ class ChipTestRecord:
 class WaferTester:
     """Applies a :class:`TestProgram` to fabricated chips, first-fail mode."""
 
-    def __init__(self, program: TestProgram):
+    def __init__(self, program: TestProgram, engine: str = "batch"):
+        """``engine="batch"`` tests the lot chip-parallel; any other known
+        engine name falls back to the serial chip-at-a-time word-level loop
+        (multi-fault machines need word-level simulation either way)."""
+        if engine not in ("batch", "compiled", "event"):
+            raise ValueError(
+                f"tester engine must be one of 'batch', 'compiled', "
+                f"'event', got {engine!r}"
+            )
         self.program = program
-        self._compiled = CompiledCircuit(program.netlist)
+        self.engine = engine
         inputs = program.netlist.inputs
-        # Pre-pack pattern blocks and good-machine responses once.
+        # Pre-pack pattern blocks once.  Both compiled circuits and the
+        # good-machine responses are lazy: the batched lot path carries the
+        # good machine as row 0 of each batch and never touches the serial
+        # word-level circuit, and vice versa.
         self._blocks: list[tuple[dict[str, int], int]] = []
-        self._good: list[dict[str, int]] = []
         patterns = program.patterns
         for start in range(0, len(patterns), WORD_BITS):
             block = patterns[start : start + WORD_BITS]
             words = pack_patterns(inputs, block)
             self._blocks.append((words, len(block)))
-            self._good.append(self._compiled.simulate(words))
+        self._compiled_circuit: CompiledCircuit | None = None
+        self._batch: BatchCompiledCircuit | None = None
+        self._good: list[dict[str, int]] | None = None
+
+    @property
+    def _compiled(self) -> CompiledCircuit:
+        if self._compiled_circuit is None:
+            self._compiled_circuit = CompiledCircuit(self.program.netlist)
+        return self._compiled_circuit
+
+    def _good_responses(self) -> list[dict[str, int]]:
+        if self._good is None:
+            self._good = [
+                self._compiled.simulate(words) for words, _ in self._blocks
+            ]
+        return self._good
 
     def test_chip(self, chip: FabricatedChip) -> ChipTestRecord:
         """Test one chip, stopping at its first failing pattern."""
@@ -71,16 +104,15 @@ class WaferTester:
             return ChipTestRecord(chip.chip_id, is_good=True, first_fail=None)
 
         offset = 0
-        for (words, block_len), good in zip(self._blocks, self._good):
+        for (words, block_len), good in zip(self._blocks, self._good_responses()):
             observed = self._compiled.simulate(
                 words, stuck_signals=stems, stuck_pins=pins
             )
             fail_word = 0
             for name, good_word in good.items():
                 fail_word |= good_word ^ observed[name]
-            fail_word &= (1 << block_len) - 1
-            if fail_word:
-                first_bit = (fail_word & -fail_word).bit_length() - 1
+            (first_bit,) = first_detecting_bits([fail_word], block_len)
+            if first_bit is not None:
                 return ChipTestRecord(
                     chip.chip_id, is_good=False, first_fail=offset + first_bit
                 )
@@ -88,5 +120,50 @@ class WaferTester:
         return ChipTestRecord(chip.chip_id, is_good=False, first_fail=None)
 
     def test_lot(self, chips: Sequence[FabricatedChip]) -> list[ChipTestRecord]:
-        """Test every chip of a lot."""
-        return [self.test_chip(chip) for chip in chips]
+        """Test every chip of a lot; records in chip order."""
+        if self.engine != "batch":
+            return [self.test_chip(chip) for chip in chips]
+        return self._test_lot_batched(chips)
+
+    def _test_lot_batched(
+        self, chips: Sequence[FabricatedChip]
+    ) -> list[ChipTestRecord]:
+        """Chip-parallel lot test: one batch row per still-passing chip."""
+        if self._batch is None:
+            self._batch = BatchCompiledCircuit(self.program.netlist)
+        records: dict[int, ChipTestRecord] = {}
+        remaining: list[int] = []
+        for i, chip in enumerate(chips):
+            if chip.faults:
+                remaining.append(i)
+            else:
+                records[i] = ChipTestRecord(
+                    chip.chip_id, is_good=True, first_fail=None
+                )
+
+        offset = 0
+        for words, block_len in self._blocks:
+            if not remaining:
+                break
+            fail_words = self._batch.detect_words(
+                words, [chips[i].faults for i in remaining]
+            )
+            still_remaining: list[int] = []
+            for i, first_bit in zip(
+                remaining, first_detecting_bits(fail_words, block_len)
+            ):
+                if first_bit is not None:
+                    records[i] = ChipTestRecord(
+                        chips[i].chip_id,
+                        is_good=False,
+                        first_fail=offset + first_bit,
+                    )
+                else:
+                    still_remaining.append(i)
+            remaining = still_remaining
+            offset += block_len
+        for i in remaining:
+            records[i] = ChipTestRecord(
+                chips[i].chip_id, is_good=False, first_fail=None
+            )
+        return [records[i] for i in range(len(chips))]
