@@ -15,6 +15,7 @@ history.
 """
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -22,6 +23,60 @@ from pathlib import Path
 import pytest
 
 BENCH_DIR = Path(__file__).resolve().parent
+
+
+def available_cpus():
+    """CPU count visible to this process (1 when undetectable)."""
+    return os.cpu_count() or 1
+
+
+def require_cpus(name, min_cpus, workload=None):
+    """Skip (not fail) a scaling bench on machines with too few CPUs.
+
+    A worker-scaling curve measured on fewer cores than workers is noise,
+    not signal.  So a ``skipped`` marker record (with the machine's CPU
+    count and the reason) is written *only if no real curve exists yet* —
+    a single-core box must not clobber a curve a multi-core machine
+    committed — and then the calling test skips.  Returns the CPU count
+    when the machine qualifies.
+    """
+    cpus = available_cpus()
+    if cpus < min_cpus:
+        reason = f"worker scaling needs >= {min_cpus} CPUs, have {cpus}"
+        existing = BENCH_DIR / f"BENCH_{name}.json"
+        has_real_curve = existing.exists() and not json.loads(
+            existing.read_text()
+        ).get("skipped", False)
+        if not has_real_curve:
+            payload = {"skipped": True, "cpus": cpus, "reason": reason}
+            if workload is not None:
+                payload["workload"] = workload
+            write_bench_record(name, payload)
+        pytest.skip(reason)
+    return cpus
+
+
+def write_scaling_record(name, workload, timings, **extra):
+    """Persist a worker-scaling curve as ``BENCH_<name>.json``.
+
+    ``timings`` maps worker count to best-of wall-clock seconds; each
+    curve entry also records the speedup over the ``workers=1`` baseline.
+    """
+    if 1 not in timings:
+        raise ValueError("scaling record needs a workers=1 baseline")
+    baseline = timings[1]
+    curve = [
+        {
+            "workers": workers,
+            "seconds": seconds,
+            "speedup": baseline / seconds,
+        }
+        for workers, seconds in sorted(timings.items())
+    ]
+    return write_bench_record(
+        name,
+        {"workload": workload, "cpus": available_cpus(), "curve": curve, **extra},
+    )
 
 
 def run_once(benchmark, func, *args, **kwargs):

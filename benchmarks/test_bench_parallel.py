@@ -1,0 +1,102 @@
+"""Worker-scaling benchmark of the process-sharded runtime.
+
+Times the PR-2 parallel axis on the canonical lot workload — wafer
+fabrication, first-fail lot testing, and a full-universe fault
+simulation — at ``workers`` = 1, 2, 4, asserts the results are
+bit-identical at every worker count, and writes the wall-clock scaling
+curve to ``BENCH_parallel.json``.  On single-core machines the curve is
+meaningless, so the bench records a skip marker instead of failing (see
+``bench_utils.require_cpus``).
+"""
+
+import pytest
+
+from bench_utils import (
+    available_cpus,
+    require_cpus,
+    time_best_of,
+    write_scaling_record,
+)
+
+from repro.atpg.random_gen import random_patterns
+from repro.experiments import config
+from repro.faults.fault_sim import FaultSimulator
+from repro.manufacturing.lot import fabricate_lot
+from repro.tester.tester import WaferTester
+
+WORKER_COUNTS = (1, 2, 4)
+# Sized so one serial pass is a few seconds: the per-stage pool setup
+# (fork + one context pickle per worker) must be noise, not signal.
+LOT_CHIPS = 20000
+DIES_PER_WAFER = 25
+SIM_PATTERNS = 512
+
+
+def test_bench_parallel_scaling(request):
+    """Lot-test + fault-sim wall clock vs worker count.
+
+    The acceptance bar is >= 2.5x at ``workers=4`` over ``workers=1`` on
+    machines with at least 4 CPUs; with 2-3 CPUs only the 2-worker point
+    is asserted (weakly).  Every worker count must produce bit-identical
+    chips, tester records, and first-detects.
+    """
+    if request.config.getoption("benchmark_skip", False) or (
+        request.config.getoption("benchmark_disable", False)
+    ):
+        pytest.skip("pytest-benchmark timing disabled for this run")
+
+    workload = {
+        "lot_chips": LOT_CHIPS,
+        "dies_per_wafer": DIES_PER_WAFER,
+        "sim_patterns": SIM_PATTERNS,
+        "circuit": "canonical_x1",
+        "stages": ["fabricate_lot", "test_lot", "fault_sim"],
+    }
+    cpus = require_cpus("parallel", 2, workload=workload)
+
+    chip = config.make_chip()
+    recipe = config.make_recipe()
+    program = config.make_program(chip)
+    tester = WaferTester(program)
+    simulator = FaultSimulator(chip)
+    patterns = random_patterns(chip, SIM_PATTERNS, seed=9)
+
+    timings = {}
+    reference = None
+    for workers in WORKER_COUNTS:
+
+        def workload_run(workers=workers):
+            lot = fabricate_lot(
+                chip,
+                recipe,
+                LOT_CHIPS,
+                dies_per_wafer=DIES_PER_WAFER,
+                seed=5,
+                workers=workers,
+            )
+            records = tester.test_lot(lot.chips, workers=workers)
+            sim = simulator.run(patterns, workers=workers)
+            return lot.chips, records, sim.first_detect
+
+        seconds, result = time_best_of(workload_run, repeats=2)
+        timings[workers] = seconds
+        if reference is None:
+            reference = result
+        else:
+            # Bit-identical at every worker count — the runtime contract.
+            assert result == reference
+
+    record_path = write_scaling_record("parallel", workload, timings)
+    speedup = {w: timings[1] / timings[w] for w in WORKER_COUNTS}
+    print(
+        "\nparallel runtime: "
+        + ", ".join(
+            f"workers={w} {timings[w]:.2f}s ({speedup[w]:.2f}x)"
+            for w in WORKER_COUNTS
+        )
+        + f" on {cpus} CPUs -> {record_path.name}"
+    )
+    if cpus >= 4:
+        assert speedup[4] >= 2.5
+    else:
+        assert speedup[2] >= 1.2

@@ -75,14 +75,14 @@ class DefectGenerator:
             else None
         )
 
-    def chip_defects(
+    def chip_defect_arrays(
         self, area: float, rng=None, density_value: float | None = None
-    ) -> list[Defect]:
-        """Generate the defects on one chip of the given area.
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized core of :meth:`chip_defects`: ``(xs, ys, radii)``.
 
-        ``density_value`` lets a caller (the wafer model) supply a density
-        realization shared by neighboring chips; by default each chip draws
-        its own, giving chip-level clustering.
+        The whole chip's defect set as three aligned float arrays, with no
+        per-defect Python objects — array consumers (bulk statistics, the
+        fab hot path) use this directly and skip materialization.
         """
         if area <= 0:
             raise ValueError(f"area must be > 0, got {area}")
@@ -93,19 +93,43 @@ class DefectGenerator:
             raise ValueError(f"density must be >= 0, got {density_value}")
         count = int(rng.poisson(density_value * area))
         if count == 0:
-            return []
+            empty = np.empty(0)
+            return empty, empty.copy(), empty.copy()
         side = np.sqrt(area)
         xs = rng.uniform(0.0, side, size=count)
         ys = rng.uniform(0.0, side, size=count)
         if self.sizes is not None:
-            radii = self.sizes.sample(rng, count)
+            radii = np.asarray(self.sizes.sample(rng, count), dtype=float)
+            if radii.size and radii.min() < 0:
+                raise ValueError(
+                    f"defect radius must be >= 0, got {radii.min()}"
+                )
         elif self._mu is None:
             radii = np.zeros(count)
         elif self.radius_sigma == 0.0:
             radii = np.full(count, self.mean_radius)
         else:
             radii = rng.lognormal(self._mu, self.radius_sigma, size=count)
-        return [Defect(float(x), float(y), float(r)) for x, y, r in zip(xs, ys, radii)]
+        return xs, ys, radii
+
+    def chip_defects(
+        self, area: float, rng=None, density_value: float | None = None
+    ) -> list[Defect]:
+        """Generate the defects on one chip of the given area.
+
+        ``density_value`` lets a caller (the wafer model) supply a density
+        realization shared by neighboring chips; by default each chip draws
+        its own, giving chip-level clustering.  :class:`Defect` objects
+        are materialized only here, at the API boundary, from the arrays
+        of :meth:`chip_defect_arrays`.
+        """
+        xs, ys, radii = self.chip_defect_arrays(
+            area, rng=rng, density_value=density_value
+        )
+        return [
+            Defect(x, y, r)
+            for x, y, r in zip(xs.tolist(), ys.tolist(), radii.tolist())
+        ]
 
     def defect_counts(self, area: float, chips: int, rng=None) -> np.ndarray:
         """Vectorized per-chip defect counts (no positions) for ``chips`` dies.

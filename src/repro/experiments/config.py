@@ -96,17 +96,20 @@ def make_lot(
     chip: Netlist | None = None,
     num_chips: int = LOT_SIZE,
     seed: int = LOT_SEED,
+    workers: int | str = 1,
 ) -> FabricatedLot:
     """Fabricate the canonical lot.
 
     Small wafers (16 dies) so even a 277-chip lot spans many density
     realizations; one or two shared wafer-level draws would make the lot
-    yield wildly noisy under clustering.
+    yield wildly noisy under clustering.  ``workers`` fabricates wafers
+    in parallel; the lot is bit-identical at any worker count.
     """
     if chip is None:
         chip = make_chip()
     return fabricate_lot(
-        chip, make_recipe(), num_chips, dies_per_wafer=16, seed=seed
+        chip, make_recipe(), num_chips, dies_per_wafer=16, seed=seed,
+        workers=workers,
     )
 
 
@@ -115,14 +118,17 @@ def make_program(
     num_patterns: int = NUM_PATTERNS,
     seed: int = PATTERN_SEED,
     engine: str = "batch",
+    workers: int | str = 1,
 ) -> TestProgram:
     """The canonical test program: random patterns, fault-simulated.
 
     ``engine`` selects the fault-simulation engine (all engines produce
-    identical programs; see :func:`repro.simulator.make_engine`).
+    identical programs; see :func:`repro.simulator.make_engine`);
+    ``workers`` shards the coverage fault simulation over processes.
     """
     if chip is None:
         chip = make_chip()
     return TestProgram.build(
-        chip, random_patterns(chip, num_patterns, seed=seed), engine=engine
+        chip, random_patterns(chip, num_patterns, seed=seed), engine=engine,
+        workers=workers,
     )

@@ -44,6 +44,7 @@ def run(
     seed: int = config.LOT_SEED,
     mc_lot_size: int = 4000,
     engine: str = "batch",
+    workers: int | str = 1,
 ) -> ExampleResult:
     """Compute the Section 7 numbers and validate r(f) by Monte Carlo.
 
@@ -51,7 +52,9 @@ def run(
     ``n0`` once from the lot's first-fail curve (a *calibration* lot), then
     predict the escape rate of truncated programs on a fresh *production*
     lot and compare with the observed escapes.  ``engine`` selects the
-    fault-simulation engine (results are engine-independent).
+    fault-simulation engine (results are engine-independent); ``workers``
+    shards the Monte-Carlo stages over processes (results are
+    worker-count-independent).
     """
     from repro.core.estimation import estimate_n0_least_squares
 
@@ -60,11 +63,13 @@ def run(
     wadsack = {r: model.wadsack_required_coverage(r) for r in PAPER_VALUES}
 
     chip = config.make_chip()
-    program = config.make_program(chip, engine=engine)
+    program = config.make_program(chip, engine=engine, workers=workers)
 
     # Calibration lot: fit effective n0 from the full fail curve (Fig. 5).
-    calibration_lot = config.make_lot(chip, num_chips=mc_lot_size, seed=seed)
-    tester = WaferTester(program, engine=engine)
+    calibration_lot = config.make_lot(
+        chip, num_chips=mc_lot_size, seed=seed, workers=workers
+    )
+    tester = WaferTester(program, engine=engine, workers=workers)
     calibration = LotTestResult(
         program=program,
         records=tuple(tester.test_lot(calibration_lot.chips)),
@@ -75,11 +80,13 @@ def run(
     )
 
     # Production lot: different seed, truncated programs, observed escapes.
-    production_lot = config.make_lot(chip, num_chips=mc_lot_size, seed=seed + 1)
+    production_lot = config.make_lot(
+        chip, num_chips=mc_lot_size, seed=seed + 1, workers=workers
+    )
     points = []
     for frac in (0.02, 0.1, 0.3, 1.0):
         truncated = program.truncated(max(1, int(len(program) * frac)))
-        prod_tester = WaferTester(truncated, engine=engine)
+        prod_tester = WaferTester(truncated, engine=engine, workers=workers)
         result = LotTestResult(
             program=truncated,
             records=tuple(prod_tester.test_lot(production_lot.chips)),

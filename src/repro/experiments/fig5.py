@@ -54,11 +54,17 @@ class Fig5Result:
     mc_fit_rms: float
 
 
-def run(seed: int = config.LOT_SEED, engine: str = "batch") -> Fig5Result:
+def run(
+    seed: int = config.LOT_SEED,
+    engine: str = "batch",
+    workers: int | str = 1,
+) -> Fig5Result:
     """Estimate n0 from the paper's Table 1 and from a fresh MC lot.
 
     ``engine`` selects the fault-simulation engine used for the program's
     coverage curve and the lot tester (results are engine-independent).
+    ``workers`` shards fabrication, fault simulation, and lot testing
+    over processes (results are worker-count-independent).
     """
     paper_ls = estimate_n0_least_squares(TABLE1_POINTS, TABLE1_YIELD)
     paper_slope = estimate_n0_slope(TABLE1_POINTS, yield_=TABLE1_YIELD)
@@ -68,9 +74,9 @@ def run(seed: int = config.LOT_SEED, engine: str = "batch") -> Fig5Result:
     )
 
     chip = config.make_chip()
-    program = config.make_program(chip, engine=engine)
-    lot = config.make_lot(chip, seed=seed)
-    tester = WaferTester(program, engine=engine)
+    program = config.make_program(chip, engine=engine, workers=workers)
+    lot = config.make_lot(chip, seed=seed, workers=workers)
+    tester = WaferTester(program, engine=engine, workers=workers)
     lot_result = LotTestResult(
         program=program, records=tuple(tester.test_lot(lot.chips))
     )

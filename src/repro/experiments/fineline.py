@@ -36,12 +36,17 @@ class FinelineResult:
     fab_rows: list[dict]
 
 
-def run(seed: int = config.LOT_SEED, engine: str = "batch") -> FinelineResult:
+def run(
+    seed: int = config.LOT_SEED,
+    engine: str = "batch",
+    workers: int | str = 1,
+) -> FinelineResult:
     """Run the analytic shrink study and the fab cross-check.
 
     ``engine`` selects the fault-simulation engine used to build the test
     program and first-fail-test each shrink's lot (results are
-    engine-independent).
+    engine-independent); ``workers`` shards fabrication and testing over
+    processes (results are worker-count-independent).
     """
     base = ShrinkStudy(
         yield_model=NegativeBinomialYield(clustering=2.0),
@@ -65,8 +70,8 @@ def run(seed: int = config.LOT_SEED, engine: str = "batch") -> FinelineResult:
     # Each shrink's lot is also first-fail-tested against the canonical
     # program, tying the n0 mechanism to an observed tester quantity.
     chip = config.make_chip()
-    program = config.make_program(chip, engine=engine)
-    tester = WaferTester(program, engine=engine)
+    program = config.make_program(chip, engine=engine, workers=workers)
+    tester = WaferTester(program, engine=engine, workers=workers)
     fab_rows = []
     for shrink in (1.0, 0.7, 0.5):
         recipe = ProcessRecipe(
@@ -75,7 +80,7 @@ def run(seed: int = config.LOT_SEED, engine: str = "batch") -> FinelineResult:
             mean_defect_radius=0.02 / shrink,  # relative footprint grows
             activation_probability=0.7,
         )
-        lot = fabricate_lot(chip, recipe, 600, seed=seed)
+        lot = fabricate_lot(chip, recipe, 600, seed=seed, workers=workers)
         records = tester.test_lot(lot.chips)
         fab_rows.append(
             {

@@ -6,6 +6,7 @@ Installed as the ``repro-experiments`` console script::
     repro-experiments fig1 fig6              # run a subset
     repro-experiments --output-dir results/  # also write one .txt each
     repro-experiments --engine compiled      # pre-batching fault-sim engine
+    repro-experiments --workers auto         # process-sharded Monte Carlo
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ import time
 from pathlib import Path
 
 from repro.experiments import example, fig1, fig234, fig5, fig6, fineline, table1
+from repro.runtime import resolve_workers
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -31,12 +33,16 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(name: str, engine: str | None = None) -> str:
+def run_experiment(
+    name: str,
+    engine: str | None = None,
+    workers: int | str | None = None,
+) -> str:
     """Run one experiment by name and return its rendered report.
 
-    ``engine`` selects the fault-simulation engine for experiments that
-    simulate (fig5, table1, example, fineline); the purely analytic ones
-    ignore it.
+    ``engine`` selects the fault-simulation engine and ``workers`` the
+    process count for experiments that simulate (fig5, table1, example,
+    fineline); the purely analytic ones ignore both.
     """
     if name not in EXPERIMENTS:
         raise KeyError(
@@ -44,9 +50,29 @@ def run_experiment(name: str, engine: str | None = None) -> str:
         )
     run, render = EXPERIMENTS[name]
     kwargs = {}
-    if engine is not None and "engine" in inspect.signature(run).parameters:
+    parameters = inspect.signature(run).parameters
+    if engine is not None and "engine" in parameters:
         kwargs["engine"] = engine
+    if workers is not None and "workers" in parameters:
+        kwargs["workers"] = workers
     return render(run(**kwargs))
+
+
+def _parse_workers(value: str) -> int | str:
+    """argparse type for ``--workers``: an integer >= 1 or ``auto``."""
+    workers: int | str = value
+    if value != "auto":
+        try:
+            workers = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"workers must be an integer >= 1 or 'auto', got {value!r}"
+            ) from None
+    try:
+        resolve_workers(workers)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return workers
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -81,6 +107,16 @@ def main(argv: list[str] | None = None) -> int:
             "loop; 'event' governs the coverage-curve fault simulation."
         ),
     )
+    parser.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        help=(
+            "worker processes for the Monte-Carlo experiments: an integer "
+            "or 'auto' (one per CPU). Default: 1, serial. Results are "
+            "bit-identical at every worker count."
+        ),
+    )
     args = parser.parse_args(argv)
     names = args.experiments or list(EXPERIMENTS)
     if args.output_dir is not None:
@@ -89,7 +125,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         start = time.perf_counter()
         try:
-            report = run_experiment(name, engine=args.engine)
+            report = run_experiment(name, engine=args.engine, workers=args.workers)
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2

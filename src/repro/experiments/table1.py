@@ -43,11 +43,14 @@ def run(
     num_patterns: int = config.NUM_PATTERNS,
     seed: int = config.LOT_SEED,
     engine: str = "batch",
+    workers: int | str = 1,
 ) -> Table1Result:
     """Fit the paper's rows and regenerate the experiment by Monte Carlo.
 
     ``engine`` selects the fault-simulation engine used for the program's
-    coverage curve and the lot tester (results are engine-independent).
+    coverage curve and the lot tester (results are engine-independent);
+    ``workers`` shards the Monte-Carlo stages over processes (results are
+    worker-count-independent).
     """
     model_fractions = [
         reject_fraction(p.coverage, TABLE1_YIELD, PAPER_N0_FIT)
@@ -55,9 +58,11 @@ def run(
     ]
 
     chip = config.make_chip()
-    program = config.make_program(chip, num_patterns=num_patterns, engine=engine)
-    lot = config.make_lot(chip, num_chips=lot_size, seed=seed)
-    tester = WaferTester(program, engine=engine)
+    program = config.make_program(
+        chip, num_patterns=num_patterns, engine=engine, workers=workers
+    )
+    lot = config.make_lot(chip, num_chips=lot_size, seed=seed, workers=workers)
+    tester = WaferTester(program, engine=engine, workers=workers)
     lot_result = LotTestResult(
         program=program, records=tuple(tester.test_lot(lot.chips))
     )

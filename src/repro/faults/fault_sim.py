@@ -27,12 +27,13 @@ and Fig. 5 calibration experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.circuit.netlist import Netlist
 from repro.faults.model import StuckAtFault, full_fault_universe
+from repro.runtime import ParallelExecutor, ShardPlan, resolve_workers
 from repro.simulator import Engine, make_engine
 from repro.simulator.parallel_sim import CompiledCircuit
 from repro.simulator.values import WORD_BITS, first_detecting_bits, pack_patterns
@@ -103,17 +104,79 @@ class FaultSimResult:
         return FaultSimResult(tuple(faults), tuple(detects), self.num_patterns)
 
 
+def _scan_blocks(
+    engine: Engine,
+    blocks: Iterable[tuple[Mapping[str, int], int]],
+    faults: Sequence[StuckAtFault],
+) -> list[int | None]:
+    """Pattern-block scan with cross-block fault dropping.
+
+    The one copy of the drop loop, shared by the serial path (lazy block
+    packing, early exit once every fault is detected) and the sharded
+    workers (each scans its own fault shard with per-shard compaction).
+    """
+    first_detect: list[int | None] = [None] * len(faults)
+    remaining = list(range(len(faults)))
+    offset = 0
+    for words, block_len in blocks:
+        if not remaining:
+            break
+        detect_words = engine.detect_block(
+            words, block_len, [faults[fi] for fi in remaining]
+        )
+        # Compact the batch: only still-undetected faults ride into the
+        # next block.
+        still_remaining: list[int] = []
+        for fi, bit in zip(
+            remaining, first_detecting_bits(detect_words, block_len)
+        ):
+            if bit is not None:
+                first_detect[fi] = offset + bit
+            else:
+                still_remaining.append(fi)
+        remaining = still_remaining
+        offset += block_len
+    return first_detect
+
+
+@dataclass(frozen=True)
+class _FaultShardContext:
+    """Per-pool worker context: the compiled engine plus packed blocks.
+
+    Shipped once per worker process via the pool initializer, so workers
+    reuse the parent's compiled NumPy arrays instead of re-levelizing.
+    """
+
+    engine: Engine
+    blocks: tuple[tuple[dict[str, int], int], ...]
+
+
+def _simulate_fault_shard(
+    context: _FaultShardContext, faults: list[StuckAtFault]
+) -> list[int | None]:
+    """Worker: scan all pattern blocks against one fault shard."""
+    return _scan_blocks(context.engine, context.blocks, faults)
+
+
 class FaultSimulator:
     """Single-stuck-at fault simulator with a selectable block engine.
 
     ``engine`` is ``"batch"`` (default), ``"compiled"``, ``"event"``, or a
     ready :class:`~repro.simulator.Engine` instance to share a compiled
-    engine across simulators.
+    engine across simulators.  ``workers`` shards the fault list over a
+    process pool (``1`` = serial, ``"auto"`` = one per CPU); results are
+    bit-identical at every setting (see :mod:`repro.runtime`).
     """
 
-    def __init__(self, netlist: Netlist, engine: str | Engine = "batch"):
+    def __init__(
+        self,
+        netlist: Netlist,
+        engine: str | Engine = "batch",
+        workers: int | str = 1,
+    ):
         self.netlist = netlist
         self.engine = make_engine(netlist, engine)
+        self.workers = workers
         self._compiled: CompiledCircuit | None = None
 
     @property
@@ -135,6 +198,7 @@ class FaultSimulator:
         self,
         patterns: Sequence[Mapping[str, int] | Sequence[int]],
         faults: Sequence[StuckAtFault] | None = None,
+        workers: int | str | None = None,
     ) -> FaultSimResult:
         """Fault-simulate ``patterns`` in order against ``faults``.
 
@@ -142,6 +206,13 @@ class FaultSimulator:
         sliceable sequence of patterns — a list of dicts, a list of 0/1
         tuples, or a 2D NumPy array with one row per pattern.  Patterns
         are processed in 64-wide blocks with fault dropping across blocks.
+
+        ``workers`` overrides the constructor setting for this run; above
+        1, the fault list is cut into contiguous shards, each worker
+        process scans all blocks against its shard (per-shard
+        compaction), and the merged first-detects are bit-identical to
+        the serial scan — per-fault results never depend on batch
+        composition.
         """
         if len(patterns) == 0:
             raise ValueError("need at least one pattern")
@@ -150,28 +221,29 @@ class FaultSimulator:
         faults = list(faults)
         input_names = self.netlist.inputs
 
-        first_detect: list[int | None] = [None] * len(faults)
-        remaining = list(range(len(faults)))
-
-        for block_start in range(0, len(patterns), WORD_BITS):
-            if not remaining:
-                break
-            block = patterns[block_start : block_start + WORD_BITS]
-            words = pack_patterns(input_names, block)
-            detect_words = self.engine.detect_block(
-                words, len(block), [faults[fi] for fi in remaining]
+        num_workers = resolve_workers(
+            self.workers if workers is None else workers
+        )
+        plan = ShardPlan.balanced(len(faults), num_workers)
+        if plan.num_shards > 1:
+            blocks = []
+            for start in range(0, len(patterns), WORD_BITS):
+                block = patterns[start : start + WORD_BITS]
+                blocks.append((pack_patterns(input_names, block), len(block)))
+            blocks = tuple(blocks)
+            context = _FaultShardContext(engine=self.engine, blocks=blocks)
+            shard_detects = ParallelExecutor(num_workers).map_shards(
+                _simulate_fault_shard, context, plan.split(faults)
             )
-            # Compact the batch: only still-undetected faults ride into the
-            # next block.
-            still_remaining: list[int] = []
-            for fi, bit in zip(
-                remaining, first_detecting_bits(detect_words, len(block))
-            ):
-                if bit is not None:
-                    first_detect[fi] = block_start + bit
-                else:
-                    still_remaining.append(fi)
-            remaining = still_remaining
+            first_detect = plan.merge(shard_detects)
+        else:
+
+            def lazy_blocks():
+                for start in range(0, len(patterns), WORD_BITS):
+                    block = patterns[start : start + WORD_BITS]
+                    yield pack_patterns(input_names, block), len(block)
+
+            first_detect = _scan_blocks(self.engine, lazy_blocks(), faults)
 
         return FaultSimResult(tuple(faults), tuple(first_detect), len(patterns))
 

@@ -5,10 +5,21 @@ the empirical quantities the paper's analysis is built on — yield, the
 fault-count histogram, and the mean fault count of defective chips (the
 ground-truth ``n0``) — so experiments can compare what the calibration
 procedure *estimates* against what the fab actually *did*.
+
+Fabrication is wafer-parallel: wafers of a lot are independent once each
+has its RNG-tree child, so ``fabricate_lot(..., workers=N)`` shards the
+wafer list over a process pool.  The per-wafer generators are spawned
+from the lot seed *before* sharding, so the fabricated chips are
+bit-identical at every worker count (see :mod:`repro.runtime`).  The
+expensive :class:`~repro.defects.layout.ChipLayout` (a full fault-site
+placement) and its :class:`~repro.manufacturing.wafer.Wafer` are cached
+per netlist, so call sites that fabricate many lots under one recipe
+levelize the layout once.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,6 +28,7 @@ from repro.circuit.netlist import Netlist
 from repro.defects.layout import ChipLayout
 from repro.manufacturing.process import ProcessRecipe
 from repro.manufacturing.wafer import FabricatedChip, Wafer
+from repro.runtime import ParallelExecutor, ShardPlan, resolve_workers
 from repro.utils.rng import make_rng, spawn_rngs
 
 __all__ = ["FabricatedLot", "fabricate_lot"]
@@ -44,10 +56,10 @@ class FabricatedLot:
 
     def fault_count_histogram(self) -> dict[int, int]:
         """``{fault count: number of chips}`` — the empirical Eq. 1."""
-        histogram: dict[int, int] = {}
-        for chip in self.chips:
-            histogram[chip.fault_count] = histogram.get(chip.fault_count, 0) + 1
-        return dict(sorted(histogram.items()))
+        if not self.chips:
+            return {}
+        counts = np.bincount(self.fault_counts())
+        return {int(n): int(c) for n, c in enumerate(counts) if c}
 
     def empirical_n0(self) -> float:
         """Mean fault count over *defective* chips — the true ``n0``."""
@@ -59,13 +71,72 @@ class FabricatedLot:
 
     def empirical_nav(self) -> float:
         """Mean fault count over all chips (the paper's ``nav``, Eq. 2)."""
+        if not self.chips:
+            raise ValueError("empty lot has no mean fault count")
         return float(self.fault_counts().mean())
 
     def defective_chips(self) -> list[FabricatedChip]:
         return [chip for chip in self.chips if not chip.is_good]
 
     def mean_defects_per_chip(self) -> float:
+        """Mean *physical* defect count per chip (good chips included)."""
+        if not self.chips:
+            raise ValueError("empty lot has no mean defect count")
         return float(np.mean([len(chip.defects) for chip in self.chips]))
+
+
+# Per-netlist caches of the fault-site placement and the wafer built on
+# it, keyed by the parameters that shape them.  A netlist is assumed
+# frozen once fabrication starts (the same contract every compiled
+# simulator relies on); weak keys let dead netlists drop their layouts.
+_LAYOUT_CACHE: "weakref.WeakKeyDictionary[Netlist, dict[float, ChipLayout]]" = (
+    weakref.WeakKeyDictionary()
+)
+_WAFER_CACHE: (
+    "weakref.WeakKeyDictionary[Netlist, dict[tuple[ProcessRecipe, int], Wafer]]"
+) = weakref.WeakKeyDictionary()
+
+
+def _cached_wafer(
+    netlist: Netlist, recipe: ProcessRecipe, dies_per_wafer: int
+) -> Wafer:
+    """The wafer for (netlist, recipe, dies), levelizing the layout once."""
+    layouts = _LAYOUT_CACHE.setdefault(netlist, {})
+    layout = layouts.get(recipe.chip_area)
+    if layout is None:
+        layout = ChipLayout(netlist, area=recipe.chip_area)
+        layouts[recipe.chip_area] = layout
+    wafers = _WAFER_CACHE.setdefault(netlist, {})
+    key = (recipe, dies_per_wafer)
+    wafer = wafers.get(key)
+    if wafer is None:
+        wafer = Wafer(recipe, layout, dies_per_wafer=dies_per_wafer)
+        wafers[key] = wafer
+    return wafer
+
+
+@dataclass(frozen=True)
+class _FabShardContext:
+    """Per-pool worker context: the pre-built wafer (layout included)."""
+
+    wafer: Wafer
+    dies_per_wafer: int
+
+
+def _fabricate_wafer_shard(
+    context: _FabShardContext,
+    wafer_tasks: list[tuple[int, np.random.Generator]],
+) -> list[FabricatedChip]:
+    """Worker: fabricate a shard of ``(wafer_index, wafer_rng)`` tasks."""
+    chips: list[FabricatedChip] = []
+    for index, wafer_rng in wafer_tasks:
+        chips.extend(
+            context.wafer.fabricate(
+                seed=wafer_rng,
+                first_chip_id=index * context.dies_per_wafer,
+            )
+        )
+    return chips
 
 
 def fabricate_lot(
@@ -74,21 +145,36 @@ def fabricate_lot(
     num_chips: int,
     dies_per_wafer: int = 100,
     seed=None,
+    workers: int | str = 1,
 ) -> FabricatedLot:
     """Fabricate ``num_chips`` dies of ``netlist`` under ``recipe``.
 
     Chips come off whole wafers; the final partial wafer is truncated so
-    exactly ``num_chips`` are returned.
+    exactly ``num_chips`` are returned.  ``workers`` fabricates wafers in
+    parallel (``1`` = serial, ``"auto"`` = one process per CPU); the
+    per-wafer RNG tree is spawned from ``seed`` before sharding, so the
+    lot is bit-identical for any worker count.
     """
     if num_chips < 1:
         raise ValueError(f"need >= 1 chip, got {num_chips}")
-    layout = ChipLayout(netlist, area=recipe.chip_area)
-    wafer = Wafer(recipe, layout, dies_per_wafer=dies_per_wafer)
+    wafer = _cached_wafer(netlist, recipe, dies_per_wafer)
     rng = make_rng(seed)
-    chips: list[FabricatedChip] = []
     num_wafers = -(-num_chips // dies_per_wafer)
-    for wafer_rng in spawn_rngs(rng, num_wafers):
-        chips.extend(wafer.fabricate(seed=wafer_rng, first_chip_id=len(chips)))
-        if len(chips) >= num_chips:
-            break
+    wafer_rngs = spawn_rngs(rng, num_wafers)
+    num_workers = resolve_workers(workers)
+    plan = ShardPlan.balanced(num_wafers, num_workers)
+    if plan.num_shards > 1:
+        context = _FabShardContext(wafer=wafer, dies_per_wafer=dies_per_wafer)
+        shards = ParallelExecutor(num_workers).map_shards(
+            _fabricate_wafer_shard,
+            context,
+            plan.split(list(enumerate(wafer_rngs))),
+        )
+        chips = plan.merge(shards)
+    else:
+        chips = []
+        for wafer_rng in wafer_rngs:
+            chips.extend(wafer.fabricate(seed=wafer_rng, first_chip_id=len(chips)))
+            if len(chips) >= num_chips:
+                break
     return FabricatedLot(recipe=recipe, chips=tuple(chips[:num_chips]))

@@ -1,0 +1,56 @@
+"""Process-sharded execution runtime.
+
+The Monte-Carlo layers above the batch engine — fault-list scanning in
+:class:`~repro.faults.fault_sim.FaultSimulator`, chip-list testing in
+:class:`~repro.tester.tester.WaferTester`, wafer fabrication in
+:func:`~repro.manufacturing.lot.fabricate_lot` — are embarrassingly
+parallel: rows of the ``(num_faults + 1, num_signals)`` batch, chips of a
+lot, and wafers of a fab run are all independent.  This package supplies
+the one mechanism they share: partition an ordered work list into
+contiguous shards (:class:`ShardPlan`), run one worker function per shard
+on a process pool (:class:`ParallelExecutor`), and merge the per-shard
+results back in shard order.
+
+Parallel runtime
+----------------
+
+**Shard/merge contract.**  :meth:`ShardPlan.balanced` cuts ``num_items``
+ordered items into at most ``workers`` contiguous, near-equal shards
+(sizes differ by at most one; no shard is empty).  Workers compute their
+shards fully independently — the fault simulator, for instance, runs its
+block loop with *per-shard* compaction, dropping each shard's detected
+faults between pattern blocks exactly as the serial scan does — and
+:meth:`ShardPlan.merge` concatenates the per-shard results in shard
+order.  Because shards are contiguous and never reordered, the merged
+output is *position-identical* to the serial run for any worker count;
+dropping a fault in one shard never changes another shard's arithmetic.
+
+**RNG-tree contract.**  Stochastic shard tasks (wafer fabrication) must
+not share a stream and must not let the worker count shape the random
+tree.  The caller therefore spawns one child generator per *task* (per
+wafer, not per worker) from the lot seed via
+:func:`~repro.utils.rng.spawn_rngs` *before* sharding, and ships the
+children inside the tasks.  The RNG tree depends only on the seed and
+the task count, so fabrication is bit-identical at every ``workers``
+setting — the determinism suite pins this down.
+
+**Compile-once workers.**  A pool's initializer receives the worker
+function and a single *shard context* once per worker process (keyed, in
+effect, by the pool: one context — one netlist's compiled form — per
+pool lifetime).  Contexts carry the pre-compiled NumPy arrays
+(:class:`~repro.simulator.batch_sim.BatchCompiledCircuit`, packed
+pattern blocks, pre-built :class:`~repro.manufacturing.wafer.Wafer`
+layouts), so workers never re-levelize a netlist per task; they unpickle
+the compiled arrays once and reuse them for every shard they process.
+
+**Serial fallback.**  ``workers=1`` (the default everywhere) never
+touches ``multiprocessing``: the work runs in-process on the exact
+serial code path, so default behavior, exception timing, and
+determinism are unchanged.  ``workers="auto"`` resolves to the visible
+CPU count.
+"""
+
+from repro.runtime.executor import ParallelExecutor, resolve_workers
+from repro.runtime.sharding import ShardPlan
+
+__all__ = ["ParallelExecutor", "ShardPlan", "resolve_workers"]

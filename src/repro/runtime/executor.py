@@ -1,0 +1,103 @@
+"""Process-pool execution of shard tasks with a per-process context.
+
+:class:`ParallelExecutor` runs ``fn(context, task)`` for an ordered list
+of tasks.  At ``workers=1`` it is a plain in-process loop (no
+``multiprocessing`` import cost, no pickling — the serial fallback that
+keeps default behavior unchanged).  Above that it creates a pool whose
+initializer installs ``(fn, context)`` once per worker process: the
+context — typically compiled NumPy arrays plus packed pattern blocks —
+is pickled exactly once per worker rather than once per task, which is
+what makes compile-once/fan-out profitable for netlist workloads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, TypeVar
+
+__all__ = ["ParallelExecutor", "resolve_workers"]
+
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
+
+# (fn, context) installed by the pool initializer — one per worker
+# process, fixed for the pool's lifetime.
+_WORKER_STATE: tuple[Callable, Any] | None = None
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Normalize a ``workers`` argument to a concrete process count.
+
+    ``"auto"`` means one worker per visible CPU; ``None`` and ``1`` mean
+    serial; any other value must be an integer >= 1.
+    """
+    if workers is None:
+        return 1
+    if isinstance(workers, str):
+        if workers != "auto":
+            raise ValueError(
+                f"workers must be an integer >= 1 or 'auto', got {workers!r}"
+            )
+        return max(1, os.cpu_count() or 1)
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise TypeError(
+            f"workers must be an integer >= 1 or 'auto', got {workers!r}"
+        )
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _init_worker(fn: Callable, context: Any) -> None:
+    """Pool initializer: cache the worker function and shard context."""
+    global _WORKER_STATE
+    _WORKER_STATE = (fn, context)
+
+
+def _run_task(task):
+    fn, context = _WORKER_STATE  # type: ignore[misc]
+    return fn(context, task)
+
+
+class ParallelExecutor:
+    """Maps a worker function over shard tasks, order-preserving.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` (serial, the default), an integer process count, or
+        ``"auto"`` for one process per visible CPU.
+    """
+
+    def __init__(self, workers: int | str | None = 1):
+        self.num_workers = resolve_workers(workers)
+
+    @property
+    def is_serial(self) -> bool:
+        return self.num_workers == 1
+
+    def map_shards(
+        self,
+        fn: Callable[[Any, TaskT], ResultT],
+        context: Any,
+        tasks: Iterable[TaskT],
+    ) -> list[ResultT]:
+        """Run ``fn(context, task)`` for every task; results in task order.
+
+        With one effective worker (or one task) this is an in-process
+        loop.  Otherwise ``fn`` and ``context`` must be picklable and
+        ``fn`` importable at module level; the pool never outlives the
+        call.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        processes = min(self.num_workers, len(tasks))
+        if processes == 1:
+            return [fn(context, task) for task in tasks]
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(
+            processes, initializer=_init_worker, initargs=(fn, context)
+        ) as pool:
+            return pool.map(_run_task, tasks)

@@ -1,0 +1,101 @@
+"""Deterministic contiguous sharding of ordered work lists.
+
+A :class:`ShardPlan` is pure bookkeeping: it fixes how many shards an
+``N``-item list is cut into and how large each shard is, independently of
+what the items are.  ``merge(split(items))`` returns ``items`` unchanged,
+so any per-item computation mapped shard-wise is position-stable — the
+invariant every parallel caller (fault simulator, wafer tester, fab)
+relies on for bit-identical results at any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, TypeVar
+
+__all__ = ["ShardPlan"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A contiguous partition of ``num_items`` ordered items.
+
+    ``shard_sizes[i]`` is the length of shard ``i``; shards cover the item
+    range in order with no gaps or overlaps.
+    """
+
+    num_items: int
+    shard_sizes: tuple[int, ...]
+
+    def __post_init__(self):
+        if self.num_items < 0:
+            raise ValueError(f"num_items must be >= 0, got {self.num_items}")
+        if any(size < 1 for size in self.shard_sizes):
+            raise ValueError(f"shard sizes must be >= 1, got {self.shard_sizes}")
+        if sum(self.shard_sizes) != self.num_items:
+            raise ValueError(
+                f"shard sizes {self.shard_sizes} cover "
+                f"{sum(self.shard_sizes)} items, not {self.num_items}"
+            )
+
+    @classmethod
+    def balanced(cls, num_items: int, max_shards: int) -> "ShardPlan":
+        """At most ``max_shards`` contiguous shards of near-equal size.
+
+        Sizes differ by at most one (earlier shards take the remainder)
+        and no shard is empty: with fewer items than shards the plan
+        simply has ``num_items`` single-item shards, so more workers than
+        work is never an error.  Zero items yield a zero-shard plan.
+        """
+        if max_shards < 1:
+            raise ValueError(f"max_shards must be >= 1, got {max_shards}")
+        count = min(max_shards, num_items)
+        if count <= 0:
+            if num_items < 0:
+                raise ValueError(f"num_items must be >= 0, got {num_items}")
+            return cls(0, ())
+        base, extra = divmod(num_items, count)
+        sizes = tuple(base + (1 if i < extra else 0) for i in range(count))
+        return cls(num_items, sizes)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_sizes)
+
+    def bounds(self) -> list[tuple[int, int]]:
+        """``(start, stop)`` item range of each shard, in shard order."""
+        bounds: list[tuple[int, int]] = []
+        start = 0
+        for size in self.shard_sizes:
+            bounds.append((start, start + size))
+            start += size
+        return bounds
+
+    def split(self, items: Sequence[T]) -> list[list[T]]:
+        """Cut ``items`` into per-shard sublists (shard order)."""
+        items = list(items)
+        if len(items) != self.num_items:
+            raise ValueError(
+                f"plan covers {self.num_items} items, got {len(items)}"
+            )
+        return [items[start:stop] for start, stop in self.bounds()]
+
+    def merge(self, shard_results: Sequence[Sequence[T]]) -> list[T]:
+        """Concatenate per-shard results back in shard order.
+
+        Shard results need not be item-for-item (a fabrication shard
+        returns chips, not wafers), so only the shard *count* is checked;
+        callers that are item-aligned get position identity from the
+        contiguity of :meth:`split`.
+        """
+        if len(shard_results) != self.num_shards:
+            raise ValueError(
+                f"plan has {self.num_shards} shards, got "
+                f"{len(shard_results)} results"
+            )
+        merged: list[T] = []
+        for shard in shard_results:
+            merged.extend(shard)
+        return merged

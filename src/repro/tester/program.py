@@ -42,17 +42,19 @@ class TestProgram:
         patterns: Sequence[Mapping[str, int]],
         collapse: bool = True,
         engine: str = "batch",
+        workers: int | str = 1,
     ) -> "TestProgram":
         """Fault-simulate ``patterns`` and record the coverage profile.
 
         ``collapse=True`` simulates one representative per equivalence
         class and expands the result — same numbers, roughly half the work.
         ``engine`` selects the fault-simulation engine (see
-        :func:`repro.simulator.make_engine`).
+        :func:`repro.simulator.make_engine`); ``workers`` shards the fault
+        list over a process pool (coverage is bit-identical at any count).
         """
         if len(patterns) == 0:
             raise ValueError("a test program needs at least one pattern")
-        simulator = FaultSimulator(netlist, engine=engine)
+        simulator = FaultSimulator(netlist, engine=engine, workers=workers)
         if collapse:
             classes = equivalence_classes(netlist)
             reps = sorted(classes, key=lambda f: f.sort_key)

@@ -11,6 +11,12 @@ still-passing defective chip is one row of a
 vectorized pass per 64-pattern block tests the whole lot at once, and
 chips drop out of the batch as soon as they fail.  ``engine="compiled"``
 keeps the serial chip-at-a-time loop as the word-level reference.
+
+Above the engine sits the process axis: ``workers > 1`` cuts the chip
+list into contiguous shards and tests each shard in a worker process
+(carrying the pre-compiled circuit, so workers never re-levelize).
+Chips are independent machines, so the merged records are bit-identical
+to the serial run at every worker count (see :mod:`repro.runtime`).
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.manufacturing.wafer import FabricatedChip
+from repro.runtime import ParallelExecutor, ShardPlan, resolve_workers
 from repro.simulator.batch_sim import BatchCompiledCircuit
 from repro.simulator.parallel_sim import CompiledCircuit
 from repro.simulator.values import WORD_BITS, first_detecting_bits, pack_patterns
@@ -49,13 +56,127 @@ class ChipTestRecord:
         return self.passed and not self.is_good
 
 
+def _batched_first_fail(
+    batch: BatchCompiledCircuit,
+    blocks: Sequence[tuple[dict[str, int], int]],
+    chips: Sequence[FabricatedChip],
+) -> list[ChipTestRecord]:
+    """Chip-parallel first-fail scan: one batch row per still-passing chip.
+
+    The core lot-test loop, shared by the in-process path and the shard
+    workers (each worker runs it over its own chip shard).
+    """
+    records: dict[int, ChipTestRecord] = {}
+    remaining: list[int] = []
+    for i, chip in enumerate(chips):
+        if chip.faults:
+            remaining.append(i)
+        else:
+            records[i] = ChipTestRecord(
+                chip.chip_id, is_good=True, first_fail=None
+            )
+
+    offset = 0
+    for words, block_len in blocks:
+        if not remaining:
+            break
+        fail_words = batch.detect_words(
+            words, [chips[i].faults for i in remaining]
+        )
+        still_remaining: list[int] = []
+        for i, first_bit in zip(
+            remaining, first_detecting_bits(fail_words, block_len)
+        ):
+            if first_bit is not None:
+                records[i] = ChipTestRecord(
+                    chips[i].chip_id,
+                    is_good=False,
+                    first_fail=offset + first_bit,
+                )
+            else:
+                still_remaining.append(i)
+        remaining = still_remaining
+        offset += block_len
+    for i in remaining:
+        records[i] = ChipTestRecord(
+            chips[i].chip_id, is_good=False, first_fail=None
+        )
+    return [records[i] for i in range(len(chips))]
+
+
+def _word_level_first_fail(
+    compiled: CompiledCircuit,
+    blocks: Sequence[tuple[dict[str, int], int]],
+    good: Sequence[dict[str, int]],
+    chip: FabricatedChip,
+) -> ChipTestRecord:
+    """Serial word-level first-fail scan of one chip's multi-fault machine."""
+    stems = []
+    pins = []
+    for fault in chip.faults:
+        if fault.is_branch:
+            pins.append((fault.gate, fault.pin, fault.value))
+        else:
+            stems.append((fault.signal, fault.value))
+    if not stems and not pins:
+        return ChipTestRecord(chip.chip_id, is_good=True, first_fail=None)
+
+    offset = 0
+    for (words, block_len), good_words in zip(blocks, good):
+        observed = compiled.simulate(words, stuck_signals=stems, stuck_pins=pins)
+        fail_word = 0
+        for name, good_word in good_words.items():
+            fail_word |= good_word ^ observed[name]
+        (first_bit,) = first_detecting_bits([fail_word], block_len)
+        if first_bit is not None:
+            return ChipTestRecord(
+                chip.chip_id, is_good=False, first_fail=offset + first_bit
+            )
+        offset += block_len
+    return ChipTestRecord(chip.chip_id, is_good=False, first_fail=None)
+
+
+@dataclass(frozen=True)
+class _LotShardContext:
+    """Per-pool worker context: compiled circuit(s) plus packed blocks.
+
+    Exactly one of ``batch`` / ``compiled`` is set, selecting the engine
+    the shard worker replays; both ship pre-compiled arrays so workers
+    never re-levelize the netlist.
+    """
+
+    blocks: tuple[tuple[dict[str, int], int], ...]
+    batch: BatchCompiledCircuit | None = None
+    compiled: CompiledCircuit | None = None
+    good: tuple[dict[str, int], ...] = ()
+
+
+def _test_lot_shard(
+    context: _LotShardContext, chips: list[FabricatedChip]
+) -> list[ChipTestRecord]:
+    """Worker: first-fail test one chip shard with the shipped circuit."""
+    if context.batch is not None:
+        return _batched_first_fail(context.batch, context.blocks, chips)
+    return [
+        _word_level_first_fail(context.compiled, context.blocks, context.good, chip)
+        for chip in chips
+    ]
+
+
 class WaferTester:
     """Applies a :class:`TestProgram` to fabricated chips, first-fail mode."""
 
-    def __init__(self, program: TestProgram, engine: str = "batch"):
+    def __init__(
+        self,
+        program: TestProgram,
+        engine: str = "batch",
+        workers: int | str = 1,
+    ):
         """``engine="batch"`` tests the lot chip-parallel; any other known
         engine name falls back to the serial chip-at-a-time word-level loop
-        (multi-fault machines need word-level simulation either way)."""
+        (multi-fault machines need word-level simulation either way).
+        ``workers`` shards the chip list over a process pool (``1`` =
+        serial, ``"auto"`` = one per CPU) under either engine."""
         if engine not in ("batch", "compiled", "event"):
             raise ValueError(
                 f"tester engine must be one of 'batch', 'compiled', "
@@ -63,6 +184,7 @@ class WaferTester:
             )
         self.program = program
         self.engine = engine
+        self.workers = workers
         inputs = program.netlist.inputs
         # Pre-pack pattern blocks once.  Both compiled circuits and the
         # good-machine responses are lazy: the batched lot path carries the
@@ -93,77 +215,47 @@ class WaferTester:
 
     def test_chip(self, chip: FabricatedChip) -> ChipTestRecord:
         """Test one chip, stopping at its first failing pattern."""
-        stems = []
-        pins = []
-        for fault in chip.faults:
-            if fault.is_branch:
-                pins.append((fault.gate, fault.pin, fault.value))
-            else:
-                stems.append((fault.signal, fault.value))
-        if not stems and not pins:
-            return ChipTestRecord(chip.chip_id, is_good=True, first_fail=None)
+        return _word_level_first_fail(
+            self._compiled, self._blocks, self._good_responses(), chip
+        )
 
-        offset = 0
-        for (words, block_len), good in zip(self._blocks, self._good_responses()):
-            observed = self._compiled.simulate(
-                words, stuck_signals=stems, stuck_pins=pins
-            )
-            fail_word = 0
-            for name, good_word in good.items():
-                fail_word |= good_word ^ observed[name]
-            (first_bit,) = first_detecting_bits([fail_word], block_len)
-            if first_bit is not None:
-                return ChipTestRecord(
-                    chip.chip_id, is_good=False, first_fail=offset + first_bit
+    def test_lot(
+        self,
+        chips: Sequence[FabricatedChip],
+        workers: int | str | None = None,
+    ) -> list[ChipTestRecord]:
+        """Test every chip of a lot; records in chip order.
+
+        ``workers`` overrides the constructor setting for this lot; above
+        1 the chip list is sharded over a process pool and the merged
+        records are bit-identical to the serial run.
+        """
+        chips = list(chips)
+        num_workers = resolve_workers(
+            self.workers if workers is None else workers
+        )
+        plan = ShardPlan.balanced(len(chips), num_workers)
+        if plan.num_shards > 1:
+            executor = ParallelExecutor(num_workers)
+            if self.engine == "batch":
+                context = _LotShardContext(
+                    blocks=tuple(self._blocks), batch=self._batch_circuit
                 )
-            offset += block_len
-        return ChipTestRecord(chip.chip_id, is_good=False, first_fail=None)
-
-    def test_lot(self, chips: Sequence[FabricatedChip]) -> list[ChipTestRecord]:
-        """Test every chip of a lot; records in chip order."""
+            else:
+                context = _LotShardContext(
+                    blocks=tuple(self._blocks),
+                    compiled=self._compiled,
+                    good=tuple(self._good_responses()),
+                )
+            return plan.merge(
+                executor.map_shards(_test_lot_shard, context, plan.split(chips))
+            )
         if self.engine != "batch":
             return [self.test_chip(chip) for chip in chips]
-        return self._test_lot_batched(chips)
+        return _batched_first_fail(self._batch_circuit, self._blocks, chips)
 
-    def _test_lot_batched(
-        self, chips: Sequence[FabricatedChip]
-    ) -> list[ChipTestRecord]:
-        """Chip-parallel lot test: one batch row per still-passing chip."""
+    @property
+    def _batch_circuit(self) -> BatchCompiledCircuit:
         if self._batch is None:
             self._batch = BatchCompiledCircuit(self.program.netlist)
-        records: dict[int, ChipTestRecord] = {}
-        remaining: list[int] = []
-        for i, chip in enumerate(chips):
-            if chip.faults:
-                remaining.append(i)
-            else:
-                records[i] = ChipTestRecord(
-                    chip.chip_id, is_good=True, first_fail=None
-                )
-
-        offset = 0
-        for words, block_len in self._blocks:
-            if not remaining:
-                break
-            fail_words = self._batch.detect_words(
-                words, [chips[i].faults for i in remaining]
-            )
-            still_remaining: list[int] = []
-            for i, first_bit in zip(
-                remaining, first_detecting_bits(fail_words, block_len)
-            ):
-                if first_bit is not None:
-                    records[i] = ChipTestRecord(
-                        chips[i].chip_id,
-                        is_good=False,
-                        first_fail=offset + first_bit,
-                    )
-                else:
-                    still_remaining.append(i)
-            remaining = still_remaining
-            offset += block_len
-        for i in remaining:
-            records[i] = ChipTestRecord(
-                chips[i].chip_id, is_good=False, first_fail=None
-            )
-        return [records[i] for i in range(len(chips))]
+        return self._batch
