@@ -1,0 +1,59 @@
+"""The Session facade: fabricate -> test -> estimate -> experiment.
+
+One :class:`repro.api.Session` owns the worker pool and the
+compiled-circuit caches, so every stage below — and every *repeat* of a
+stage — reuses one compiled form of the chip instead of paying setup
+per call.  This is the whole-pipeline companion to ``quickstart.py``
+(which uses the analytic model alone).
+
+Run:  PYTHONPATH=src python examples/session_pipeline.py
+"""
+
+from repro.api import Session
+from repro.atpg.random_gen import random_patterns
+from repro.core.estimation import estimate_n0_least_squares
+from repro.experiments import config
+
+
+def main() -> None:
+    with Session(engine="batch", workers="auto") as session:
+        chip = config.make_chip()
+        recipe = config.make_recipe()
+
+        # Fabricate the paper's 277-chip lot (bit-identical at any
+        # worker count; wafers fabricate in parallel on the pool).
+        lot = session.fabricate(
+            chip, recipe, num_chips=277, dies_per_wafer=16, seed=27
+        )
+        print(
+            f"lot: {len(lot)} chips, yield {lot.empirical_yield():.3f}, "
+            f"true n0 {lot.empirical_n0():.2f}"
+        )
+
+        # Build the test program: the coverage curve is the x-axis of
+        # the paper's calibration.
+        program = session.build_program(
+            chip, random_patterns(chip, 96, seed=7)
+        )
+        print(f"program: {len(program)} patterns, "
+              f"final coverage {program.final_coverage:.3f}")
+
+        # First-fail test and calibrate n0 from the fail curve (Fig. 5).
+        result = session.test(lot, program)
+        n0 = estimate_n0_least_squares(
+            result.coverage_points(), lot.empirical_yield()
+        )
+        print(f"calibrated n0 = {n0:.1f}  (paper: 8)")
+
+        # Re-testing through the same session ships nothing new to the
+        # pool workers — the compiled context is cached by token.
+        session.test(lot, program)
+        print(f"session stats after a repeat test: {session.stats()}")
+
+        # Whole named experiments run through the same pool and caches.
+        print()
+        print(session.run_experiment("fig1"))
+
+
+if __name__ == "__main__":
+    main()

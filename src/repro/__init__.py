@@ -14,7 +14,10 @@ The package has two halves:
   regenerate the paper's experimental data (Table 1, Fig. 5) the way the
   authors obtained theirs from the LAMP simulator and a Sentry tester.
 
-:mod:`repro.experiments` regenerates every figure and table.
+:mod:`repro.experiments` regenerates every figure and table, and
+:class:`repro.api.Session` is the facade over the whole pipeline — one
+object owning the worker pool, the compiled-circuit caches, and the
+engine/worker policy.
 """
 
 from repro.core.quality import QualityModel
@@ -23,4 +26,20 @@ from repro.core.estimation import CoveragePoint
 
 __version__ = "1.0.0"
 
-__all__ = ["QualityModel", "FaultDistribution", "CoveragePoint", "__version__"]
+__all__ = [
+    "QualityModel",
+    "FaultDistribution",
+    "CoveragePoint",
+    "Session",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy: repro.api pulls in the manufacturing/tester stack, which the
+    # analytic-model-only users never need at import time.
+    if name == "Session":
+        from repro.api import Session
+
+        return Session
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,27 @@
+"""Unified facade over the fab-test-estimate pipeline.
+
+:class:`Session` is the single entry point callers should reach for: it
+owns execution policy (fault-simulation engine, worker processes) and
+the compile-once caches, so the rest of the code never hand-threads
+``engine=`` / ``workers=`` kwargs through
+:meth:`~repro.tester.program.TestProgram.build`,
+:func:`~repro.manufacturing.lot.fabricate_lot`, and
+:class:`~repro.tester.tester.WaferTester`::
+
+    from repro.api import Session
+
+    with Session(workers="auto") as session:
+        chip = config.make_chip()
+        lot = session.fabricate(chip, recipe, num_chips=277, seed=27)
+        program = session.build_program(chip, patterns)
+        result = session.test(lot, program)
+        report = session.run_experiment("table1")
+
+Results are bit-identical to the serial pipeline at every engine and
+worker setting — the session changes *where* the work runs, never what
+it computes.
+"""
+
+from repro.api.session import Session, resolve_session
+
+__all__ = ["Session", "resolve_session"]

@@ -1,0 +1,257 @@
+"""The :class:`Session` facade: persistent pools + compile-once caches.
+
+A session is the long-lived runtime object the ROADMAP's service
+direction calls for: one object owns the execution policy (engine name,
+worker count), a **persistent** :class:`~repro.runtime.ParallelExecutor`
+pool, and per-netlist caches of compiled simulation engines, so many
+cheap requests — fabricate a lot, build a program, test a lot, run an
+experiment — amortize one expensive setup:
+
+* the process pool is forked once per session, not once per call;
+* each compiled context (batch circuit + packed pattern blocks, or a
+  pre-built wafer layout) is pickled into the workers once per session,
+  keyed by a context token, instead of once per call;
+* a netlist seen twice compiles once — ``build_program`` and ``test``
+  share the session's per-netlist engine cache.
+
+``Session(workers=1)`` is a zero-overhead serial facade (no pool is ever
+created), which is what the deprecation shims build when legacy
+``engine=`` / ``workers=`` kwargs are used.
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Sequence
+
+from repro.circuit.netlist import Netlist
+from repro.manufacturing.lot import FabricatedLot, fabricate_lot
+from repro.manufacturing.process import ProcessRecipe
+from repro.manufacturing.wafer import FabricatedChip
+from repro.runtime import ParallelExecutor, resolve_workers
+from repro.simulator import ENGINES, Engine, make_engine
+from repro.tester.program import TestProgram
+from repro.tester.results import LotTestResult
+from repro.tester.tester import WaferTester
+
+__all__ = ["Session", "resolve_session"]
+
+
+class Session:
+    """Unified entry point for the fab-test-estimate pipeline.
+
+    Parameters
+    ----------
+    engine:
+        Fault-simulation engine name for everything the session runs:
+        ``"batch"`` (default), ``"compiled"``, or ``"event"``.
+    workers:
+        Worker processes for the sharded stages: an integer, ``"auto"``
+        (one per visible CPU, the default), or ``1`` for a fully serial
+        session that never forks.
+
+    Sessions are context managers; :meth:`close` tears down the worker
+    pool and drops the caches.  All results are bit-identical across
+    engines and worker counts.
+    """
+
+    def __init__(self, engine: str = "batch", workers: int | str = "auto"):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
+            )
+        self.engine = engine
+        self.num_workers = resolve_workers(workers)
+        self._executor = ParallelExecutor(self.num_workers, persistent=True)
+        self._engines: dict[Netlist, Engine] = {}
+        # Testers keyed by program identity (TestProgram carries a NumPy
+        # curve, so it is not hashable); the program reference in the
+        # value keeps the id stable for the session's lifetime.
+        self._testers: dict[int, tuple[TestProgram, WaferTester]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def executor(self) -> ParallelExecutor:
+        """The session's persistent executor (for runtime-level callers)."""
+        return self._executor
+
+    def close(self) -> None:
+        """Tear down the worker pool and drop the caches (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.close()
+        self._engines.clear()
+        self._testers.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    # --------------------------------------------------------------- caches
+
+    def _engine_for(self, netlist: Netlist) -> Engine:
+        """The compiled engine for ``netlist`` — compile once per session."""
+        engine = self._engines.get(netlist)
+        if engine is None:
+            engine = make_engine(netlist, self.engine)
+            self._engines[netlist] = engine
+        return engine
+
+    def _tester_for(self, program: TestProgram) -> WaferTester:
+        """The cached tester for ``program``, sharing compiled circuits."""
+        entry = self._testers.get(id(program))
+        if entry is not None and entry[0] is program:
+            return entry[1]
+        engine = self._engine_for(program.netlist)
+        tester = WaferTester(
+            program,
+            engine=self.engine,
+            executor=self._executor,
+            batch_circuit=getattr(engine, "batch", None),
+            compiled_circuit=getattr(engine, "compiled", None),
+        )
+        self._testers[id(program)] = (program, tester)
+        return tester
+
+    def stats(self) -> dict[str, int]:
+        """Cache/pool observability: compiled netlists, testers, shipments."""
+        return {
+            "cached_netlists": len(self._engines),
+            "cached_testers": len(self._testers),
+            "contexts_shipped": self._executor.contexts_shipped,
+        }
+
+    # ------------------------------------------------------------- pipeline
+
+    def fabricate(
+        self,
+        netlist: Netlist,
+        recipe: ProcessRecipe,
+        num_chips: int,
+        dies_per_wafer: int = 100,
+        seed=None,
+    ) -> FabricatedLot:
+        """Fabricate a lot of ``num_chips`` dies through the session pool.
+
+        Wafer layouts are levelized once per (netlist, recipe, dies) and
+        shipped to the pool workers once per session; the lot is
+        bit-identical to :func:`~repro.manufacturing.lot.fabricate_lot`
+        at any worker count.
+        """
+        self._check_open()
+        return fabricate_lot(
+            netlist,
+            recipe,
+            num_chips,
+            dies_per_wafer=dies_per_wafer,
+            seed=seed,
+            executor=self._executor,
+        )
+
+    def build_program(
+        self,
+        netlist: Netlist,
+        patterns: Sequence[Mapping[str, int]],
+        collapse: bool = True,
+    ) -> TestProgram:
+        """Fault-simulate ``patterns`` into a :class:`TestProgram`.
+
+        The simulation engine is compiled once per netlist per session;
+        repeated builds on one netlist reuse the compiled arrays and the
+        session pool.
+        """
+        self._check_open()
+        return TestProgram.build(
+            netlist,
+            patterns,
+            collapse=collapse,
+            engine=self._engine_for(netlist),
+            executor=self._executor,
+        )
+
+    def test(
+        self,
+        lot: FabricatedLot | Sequence[FabricatedChip],
+        program: TestProgram,
+    ) -> LotTestResult:
+        """First-fail test a lot (or bare chip list) against ``program``.
+
+        The tester — compiled circuit plus packed pattern blocks — is
+        cached per program, so N small lots through one session ship the
+        compiled context to the pool once, then only the chip shards
+        travel.
+        """
+        self._check_open()
+        chips = lot.chips if isinstance(lot, FabricatedLot) else tuple(lot)
+        tester = self._tester_for(program)
+        return LotTestResult(
+            program=program, records=tuple(tester.test_lot(chips))
+        )
+
+    def run_experiment(self, name: str) -> str:
+        """Run one named paper experiment through this session.
+
+        Returns the rendered report; see
+        :data:`repro.experiments.runner.EXPERIMENTS` for the names.
+        """
+        self._check_open()
+        # Imported lazily: the experiments packages themselves import
+        # repro.api for their session parameters.
+        from repro.experiments.runner import run_experiment
+
+        return run_experiment(name, session=self)
+
+
+@contextmanager
+def resolve_session(
+    session: Session | None = None,
+    engine: str | None = None,
+    workers: int | str | None = None,
+    owner: str = "this function",
+) -> Iterator[Session]:
+    """Yield the caller's session, or a throwaway one built from kwargs.
+
+    The single deprecation shim behind every migrated call site: passing
+    ``session`` uses it as-is (and never closes it); passing the legacy
+    ``engine=`` / ``workers=`` kwargs instead emits a
+    :class:`DeprecationWarning` and wraps them in a short-lived session
+    that is closed on exit; passing neither yields a serial throwaway
+    session, preserving the historical serial-by-default behavior.
+    """
+    if session is not None:
+        if engine is not None or workers is not None:
+            raise TypeError(
+                f"{owner} takes either session= or the deprecated "
+                f"engine=/workers= kwargs, not both"
+            )
+        yield session
+        return
+    if engine is not None or workers is not None:
+        warnings.warn(
+            f"passing engine=/workers= to {owner} is deprecated; pass "
+            f"session=repro.api.Session(engine=..., workers=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    throwaway = Session(
+        engine="batch" if engine is None else engine,
+        workers=1 if workers is None else workers,
+    )
+    try:
+        yield throwaway
+    finally:
+        throwaway.close()

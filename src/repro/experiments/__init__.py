@@ -15,7 +15,10 @@ module         reproduces
 =============  =====================================================
 
 ``runner.main()`` (installed as ``repro-experiments``) runs everything and
-prints the paper-versus-measured comparison for each artifact.
+prints the paper-versus-measured comparison for each artifact.  Every
+``run`` accepts ``session=`` (a :class:`repro.api.Session`) for execution
+policy; the Monte-Carlo ones draw their engine, worker pool, and
+compiled-circuit caches from it.
 """
 
 from repro.experiments import config

@@ -5,10 +5,17 @@ match the paper's Section 7 conditions: yield near 7 percent and a true
 ``n0`` near 8.  Every experiment that needs a lot or a test program builds
 it from here, so Table 1 and Fig. 5 describe the *same* experiment, as in
 the paper.
+
+Execution policy lives in a :class:`repro.api.Session`: pass ``session=``
+to :func:`make_lot` / :func:`make_program` to run them through its worker
+pool and compiled-circuit caches.  The legacy ``engine=`` / ``workers=``
+kwargs still work as deprecation shims that wrap a throwaway session; by
+default everything runs serially, bit-identical to any other setting.
 """
 
 from __future__ import annotations
 
+from repro.api import Session, resolve_session
 from repro.atpg.random_gen import random_patterns
 from repro.circuit.generators import array_multiplier, merge_netlists
 from repro.circuit.library import (
@@ -20,7 +27,7 @@ from repro.circuit.library import (
     ripple_carry_adder,
 )
 from repro.circuit.netlist import Netlist
-from repro.manufacturing.lot import FabricatedLot, fabricate_lot
+from repro.manufacturing.lot import FabricatedLot
 from repro.manufacturing.process import ProcessRecipe
 from repro.tester.program import TestProgram
 
@@ -96,39 +103,48 @@ def make_lot(
     chip: Netlist | None = None,
     num_chips: int = LOT_SIZE,
     seed: int = LOT_SEED,
-    workers: int | str = 1,
+    *,
+    session: Session | None = None,
+    workers: int | str | None = None,
 ) -> FabricatedLot:
     """Fabricate the canonical lot.
 
     Small wafers (16 dies) so even a 277-chip lot spans many density
     realizations; one or two shared wafer-level draws would make the lot
-    yield wildly noisy under clustering.  ``workers`` fabricates wafers
-    in parallel; the lot is bit-identical at any worker count.
+    yield wildly noisy under clustering.  ``session`` supplies the worker
+    pool (``workers`` is a deprecated shim); the lot is bit-identical at
+    any worker count.
     """
     if chip is None:
         chip = make_chip()
-    return fabricate_lot(
-        chip, make_recipe(), num_chips, dies_per_wafer=16, seed=seed,
-        workers=workers,
-    )
+    with resolve_session(
+        session, workers=workers, owner="make_lot()"
+    ) as session:
+        return session.fabricate(
+            chip, make_recipe(), num_chips, dies_per_wafer=16, seed=seed
+        )
 
 
 def make_program(
     chip: Netlist | None = None,
     num_patterns: int = NUM_PATTERNS,
     seed: int = PATTERN_SEED,
-    engine: str = "batch",
-    workers: int | str = 1,
+    *,
+    session: Session | None = None,
+    engine: str | None = None,
+    workers: int | str | None = None,
 ) -> TestProgram:
     """The canonical test program: random patterns, fault-simulated.
 
-    ``engine`` selects the fault-simulation engine (all engines produce
-    identical programs; see :func:`repro.simulator.make_engine`);
-    ``workers`` shards the coverage fault simulation over processes.
+    ``session`` supplies the fault-simulation engine and worker pool
+    (all engines produce identical programs); the ``engine`` /
+    ``workers`` kwargs are deprecated shims wrapping a throwaway session.
     """
     if chip is None:
         chip = make_chip()
-    return TestProgram.build(
-        chip, random_patterns(chip, num_patterns, seed=seed), engine=engine,
-        workers=workers,
-    )
+    with resolve_session(
+        session, engine=engine, workers=workers, owner="make_program()"
+    ) as session:
+        return session.build_program(
+            chip, random_patterns(chip, num_patterns, seed=seed)
+        )

@@ -14,12 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import Session, resolve_session
 from repro.core.quality import QualityModel
 from repro.core.reject_rate import field_reject_rate
 from repro.experiments import config
 from repro.paperdata import PAPER_N0_FIT, TABLE1_YIELD
-from repro.tester.results import LotTestResult
-from repro.tester.tester import WaferTester
 from repro.utils.tables import TextTable
 
 __all__ = ["ExampleResult", "run", "render"]
@@ -43,18 +42,20 @@ class ExampleResult:
 def run(
     seed: int = config.LOT_SEED,
     mc_lot_size: int = 4000,
-    engine: str = "batch",
-    workers: int | str = 1,
+    *,
+    session: Session | None = None,
+    engine: str | None = None,
+    workers: int | str | None = None,
 ) -> ExampleResult:
     """Compute the Section 7 numbers and validate r(f) by Monte Carlo.
 
     The validation follows the paper's methodology: calibrate the effective
     ``n0`` once from the lot's first-fail curve (a *calibration* lot), then
     predict the escape rate of truncated programs on a fresh *production*
-    lot and compare with the observed escapes.  ``engine`` selects the
-    fault-simulation engine (results are engine-independent); ``workers``
-    shards the Monte-Carlo stages over processes (results are
-    worker-count-independent).
+    lot and compare with the observed escapes.  ``session`` supplies the
+    fault-simulation engine and worker pool (the ``engine`` / ``workers``
+    kwargs are deprecated shims); results are engine- and
+    worker-count-independent.
     """
     from repro.core.estimation import estimate_n0_least_squares
 
@@ -62,47 +63,44 @@ def run(
     required = {r: model.required_coverage(r) for r in PAPER_VALUES}
     wadsack = {r: model.wadsack_required_coverage(r) for r in PAPER_VALUES}
 
-    chip = config.make_chip()
-    program = config.make_program(chip, engine=engine, workers=workers)
+    with resolve_session(
+        session, engine=engine, workers=workers, owner="example.run()"
+    ) as session:
+        chip = config.make_chip()
+        program = config.make_program(chip, session=session)
 
-    # Calibration lot: fit effective n0 from the full fail curve (Fig. 5).
-    calibration_lot = config.make_lot(
-        chip, num_chips=mc_lot_size, seed=seed, workers=workers
-    )
-    tester = WaferTester(program, engine=engine, workers=workers)
-    calibration = LotTestResult(
-        program=program,
-        records=tuple(tester.test_lot(calibration_lot.chips)),
-    )
-    mc_yield = calibration_lot.empirical_yield()
-    n0_effective = estimate_n0_least_squares(
-        calibration.coverage_points(), mc_yield
-    )
+        # Calibration lot: fit effective n0 from the full fail curve
+        # (Fig. 5).
+        calibration_lot = config.make_lot(
+            chip, num_chips=mc_lot_size, seed=seed, session=session
+        )
+        calibration = session.test(calibration_lot, program)
+        mc_yield = calibration_lot.empirical_yield()
+        n0_effective = estimate_n0_least_squares(
+            calibration.coverage_points(), mc_yield
+        )
 
-    # Production lot: different seed, truncated programs, observed escapes.
-    production_lot = config.make_lot(
-        chip, num_chips=mc_lot_size, seed=seed + 1, workers=workers
-    )
-    points = []
-    for frac in (0.02, 0.1, 0.3, 1.0):
-        truncated = program.truncated(max(1, int(len(program) * frac)))
-        prod_tester = WaferTester(truncated, engine=engine, workers=workers)
-        result = LotTestResult(
-            program=truncated,
-            records=tuple(prod_tester.test_lot(production_lot.chips)),
+        # Production lot: different seed, truncated programs, observed
+        # escapes.
+        production_lot = config.make_lot(
+            chip, num_chips=mc_lot_size, seed=seed + 1, session=session
         )
-        coverage = truncated.final_coverage
-        points.append(
-            {
-                "program_coverage": coverage,
-                "observed_reject_rate": result.empirical_reject_rate(),
-                "observed_escapes": len(result.escapes()),
-                "shipped": sum(r.passed for r in result.records),
-                "predicted_reject_rate": field_reject_rate(
-                    coverage, mc_yield, n0_effective
-                ),
-            }
-        )
+        points = []
+        for frac in (0.02, 0.1, 0.3, 1.0):
+            truncated = program.truncated(max(1, int(len(program) * frac)))
+            result = session.test(production_lot, truncated)
+            coverage = truncated.final_coverage
+            points.append(
+                {
+                    "program_coverage": coverage,
+                    "observed_reject_rate": result.empirical_reject_rate(),
+                    "observed_escapes": len(result.escapes()),
+                    "shipped": sum(r.passed for r in result.records),
+                    "predicted_reject_rate": field_reject_rate(
+                        coverage, mc_yield, n0_effective
+                    ),
+                }
+            )
     return ExampleResult(
         model=model, required=required, wadsack=wadsack, mc_rows=points
     )

@@ -40,8 +40,12 @@ class Fig1Result:
     paper_spot_values: dict[tuple[float, float], float]
 
 
-def run(num_points: int = 101) -> Fig1Result:
-    """Compute the four r(f) curves and the r = 0.5 percent spot coverages."""
+def run(num_points: int = 101, *, session=None) -> Fig1Result:
+    """Compute the four r(f) curves and the r = 0.5 percent spot coverages.
+
+    Purely analytic; ``session`` is accepted for runner uniformity (every
+    experiment takes one) and ignored.
+    """
     coverages = np.linspace(0.0, 0.999, num_points)
     curves = {}
     spots = {}

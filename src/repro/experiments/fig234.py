@@ -36,8 +36,12 @@ class Fig234Result:
         raise KeyError(f"no curve for r={reject_rate}, n0={n0}")
 
 
-def run(num_yields: int = 50) -> Fig234Result:
-    """Sweep all three figures' curve families."""
+def run(num_yields: int = 50, *, session=None) -> Fig234Result:
+    """Sweep all three figures' curve families.
+
+    Purely analytic; ``session`` is accepted for runner uniformity (every
+    experiment takes one) and ignored.
+    """
     yields = np.linspace(0.02, 0.98, num_yields)
     families = {
         rate: [coverage_sweep(float(n0), rate, yields=yields) for n0 in FIG234_N0_FAMILY]

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api import Session, resolve_session
 from repro.core.estimation import (
     CoveragePoint,
     estimate_n0_bootstrap,
@@ -30,8 +31,6 @@ from repro.paperdata import (
     TABLE1_POINTS,
     TABLE1_YIELD,
 )
-from repro.tester.results import LotTestResult
-from repro.tester.tester import WaferTester
 from repro.utils.asciiplot import AsciiPlot
 from repro.utils.tables import TextTable
 
@@ -56,15 +55,17 @@ class Fig5Result:
 
 def run(
     seed: int = config.LOT_SEED,
-    engine: str = "batch",
-    workers: int | str = 1,
+    *,
+    session: Session | None = None,
+    engine: str | None = None,
+    workers: int | str | None = None,
 ) -> Fig5Result:
     """Estimate n0 from the paper's Table 1 and from a fresh MC lot.
 
-    ``engine`` selects the fault-simulation engine used for the program's
-    coverage curve and the lot tester (results are engine-independent).
-    ``workers`` shards fabrication, fault simulation, and lot testing
-    over processes (results are worker-count-independent).
+    ``session`` supplies the fault-simulation engine and worker pool for
+    the program's coverage curve, fabrication, and the lot tester; the
+    ``engine`` / ``workers`` kwargs are deprecated shims.  Results are
+    engine- and worker-count-independent.
     """
     paper_ls = estimate_n0_least_squares(TABLE1_POINTS, TABLE1_YIELD)
     paper_slope = estimate_n0_slope(TABLE1_POINTS, yield_=TABLE1_YIELD)
@@ -73,13 +74,13 @@ def run(
         TABLE1_POINTS, TABLE1_YIELD, TABLE1_LOT_SIZE, seed=0
     )
 
-    chip = config.make_chip()
-    program = config.make_program(chip, engine=engine, workers=workers)
-    lot = config.make_lot(chip, seed=seed, workers=workers)
-    tester = WaferTester(program, engine=engine, workers=workers)
-    lot_result = LotTestResult(
-        program=program, records=tuple(tester.test_lot(lot.chips))
-    )
+    with resolve_session(
+        session, engine=engine, workers=workers, owner="fig5.run()"
+    ) as session:
+        chip = config.make_chip()
+        program = config.make_program(chip, session=session)
+        lot = config.make_lot(chip, seed=seed, session=session)
+        lot_result = session.test(lot, program)
     points = lot_result.coverage_points()
     mc_yield = lot.empirical_yield()
     mc_ls = estimate_n0_least_squares(points, mc_yield)

@@ -38,9 +38,13 @@ class Fig6Result:
 
 
 def run(
-    universe: int = FIG6_UNIVERSE, num_points: int = 46
+    universe: int = FIG6_UNIVERSE, num_points: int = 46, *, session=None
 ) -> Fig6Result:
-    """Evaluate all three q0(n) forms over the coverage grid."""
+    """Evaluate all three q0(n) forms over the coverage grid.
+
+    Purely analytic; ``session`` is accepted for runner uniformity (every
+    experiment takes one) and ignored.
+    """
     coverages = np.linspace(0.0, 0.9, num_points)
     exact: dict[int, np.ndarray] = {}
     corrected: dict[int, np.ndarray] = {}

@@ -13,11 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import Session, resolve_session
 from repro.core.scaling import ShrinkScenario, ShrinkStudy
 from repro.experiments import config
-from repro.manufacturing.lot import fabricate_lot
 from repro.manufacturing.process import ProcessRecipe
-from repro.tester.tester import WaferTester
 from repro.utils.tables import TextTable
 from repro.yieldmodels.models import NegativeBinomialYield
 
@@ -38,15 +37,17 @@ class FinelineResult:
 
 def run(
     seed: int = config.LOT_SEED,
-    engine: str = "batch",
-    workers: int | str = 1,
+    *,
+    session: Session | None = None,
+    engine: str | None = None,
+    workers: int | str | None = None,
 ) -> FinelineResult:
     """Run the analytic shrink study and the fab cross-check.
 
-    ``engine`` selects the fault-simulation engine used to build the test
-    program and first-fail-test each shrink's lot (results are
-    engine-independent); ``workers`` shards fabrication and testing over
-    processes (results are worker-count-independent).
+    ``session`` supplies the fault-simulation engine and worker pool for
+    the test program build, each shrink's fabrication, and the first-fail
+    testing; the ``engine`` / ``workers`` kwargs are deprecated shims.
+    Results are engine- and worker-count-independent.
     """
     base = ShrinkStudy(
         yield_model=NegativeBinomialYield(clustering=2.0),
@@ -69,29 +70,31 @@ def run(
     # layout (modeled by a *larger* footprint relative to the cell pitch).
     # Each shrink's lot is also first-fail-tested against the canonical
     # program, tying the n0 mechanism to an observed tester quantity.
-    chip = config.make_chip()
-    program = config.make_program(chip, engine=engine, workers=workers)
-    tester = WaferTester(program, engine=engine, workers=workers)
-    fab_rows = []
-    for shrink in (1.0, 0.7, 0.5):
-        recipe = ProcessRecipe(
-            defect_density=1.2,
-            clustering=0.5,
-            mean_defect_radius=0.02 / shrink,  # relative footprint grows
-            activation_probability=0.7,
-        )
-        lot = fabricate_lot(chip, recipe, 600, seed=seed, workers=workers)
-        records = tester.test_lot(lot.chips)
-        fab_rows.append(
-            {
-                "shrink": shrink,
-                "empirical_n0": lot.empirical_n0(),
-                "empirical_yield": lot.empirical_yield(),
-                "fraction_failed": sum(
-                    r.first_fail is not None for r in records
-                ) / len(records),
-            }
-        )
+    with resolve_session(
+        session, engine=engine, workers=workers, owner="fineline.run()"
+    ) as session:
+        chip = config.make_chip()
+        program = config.make_program(chip, session=session)
+        fab_rows = []
+        for shrink in (1.0, 0.7, 0.5):
+            recipe = ProcessRecipe(
+                defect_density=1.2,
+                clustering=0.5,
+                mean_defect_radius=0.02 / shrink,  # relative footprint grows
+                activation_probability=0.7,
+            )
+            lot = session.fabricate(chip, recipe, 600, seed=seed)
+            records = session.test(lot, program).records
+            fab_rows.append(
+                {
+                    "shrink": shrink,
+                    "empirical_n0": lot.empirical_n0(),
+                    "empirical_yield": lot.empirical_yield(),
+                    "fraction_failed": sum(
+                        r.first_fail is not None for r in records
+                    ) / len(records),
+                }
+            )
     return FinelineResult(
         combined=combined, yield_only=yield_only, fab_rows=fab_rows
     )

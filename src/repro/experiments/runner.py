@@ -4,23 +4,31 @@ Installed as the ``repro-experiments`` console script::
 
     repro-experiments                        # run everything
     repro-experiments fig1 fig6              # run a subset
+    repro-experiments --list                 # print the experiment names
     repro-experiments --output-dir results/  # also write one .txt each
     repro-experiments --engine compiled      # pre-batching fault-sim engine
     repro-experiments --workers auto         # process-sharded Monte Carlo
+
+One :class:`repro.api.Session` carries the selected engine and worker
+pool across every experiment of an invocation: each ``run(session=...)``
+draws on the same persistent pool and compiled-circuit caches, so the
+CLI is also the smallest demonstration of the session API.  Unknown
+experiment names are rejected up front (exit code 2, valid choices
+listed) before anything runs.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
 import sys
 import time
 from pathlib import Path
 
+from repro.api import Session, resolve_session
 from repro.experiments import example, fig1, fig234, fig5, fig6, fineline, table1
 from repro.runtime import resolve_workers
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "run_experiment", "EXPERIMENTS"]
 
 EXPERIMENTS = {
     "fig1": (fig1.run, fig1.render),
@@ -35,27 +43,29 @@ EXPERIMENTS = {
 
 def run_experiment(
     name: str,
+    *,
+    session: Session | None = None,
     engine: str | None = None,
     workers: int | str | None = None,
 ) -> str:
     """Run one experiment by name and return its rendered report.
 
-    ``engine`` selects the fault-simulation engine and ``workers`` the
-    process count for experiments that simulate (fig5, table1, example,
-    fineline); the purely analytic ones ignore both.
+    ``session`` supplies execution policy — engine and worker pool — for
+    the experiments that simulate (fig5, table1, example, fineline); the
+    purely analytic ones accept and ignore it.  Every ``run`` takes the
+    session directly, so there is no per-experiment kwarg sniffing.  The
+    ``engine`` / ``workers`` kwargs are deprecated shims wrapping a
+    throwaway session.
     """
     if name not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         )
     run, render = EXPERIMENTS[name]
-    kwargs = {}
-    parameters = inspect.signature(run).parameters
-    if engine is not None and "engine" in parameters:
-        kwargs["engine"] = engine
-    if workers is not None and "workers" in parameters:
-        kwargs["workers"] = workers
-    return render(run(**kwargs))
+    with resolve_session(
+        session, engine=engine, workers=workers, owner="run_experiment()"
+    ) as session:
+        return render(run(session=session))
 
 
 def _parse_workers(value: str) -> int | str:
@@ -90,6 +100,11 @@ def main(argv: list[str] | None = None) -> int:
         help=f"subset to run (default: all of {sorted(EXPERIMENTS)})",
     )
     parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the available experiment names and exit",
+    )
+    parser.add_argument(
         "--output-dir",
         type=Path,
         default=None,
@@ -98,7 +113,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--engine",
         choices=("batch", "compiled", "event"),
-        default=None,
+        default="batch",
         help=(
             "fault-simulation engine for the Monte-Carlo experiments "
             "(default: batch, the fault-parallel NumPy engine). Note: "
@@ -110,7 +125,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workers",
         type=_parse_workers,
-        default=None,
+        default=1,
         help=(
             "worker processes for the Monte-Carlo experiments: an integer "
             "or 'auto' (one per CPU). Default: 1, serial. Results are "
@@ -118,24 +133,34 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
     names = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment{'s' if len(unknown) > 1 else ''} "
+            f"{', '.join(repr(name) for name in unknown)}; "
+            f"choose from {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
     if args.output_dir is not None:
         args.output_dir.mkdir(parents=True, exist_ok=True)
 
-    for name in names:
-        start = time.perf_counter()
-        try:
-            report = run_experiment(name, engine=args.engine, workers=args.workers)
-        except KeyError as exc:
-            print(exc, file=sys.stderr)
-            return 2
-        elapsed = time.perf_counter() - start
-        banner = f"=== {name} ({elapsed:.1f}s) ==="
-        print(banner)
-        print(report)
-        print()
-        if args.output_dir is not None:
-            (args.output_dir / f"{name}.txt").write_text(report + "\n")
+    with Session(engine=args.engine, workers=args.workers) as session:
+        for name in names:
+            start = time.perf_counter()
+            report = run_experiment(name, session=session)
+            elapsed = time.perf_counter() - start
+            banner = f"=== {name} ({elapsed:.1f}s) ==="
+            print(banner)
+            print(report)
+            print()
+            if args.output_dir is not None:
+                (args.output_dir / f"{name}.txt").write_text(report + "\n")
     return 0
 
 

@@ -15,13 +15,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import Session, resolve_session
 from repro.core.estimation import CoveragePoint
 from repro.core.reject_rate import reject_fraction
 from repro.experiments import config
 from repro.manufacturing.lot import FabricatedLot
 from repro.paperdata import PAPER_N0_FIT, TABLE1_LOT_SIZE, TABLE1_POINTS, TABLE1_YIELD
 from repro.tester.results import LotTestResult
-from repro.tester.tester import WaferTester
 from repro.utils.tables import TextTable
 
 __all__ = ["Table1Result", "run", "render"]
@@ -42,30 +42,34 @@ def run(
     lot_size: int = TABLE1_LOT_SIZE,
     num_patterns: int = config.NUM_PATTERNS,
     seed: int = config.LOT_SEED,
-    engine: str = "batch",
-    workers: int | str = 1,
+    *,
+    session: Session | None = None,
+    engine: str | None = None,
+    workers: int | str | None = None,
 ) -> Table1Result:
     """Fit the paper's rows and regenerate the experiment by Monte Carlo.
 
-    ``engine`` selects the fault-simulation engine used for the program's
-    coverage curve and the lot tester (results are engine-independent);
-    ``workers`` shards the Monte-Carlo stages over processes (results are
-    worker-count-independent).
+    ``session`` supplies the fault-simulation engine and worker pool for
+    the program's coverage curve, fabrication, and the lot tester; the
+    ``engine`` / ``workers`` kwargs are deprecated shims.  Results are
+    engine- and worker-count-independent.
     """
     model_fractions = [
         reject_fraction(p.coverage, TABLE1_YIELD, PAPER_N0_FIT)
         for p in TABLE1_POINTS
     ]
 
-    chip = config.make_chip()
-    program = config.make_program(
-        chip, num_patterns=num_patterns, engine=engine, workers=workers
-    )
-    lot = config.make_lot(chip, num_chips=lot_size, seed=seed, workers=workers)
-    tester = WaferTester(program, engine=engine, workers=workers)
-    lot_result = LotTestResult(
-        program=program, records=tuple(tester.test_lot(lot.chips))
-    )
+    with resolve_session(
+        session, engine=engine, workers=workers, owner="table1.run()"
+    ) as session:
+        chip = config.make_chip()
+        program = config.make_program(
+            chip, num_patterns=num_patterns, session=session
+        )
+        lot = config.make_lot(
+            chip, num_chips=lot_size, seed=seed, session=session
+        )
+        lot_result = session.test(lot, program)
     # Sample the Monte-Carlo table at paper-like coverage checkpoints.
     curve = program.coverage_curve
     checkpoints = []

@@ -26,6 +26,7 @@ and Fig. 5 calibration experiment.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -33,7 +34,12 @@ import numpy as np
 
 from repro.circuit.netlist import Netlist
 from repro.faults.model import StuckAtFault, full_fault_universe
-from repro.runtime import ParallelExecutor, ShardPlan, resolve_workers
+from repro.runtime import (
+    ParallelExecutor,
+    ShardPlan,
+    new_context_token,
+    resolve_workers,
+)
 from repro.simulator import Engine, make_engine
 from repro.simulator.parallel_sim import CompiledCircuit
 from repro.simulator.values import WORD_BITS, first_detecting_bits, pack_patterns
@@ -141,21 +147,41 @@ def _scan_blocks(
 
 @dataclass(frozen=True)
 class _FaultShardContext:
-    """Per-pool worker context: the compiled engine plus packed blocks.
+    """Per-pool worker context: the compiled engine.
 
-    Shipped once per worker process via the pool initializer, so workers
-    reuse the parent's compiled NumPy arrays instead of re-levelizing.
+    Shipped to each worker process once, so workers reuse the parent's
+    compiled NumPy arrays instead of re-levelizing.  The packed pattern
+    blocks vary per run, so they travel with the shard tasks instead —
+    a persistent pool can then keep the engine cached under a stable
+    token (see :func:`_engine_context_token`) across many runs.
     """
 
     engine: Engine
-    blocks: tuple[tuple[dict[str, int], int], ...]
+
+
+# Stable context token per compiled engine instance: repeated runs that
+# share an engine (a session's per-netlist cache) present the same token
+# to a persistent pool, which then ships the engine exactly once.
+_ENGINE_TOKENS: "weakref.WeakKeyDictionary[Engine, tuple]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _engine_context_token(engine: Engine) -> tuple:
+    token = _ENGINE_TOKENS.get(engine)
+    if token is None:
+        token = new_context_token()
+        _ENGINE_TOKENS[engine] = token
+    return token
 
 
 def _simulate_fault_shard(
-    context: _FaultShardContext, faults: list[StuckAtFault]
+    context: _FaultShardContext,
+    task: "tuple[tuple[tuple[dict[str, int], int], ...], list[StuckAtFault]]",
 ) -> list[int | None]:
-    """Worker: scan all pattern blocks against one fault shard."""
-    return _scan_blocks(context.engine, context.blocks, faults)
+    """Worker: scan the task's pattern blocks against its fault shard."""
+    blocks, faults = task
+    return _scan_blocks(context.engine, blocks, faults)
 
 
 class FaultSimulator:
@@ -166,6 +192,9 @@ class FaultSimulator:
     engine across simulators.  ``workers`` shards the fault list over a
     process pool (``1`` = serial, ``"auto"`` = one per CPU); results are
     bit-identical at every setting (see :mod:`repro.runtime`).
+    ``executor`` injects a long-lived :class:`ParallelExecutor` (a
+    :class:`repro.api.Session` pool) instead of a one-shot pool per run;
+    its worker count then governs the sharding.
     """
 
     def __init__(
@@ -173,10 +202,12 @@ class FaultSimulator:
         netlist: Netlist,
         engine: str | Engine = "batch",
         workers: int | str = 1,
+        executor: ParallelExecutor | None = None,
     ):
         self.netlist = netlist
         self.engine = make_engine(netlist, engine)
         self.workers = workers
+        self.executor = executor
         self._compiled: CompiledCircuit | None = None
 
     @property
@@ -212,7 +243,10 @@ class FaultSimulator:
         process scans all blocks against its shard (per-shard
         compaction), and the merged first-detects are bit-identical to
         the serial scan — per-fault results never depend on batch
-        composition.
+        composition.  With an injected ``executor`` (and no explicit
+        ``workers``) the run reuses its pool and its worker count
+        instead of building one; an explicit ``workers`` always wins,
+        on a one-shot pool of that size.
         """
         if len(patterns) == 0:
             raise ValueError("need at least one pattern")
@@ -221,9 +255,16 @@ class FaultSimulator:
         faults = list(faults)
         input_names = self.netlist.inputs
 
-        num_workers = resolve_workers(
-            self.workers if workers is None else workers
-        )
+        # An explicit per-run ``workers`` takes precedence over an
+        # injected executor (whose pool is sized once): the override
+        # runs on a one-shot pool of exactly that size.
+        use_injected = workers is None and self.executor is not None
+        if use_injected:
+            num_workers = self.executor.num_workers
+        else:
+            num_workers = resolve_workers(
+                self.workers if workers is None else workers
+            )
         plan = ShardPlan.balanced(len(faults), num_workers)
         if plan.num_shards > 1:
             blocks = []
@@ -231,10 +272,20 @@ class FaultSimulator:
                 block = patterns[start : start + WORD_BITS]
                 blocks.append((pack_patterns(input_names, block), len(block)))
             blocks = tuple(blocks)
-            context = _FaultShardContext(engine=self.engine, blocks=blocks)
-            shard_detects = ParallelExecutor(num_workers).map_shards(
-                _simulate_fault_shard, context, plan.split(faults)
-            )
+            context = _FaultShardContext(engine=self.engine)
+            tasks = [(blocks, shard) for shard in plan.split(faults)]
+            if use_injected:
+                shard_detects = self.executor.map_shards(
+                    _simulate_fault_shard,
+                    context,
+                    tasks,
+                    token=_engine_context_token(self.engine),
+                )
+            else:
+                with ParallelExecutor(num_workers) as executor:
+                    shard_detects = executor.map_shards(
+                        _simulate_fault_shard, context, tasks
+                    )
             first_detect = plan.merge(shard_detects)
         else:
 

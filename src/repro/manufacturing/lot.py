@@ -28,7 +28,12 @@ from repro.circuit.netlist import Netlist
 from repro.defects.layout import ChipLayout
 from repro.manufacturing.process import ProcessRecipe
 from repro.manufacturing.wafer import FabricatedChip, Wafer
-from repro.runtime import ParallelExecutor, ShardPlan, resolve_workers
+from repro.runtime import (
+    ParallelExecutor,
+    ShardPlan,
+    new_context_token,
+    resolve_workers,
+)
 from repro.utils.rng import make_rng, spawn_rngs
 
 __all__ = ["FabricatedLot", "fabricate_lot"]
@@ -95,6 +100,12 @@ _LAYOUT_CACHE: "weakref.WeakKeyDictionary[Netlist, dict[float, ChipLayout]]" = (
 _WAFER_CACHE: (
     "weakref.WeakKeyDictionary[Netlist, dict[tuple[ProcessRecipe, int], Wafer]]"
 ) = weakref.WeakKeyDictionary()
+# Shard context + token per (netlist, recipe, dies): persistent pools key
+# context shipping on the token, so repeated fabrication under one
+# session ships the pre-built wafer to the workers exactly once.
+_FAB_CONTEXT_CACHE: (
+    "weakref.WeakKeyDictionary[Netlist, dict[tuple[ProcessRecipe, int], tuple]]"
+) = weakref.WeakKeyDictionary()
 
 
 def _cached_wafer(
@@ -123,6 +134,25 @@ class _FabShardContext:
     dies_per_wafer: int
 
 
+def _cached_fab_context(
+    netlist: Netlist, recipe: ProcessRecipe, dies_per_wafer: int
+) -> "tuple[_FabShardContext, tuple]":
+    """The fab shard context and its token for (netlist, recipe, dies)."""
+    contexts = _FAB_CONTEXT_CACHE.setdefault(netlist, {})
+    key = (recipe, dies_per_wafer)
+    entry = contexts.get(key)
+    if entry is None:
+        entry = (
+            _FabShardContext(
+                wafer=_cached_wafer(netlist, recipe, dies_per_wafer),
+                dies_per_wafer=dies_per_wafer,
+            ),
+            new_context_token(),
+        )
+        contexts[key] = entry
+    return entry
+
+
 def _fabricate_wafer_shard(
     context: _FabShardContext,
     wafer_tasks: list[tuple[int, np.random.Generator]],
@@ -146,6 +176,7 @@ def fabricate_lot(
     dies_per_wafer: int = 100,
     seed=None,
     workers: int | str = 1,
+    executor: ParallelExecutor | None = None,
 ) -> FabricatedLot:
     """Fabricate ``num_chips`` dies of ``netlist`` under ``recipe``.
 
@@ -153,7 +184,10 @@ def fabricate_lot(
     exactly ``num_chips`` are returned.  ``workers`` fabricates wafers in
     parallel (``1`` = serial, ``"auto"`` = one process per CPU); the
     per-wafer RNG tree is spawned from ``seed`` before sharding, so the
-    lot is bit-identical for any worker count.
+    lot is bit-identical for any worker count.  ``executor`` injects a
+    long-lived pool (a :class:`repro.api.Session` owns one): its worker
+    count governs the sharding and the pre-built wafer ships to the
+    workers once per session, not once per lot.
     """
     if num_chips < 1:
         raise ValueError(f"need >= 1 chip, got {num_chips}")
@@ -161,15 +195,23 @@ def fabricate_lot(
     rng = make_rng(seed)
     num_wafers = -(-num_chips // dies_per_wafer)
     wafer_rngs = spawn_rngs(rng, num_wafers)
-    num_workers = resolve_workers(workers)
+    if executor is not None:
+        num_workers = executor.num_workers
+    else:
+        num_workers = resolve_workers(workers)
     plan = ShardPlan.balanced(num_wafers, num_workers)
     if plan.num_shards > 1:
-        context = _FabShardContext(wafer=wafer, dies_per_wafer=dies_per_wafer)
-        shards = ParallelExecutor(num_workers).map_shards(
-            _fabricate_wafer_shard,
-            context,
-            plan.split(list(enumerate(wafer_rngs))),
-        )
+        context, token = _cached_fab_context(netlist, recipe, dies_per_wafer)
+        tasks = plan.split(list(enumerate(wafer_rngs)))
+        if executor is not None:
+            shards = executor.map_shards(
+                _fabricate_wafer_shard, context, tasks, token=token
+            )
+        else:
+            with ParallelExecutor(num_workers) as one_shot:
+                shards = one_shot.map_shards(
+                    _fabricate_wafer_shard, context, tasks
+                )
         chips = plan.merge(shards)
     else:
         chips = []

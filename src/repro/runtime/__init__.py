@@ -34,14 +34,21 @@ children inside the tasks.  The RNG tree depends only on the seed and
 the task count, so fabrication is bit-identical at every ``workers``
 setting — the determinism suite pins this down.
 
-**Compile-once workers.**  A pool's initializer receives the worker
-function and a single *shard context* once per worker process (keyed, in
-effect, by the pool: one context — one netlist's compiled form — per
-pool lifetime).  Contexts carry the pre-compiled NumPy arrays
+**Compile-once workers.**  Contexts carry the pre-compiled NumPy arrays
 (:class:`~repro.simulator.batch_sim.BatchCompiledCircuit`, packed
 pattern blocks, pre-built :class:`~repro.manufacturing.wafer.Wafer`
 layouts), so workers never re-levelize a netlist per task; they unpickle
 the compiled arrays once and reuse them for every shard they process.
+One-shot pools ship the context through the pool initializer (once per
+worker per call); *persistent* pools (``persistent=True``, owned by
+:class:`repro.api.Session`) cache contexts worker-side keyed by a
+:func:`new_context_token` token, so an unchanged context is shipped
+once per pool lifetime no matter how many calls replay it.
+
+**Pool lifecycle.**  Executors are context managers with an explicit
+:meth:`ParallelExecutor.close`; one-shot call sites wrap each call in
+``with ParallelExecutor(n) as executor`` and long-lived owners (a
+``Session``) close their executor when they close.
 
 **Serial fallback.**  ``workers=1`` (the default everywhere) never
 touches ``multiprocessing``: the work runs in-process on the exact
@@ -50,7 +57,16 @@ determinism are unchanged.  ``workers="auto"`` resolves to the visible
 CPU count.
 """
 
-from repro.runtime.executor import ParallelExecutor, resolve_workers
+from repro.runtime.executor import (
+    ParallelExecutor,
+    new_context_token,
+    resolve_workers,
+)
 from repro.runtime.sharding import ShardPlan
 
-__all__ = ["ParallelExecutor", "ShardPlan", "resolve_workers"]
+__all__ = [
+    "ParallelExecutor",
+    "ShardPlan",
+    "new_context_token",
+    "resolve_workers",
+]

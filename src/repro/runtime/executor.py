@@ -3,27 +3,68 @@
 :class:`ParallelExecutor` runs ``fn(context, task)`` for an ordered list
 of tasks.  At ``workers=1`` it is a plain in-process loop (no
 ``multiprocessing`` import cost, no pickling — the serial fallback that
-keeps default behavior unchanged).  Above that it creates a pool whose
-initializer installs ``(fn, context)`` once per worker process: the
-context — typically compiled NumPy arrays plus packed pattern blocks —
-is pickled exactly once per worker rather than once per task, which is
-what makes compile-once/fan-out profitable for netlist workloads.
+keeps default behavior unchanged).  Above that there are two pool
+lifecycles:
+
+* **One-shot** (``persistent=False``, the default): each
+  :meth:`~ParallelExecutor.map_shards` call creates a pool whose
+  initializer installs ``(fn, context)`` once per worker process and
+  tears the pool down before returning.  The context — typically
+  compiled NumPy arrays plus packed pattern blocks — is pickled exactly
+  once per worker rather than once per task, which is what makes
+  compile-once/fan-out profitable for netlist workloads.
+* **Persistent** (``persistent=True``): the pool is created on first
+  use and *reused* across calls until :meth:`~ParallelExecutor.close`.
+  Contexts are identified by **tokens** (see :func:`new_context_token`):
+  a context is broadcast to the workers only the first time its token is
+  seen, so a session that tests N small lots against one compiled
+  circuit pays the fork and the context pickling once, not N times.
+  This is the execution substrate of :class:`repro.api.Session`.
+
+Executors are context managers; one-shot call sites should use
+``with ParallelExecutor(n) as executor: ...`` so teardown is explicit
+rather than left to garbage collection.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
-from typing import Any, Callable, Iterable, TypeVar
+from typing import Any, Callable, Hashable, Iterable, TypeVar
 
-__all__ = ["ParallelExecutor", "resolve_workers"]
+__all__ = ["ParallelExecutor", "new_context_token", "resolve_workers"]
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
 
-# (fn, context) installed by the pool initializer — one per worker
-# process, fixed for the pool's lifetime.
+# (fn, context) installed by the one-shot pool initializer — one per
+# worker process, fixed for the pool's lifetime.
 _WORKER_STATE: tuple[Callable, Any] | None = None
+
+# Persistent pools: token -> (fn, context) registry plus the install
+# barrier, both set up by the persistent initializer.
+_WORKER_CONTEXTS: dict[Hashable, tuple[Callable, Any]] | None = None
+_WORKER_BARRIER = None
+
+# Tokens are unique per process; the counter is shared by every executor
+# so a token can never collide across callers that feed one pool.
+_TOKEN_COUNTER = itertools.count()
+
+# Reserved token for contexts shipped without a caller-supplied token:
+# always re-installed, so the worker-side registry stays bounded.
+_ONESHOT_TOKEN = ("__oneshot__",)
+
+
+def new_context_token() -> tuple[str, int]:
+    """A fresh, process-unique token identifying one shard context.
+
+    Callers that reuse a compiled context across
+    :meth:`ParallelExecutor.map_shards` calls mint one token per context
+    and pass it each time; a persistent pool then ships the context to
+    its workers only on the first call.
+    """
+    return ("ctx", next(_TOKEN_COUNTER))
 
 
 def resolve_workers(workers: int | str | None) -> int:
@@ -50,13 +91,49 @@ def resolve_workers(workers: int | str | None) -> int:
 
 
 def _init_worker(fn: Callable, context: Any) -> None:
-    """Pool initializer: cache the worker function and shard context."""
+    """One-shot pool initializer: cache the worker function and context."""
     global _WORKER_STATE
     _WORKER_STATE = (fn, context)
 
 
 def _run_task(task):
     fn, context = _WORKER_STATE  # type: ignore[misc]
+    return fn(context, task)
+
+
+def _init_persistent_worker(barrier) -> None:
+    """Persistent pool initializer: empty context registry + barrier."""
+    global _WORKER_CONTEXTS, _WORKER_BARRIER
+    _WORKER_CONTEXTS = {}
+    _WORKER_BARRIER = barrier
+
+
+def _install_context(payload) -> None:
+    """Install one context under its token, synchronized across workers.
+
+    Every worker blocks on the barrier after installing; with one
+    install task per worker and ``chunksize=1`` no worker can take a
+    second install task before all have one, so each process receives
+    the context exactly once per token.
+    """
+    token, fn, context = payload
+    _WORKER_CONTEXTS[token] = (fn, context)  # type: ignore[index]
+    _WORKER_BARRIER.wait()  # type: ignore[union-attr]
+
+
+def _run_token_task(payload):
+    token, task = payload
+    state = _WORKER_CONTEXTS.get(token)  # type: ignore[union-attr]
+    if state is None:
+        # Only reachable when multiprocessing silently respawned a
+        # crashed worker: the replacement starts with an empty registry
+        # while the parent still believes the token is installed.
+        raise RuntimeError(
+            "shard context missing in worker — a pool worker was "
+            "restarted after a crash; close and rebuild the "
+            "executor/session"
+        )
+    fn, context = state
     return fn(context, task)
 
 
@@ -68,36 +145,119 @@ class ParallelExecutor:
     workers:
         ``1`` (serial, the default), an integer process count, or
         ``"auto"`` for one process per visible CPU.
+    persistent:
+        Keep the process pool alive across :meth:`map_shards` calls
+        (created lazily on first parallel call, torn down by
+        :meth:`close`).  Persistent pools cache shard contexts by token,
+        so an unchanged context is shipped to the workers only once.
+        Two session-scoped trade-offs follow: token-keyed contexts stay
+        resident in every worker until :meth:`close` (memory grows with
+        the number of *distinct* contexts, by design — close the
+        session to release them), and an abnormally killed worker
+        process invalidates the pool (its respawned replacement has no
+        contexts; calls then raise a "context missing" ``RuntimeError``
+        rather than recompute silently).
     """
 
-    def __init__(self, workers: int | str | None = 1):
+    def __init__(self, workers: int | str | None = 1, persistent: bool = False):
         self.num_workers = resolve_workers(workers)
+        self.persistent = bool(persistent)
+        self._pool = None
+        self._installed: set[Hashable] = set()
+        self._contexts_shipped = 0
+        self._closed = False
 
     @property
     def is_serial(self) -> bool:
         return self.num_workers == 1
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def contexts_shipped(self) -> int:
+        """How many context broadcasts this executor's persistent pool made.
+
+        The cache-hit observable: calling :meth:`map_shards` twice with
+        the same token must raise this by one, not two.
+        """
+        return self._contexts_shipped
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            ctx = multiprocessing.get_context()
+            barrier = ctx.Barrier(self.num_workers)
+            self._pool = ctx.Pool(
+                self.num_workers,
+                initializer=_init_persistent_worker,
+                initargs=(barrier,),
+            )
+        return self._pool
 
     def map_shards(
         self,
         fn: Callable[[Any, TaskT], ResultT],
         context: Any,
         tasks: Iterable[TaskT],
+        token: Hashable | None = None,
     ) -> list[ResultT]:
         """Run ``fn(context, task)`` for every task; results in task order.
 
         With one effective worker (or one task) this is an in-process
         loop.  Otherwise ``fn`` and ``context`` must be picklable and
-        ``fn`` importable at module level; the pool never outlives the
-        call.
+        ``fn`` importable at module level.  ``token`` (persistent pools
+        only) identifies the context: a token the pool has already seen
+        skips the context broadcast entirely, so only the tasks travel.
+        Tokenless calls re-ship the context each time.
         """
+        if self._closed:
+            raise RuntimeError("executor is closed")
         tasks = list(tasks)
         if not tasks:
             return []
-        processes = min(self.num_workers, len(tasks))
-        if processes == 1:
+        if min(self.num_workers, len(tasks)) == 1:
             return [fn(context, task) for task in tasks]
-        ctx = multiprocessing.get_context()
-        with ctx.Pool(
-            processes, initializer=_init_worker, initargs=(fn, context)
-        ) as pool:
-            return pool.map(_run_task, tasks)
+        if not self.persistent:
+            processes = min(self.num_workers, len(tasks))
+            ctx = multiprocessing.get_context()
+            with ctx.Pool(
+                processes, initializer=_init_worker, initargs=(fn, context)
+            ) as pool:
+                return pool.map(_run_task, tasks)
+        pool = self._ensure_pool()
+        if token is None:
+            token = _ONESHOT_TOKEN
+            self._installed.discard(token)
+        if token not in self._installed:
+            pool.map(
+                _install_context,
+                [(token, fn, context)] * self.num_workers,
+                chunksize=1,
+            )
+            self._installed.add(token)
+            self._contexts_shipped += 1
+        return pool.map(_run_token_task, [(token, task) for task in tasks])
+
+    def close(self) -> None:
+        """Tear down the pool and mark the executor unusable (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._installed.clear()
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):
+        # Safety net only — call sites own teardown via close()/with.
+        try:
+            if not self._closed and self._pool is not None:
+                self.close()
+        except Exception:
+            pass

@@ -43,18 +43,24 @@ class TestProgram:
         collapse: bool = True,
         engine: str = "batch",
         workers: int | str = 1,
+        executor=None,
     ) -> "TestProgram":
         """Fault-simulate ``patterns`` and record the coverage profile.
 
         ``collapse=True`` simulates one representative per equivalence
         class and expands the result — same numbers, roughly half the work.
         ``engine`` selects the fault-simulation engine (see
-        :func:`repro.simulator.make_engine`); ``workers`` shards the fault
-        list over a process pool (coverage is bit-identical at any count).
+        :func:`repro.simulator.make_engine`) and may be a ready
+        :class:`~repro.simulator.Engine` instance (a session's per-netlist
+        compile-once cache); ``workers`` shards the fault list over a
+        process pool (coverage is bit-identical at any count), and
+        ``executor`` reuses a long-lived pool instead of building one.
         """
         if len(patterns) == 0:
             raise ValueError("a test program needs at least one pattern")
-        simulator = FaultSimulator(netlist, engine=engine, workers=workers)
+        simulator = FaultSimulator(
+            netlist, engine=engine, workers=workers, executor=executor
+        )
         if collapse:
             classes = equivalence_classes(netlist)
             reps = sorted(classes, key=lambda f: f.sort_key)

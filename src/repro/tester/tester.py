@@ -25,7 +25,12 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.manufacturing.wafer import FabricatedChip
-from repro.runtime import ParallelExecutor, ShardPlan, resolve_workers
+from repro.runtime import (
+    ParallelExecutor,
+    ShardPlan,
+    new_context_token,
+    resolve_workers,
+)
 from repro.simulator.batch_sim import BatchCompiledCircuit
 from repro.simulator.parallel_sim import CompiledCircuit
 from repro.simulator.values import WORD_BITS, first_detecting_bits, pack_patterns
@@ -171,20 +176,37 @@ class WaferTester:
         program: TestProgram,
         engine: str = "batch",
         workers: int | str = 1,
+        executor: ParallelExecutor | None = None,
+        batch_circuit: BatchCompiledCircuit | None = None,
+        compiled_circuit: CompiledCircuit | None = None,
     ):
         """``engine="batch"`` tests the lot chip-parallel; any other known
         engine name falls back to the serial chip-at-a-time word-level loop
         (multi-fault machines need word-level simulation either way).
         ``workers`` shards the chip list over a process pool (``1`` =
-        serial, ``"auto"`` = one per CPU) under either engine."""
+        serial, ``"auto"`` = one per CPU) under either engine.
+        ``executor`` injects a long-lived pool (a
+        :class:`repro.api.Session` owns one): the tester's shard context
+        is then shipped to the workers once, keyed by a context token,
+        and reused by every subsequent ``test_lot``.  ``batch_circuit`` /
+        ``compiled_circuit`` hand the tester circuits something else
+        already compiled for this netlist (a session engine cache),
+        skipping re-levelization."""
         if engine not in ("batch", "compiled", "event"):
             raise ValueError(
                 f"tester engine must be one of 'batch', 'compiled', "
                 f"'event', got {engine!r}"
             )
+        for circuit in (batch_circuit, compiled_circuit):
+            if circuit is not None and circuit.netlist is not program.netlist:
+                raise ValueError(
+                    f"injected circuit was compiled for netlist "
+                    f"{circuit.netlist.name!r}, not {program.netlist.name!r}"
+                )
         self.program = program
         self.engine = engine
         self.workers = workers
+        self.executor = executor
         inputs = program.netlist.inputs
         # Pre-pack pattern blocks once.  Both compiled circuits and the
         # good-machine responses are lazy: the batched lot path carries the
@@ -196,9 +218,11 @@ class WaferTester:
             block = patterns[start : start + WORD_BITS]
             words = pack_patterns(inputs, block)
             self._blocks.append((words, len(block)))
-        self._compiled_circuit: CompiledCircuit | None = None
-        self._batch: BatchCompiledCircuit | None = None
+        self._compiled_circuit: CompiledCircuit | None = compiled_circuit
+        self._batch: BatchCompiledCircuit | None = batch_circuit
         self._good: list[dict[str, int]] | None = None
+        self._shard_context: _LotShardContext | None = None
+        self._context_token = new_context_token()
 
     @property
     def _compiled(self) -> CompiledCircuit:
@@ -228,31 +252,65 @@ class WaferTester:
 
         ``workers`` overrides the constructor setting for this lot; above
         1 the chip list is sharded over a process pool and the merged
-        records are bit-identical to the serial run.
+        records are bit-identical to the serial run.  With an injected
+        ``executor`` (and no explicit ``workers``) the call reuses its
+        pool and its worker count; the tester's shard context travels to
+        the workers only on the first lot, later lots ship just their
+        chip shards.  An explicit ``workers`` always wins, on a one-shot
+        pool of that size.
         """
         chips = list(chips)
-        num_workers = resolve_workers(
-            self.workers if workers is None else workers
-        )
+        # An explicit per-call ``workers`` takes precedence over an
+        # injected executor (whose pool is sized once): the override
+        # runs on a one-shot pool of exactly that size.
+        use_injected = workers is None and self.executor is not None
+        if use_injected:
+            num_workers = self.executor.num_workers
+        else:
+            num_workers = resolve_workers(
+                self.workers if workers is None else workers
+            )
         plan = ShardPlan.balanced(len(chips), num_workers)
         if plan.num_shards > 1:
-            executor = ParallelExecutor(num_workers)
+            context = self._lot_shard_context()
+            if use_injected:
+                return plan.merge(
+                    self.executor.map_shards(
+                        _test_lot_shard,
+                        context,
+                        plan.split(chips),
+                        token=self._context_token,
+                    )
+                )
+            with ParallelExecutor(num_workers) as executor:
+                return plan.merge(
+                    executor.map_shards(
+                        _test_lot_shard, context, plan.split(chips)
+                    )
+                )
+        if self.engine != "batch":
+            return [self.test_chip(chip) for chip in chips]
+        return _batched_first_fail(self._batch_circuit, self._blocks, chips)
+
+    def _lot_shard_context(self) -> _LotShardContext:
+        """The tester's shard context, built once and token-stable.
+
+        Cached so repeated ``test_lot`` calls through a persistent pool
+        present the same token with the same content — the executor then
+        skips re-shipping the compiled circuit and packed blocks.
+        """
+        if self._shard_context is None:
             if self.engine == "batch":
-                context = _LotShardContext(
+                self._shard_context = _LotShardContext(
                     blocks=tuple(self._blocks), batch=self._batch_circuit
                 )
             else:
-                context = _LotShardContext(
+                self._shard_context = _LotShardContext(
                     blocks=tuple(self._blocks),
                     compiled=self._compiled,
                     good=tuple(self._good_responses()),
                 )
-            return plan.merge(
-                executor.map_shards(_test_lot_shard, context, plan.split(chips))
-            )
-        if self.engine != "batch":
-            return [self.test_chip(chip) for chip in chips]
-        return _batched_first_fail(self._batch_circuit, self._blocks, chips)
+        return self._shard_context
 
     @property
     def _batch_circuit(self) -> BatchCompiledCircuit:
