@@ -1,10 +1,34 @@
-"""Setuptools shim for environments without the ``wheel`` package.
+"""Packaging for the DAC-1981 fault-coverage reproduction.
 
-PEP 660 editable installs need to build a wheel; offline machines without
-``wheel`` can fall back to ``pip install -e . --no-build-isolation``, which
-uses this legacy entry point.
+Kept as a plain ``setup.py`` (no build isolation, no wheel requirement)
+so offline machines can still ``pip install -e . --no-build-isolation``
+with nothing but setuptools.  Installs two console scripts:
+
+* ``repro-experiments`` — regenerate the paper's tables and figures
+  (optionally against a remote server via ``--server``);
+* ``repro-server`` — the multi-client lot-testing server
+  (see ``docs/server.md``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-dac81-fault-coverage",
+    version="0.4.0",
+    description=(
+        "Reproduction of Agrawal, Seth & Agrawal, 'LSI Product Quality "
+        "and Fault Coverage' (DAC 1981): analytic reject-rate model plus "
+        "a fault-simulated Monte-Carlo validation stack with a "
+        "multi-client lot-testing server"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.experiments.runner:main",
+            "repro-server=repro.server.__main__:main",
+        ]
+    },
+)

@@ -17,16 +17,40 @@ experiment — amortize one expensive setup:
 ``Session(workers=1)`` is a zero-overhead serial facade (no pool is ever
 created), which is what the deprecation shims build when legacy
 ``engine=`` / ``workers=`` kwargs are used.
+
+Bounded caches
+--------------
+
+Plain sessions keep every compiled context resident until
+:meth:`Session.close` — fine for a script, unbounded for the long-lived
+:mod:`repro.server` process.  ``max_contexts`` / ``max_bytes`` turn the
+caches into a server-grade LRU: engine, tester, and fabrication-context
+entries are tracked in least-recently-used order (with their context's
+pickled size when a byte budget is set), and inserting past either
+budget evicts the coldest entries — dropping them from the coordinator
+*and* broadcasting the eviction to the pool workers
+(:meth:`~repro.runtime.ParallelExecutor.evict`), so the worker-resident
+compiled arrays are actually released.  An evicted netlist seen again
+simply recompiles and re-ships once; results are unaffected — eviction
+changes *where bytes live*, never what is computed.
 """
 
 from __future__ import annotations
 
+import pickle
 import warnings
+from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator, Mapping, Sequence
 
 from repro.circuit.netlist import Netlist
-from repro.manufacturing.lot import FabricatedLot, fabricate_lot
+from repro.faults.fault_sim import engine_context_token
+from repro.manufacturing.lot import (
+    FabricatedLot,
+    _cached_fab_context,
+    fabricate_lot,
+)
 from repro.manufacturing.process import ProcessRecipe
 from repro.manufacturing.wafer import FabricatedChip
 from repro.runtime import ParallelExecutor, resolve_workers
@@ -36,6 +60,33 @@ from repro.tester.results import LotTestResult
 from repro.tester.tester import WaferTester
 
 __all__ = ["Session", "resolve_session"]
+
+
+def _payload_nbytes(obj: Any) -> int:
+    """Approximate context size as its pickled length.
+
+    This is exactly the byte count that travels to a pool worker when
+    the context ships, which makes it the honest unit for a
+    ``max_bytes`` budget.  Unpicklable objects (none in this codebase's
+    hot path) account as zero rather than failing the cache.
+    """
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+
+
+@dataclass
+class _CacheEntry:
+    """One LRU slot: a compiled engine, tester, or fabrication context."""
+
+    kind: str  # "engine" | "tester" | "fab"
+    obj: Any
+    token: Hashable
+    nbytes: int
+    # Testers are keyed by id(program); the anchor pins the program so
+    # the id stays stable (and correct) for the entry's lifetime.
+    anchor: Any = field(default=None, repr=False)
 
 
 class Session:
@@ -50,25 +101,63 @@ class Session:
         Worker processes for the sharded stages: an integer, ``"auto"``
         (one per visible CPU, the default), or ``1`` for a fully serial
         session that never forks.
+    max_contexts:
+        Upper bound on resident compiled contexts (engines + testers),
+        LRU-evicted.  ``None`` (default) means unbounded — the
+        pre-server behavior.
+    max_bytes:
+        Upper bound on the summed pickled size of resident contexts,
+        LRU-evicted.  The most recently used entry is never evicted, so
+        a single context larger than the budget still works (and is
+        evicted as soon as something else displaces it).
 
-    Sessions are context managers; :meth:`close` tears down the worker
-    pool and drops the caches.  All results are bit-identical across
-    engines and worker counts.
+    Contracts
+    ---------
+    **Compile-once.**  A netlist is compiled at most once between
+    evictions; repeated ``build_program`` / ``test`` calls reuse the
+    compiled arrays, and a persistent pool receives each compiled
+    context exactly once per residency (token-keyed shipping — see
+    :meth:`~repro.runtime.ParallelExecutor.map_shards`).
+
+    **Determinism.**  Results are bit-identical across engines, worker
+    counts, pool lifecycles, and evictions: the session changes *where*
+    the work runs and *which bytes stay resident*, never what is
+    computed.
+
+    **Lifecycle.**  Sessions are context managers; :meth:`close` tears
+    down the worker pool and drops the caches, and any later call
+    raises ``RuntimeError``.  A crashed pool worker is healed
+    transparently (the executor re-ships the affected context and
+    retries); see :class:`~repro.runtime.WorkerCrashError`.
     """
 
-    def __init__(self, engine: str = "batch", workers: int | str = "auto"):
+    def __init__(
+        self,
+        engine: str = "batch",
+        workers: int | str = "auto",
+        max_contexts: int | None = None,
+        max_bytes: int | None = None,
+    ):
         if engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
             )
+        for name, bound in (("max_contexts", max_contexts), ("max_bytes", max_bytes)):
+            if bound is not None and (
+                isinstance(bound, bool) or not isinstance(bound, int) or bound < 1
+            ):
+                raise ValueError(f"{name} must be a positive integer or None, got {bound!r}")
         self.engine = engine
         self.num_workers = resolve_workers(workers)
+        self.max_contexts = max_contexts
+        self.max_bytes = max_bytes
         self._executor = ParallelExecutor(self.num_workers, persistent=True)
-        self._engines: dict[Netlist, Engine] = {}
-        # Testers keyed by program identity (TestProgram carries a NumPy
-        # curve, so it is not hashable); the program reference in the
-        # value keeps the id stable for the session's lifetime.
-        self._testers: dict[int, tuple[TestProgram, WaferTester]] = {}
+        # One LRU over both cache kinds: keys are ("engine", netlist)
+        # and ("tester", id(program)); most recently used at the end.
+        self._contexts: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        self._resident_bytes = 0
+        self._engine_compiles = 0
+        self._evictions = 0
         self._closed = False
 
     # ------------------------------------------------------------ lifecycle
@@ -88,8 +177,8 @@ class Session:
             return
         self._closed = True
         self._executor.close()
-        self._engines.clear()
-        self._testers.clear()
+        self._contexts.clear()
+        self._resident_bytes = 0
 
     def __enter__(self) -> "Session":
         return self
@@ -103,19 +192,82 @@ class Session:
 
     # --------------------------------------------------------------- caches
 
+    def _touch(self, key: tuple) -> _CacheEntry | None:
+        """Look up an LRU entry, marking it most recently used."""
+        entry = self._contexts.get(key)
+        if entry is not None:
+            self._contexts.move_to_end(key)
+        return entry
+
+    def _insert(self, key: tuple, entry: _CacheEntry) -> None:
+        """Insert an entry as most recently used and enforce the budgets."""
+        self._contexts[key] = entry
+        self._contexts.move_to_end(key)
+        self._resident_bytes += entry.nbytes
+        while len(self._contexts) > 1 and (
+            (self.max_contexts is not None and len(self._contexts) > self.max_contexts)
+            or (self.max_bytes is not None and self._resident_bytes > self.max_bytes)
+        ):
+            self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        """Evict the LRU entry — coordinator dict *and* pool workers."""
+        _key, entry = self._contexts.popitem(last=False)
+        self._resident_bytes -= entry.nbytes
+        self._executor.evict(entry.token)
+        self._evictions += 1
+
+    def _payload_nbytes_if_budgeted(self, obj: Any) -> int:
+        """Context size for the byte budget — skipped when unbudgeted.
+
+        Pickling a compiled context just to weigh it is pure overhead
+        for the (default) unbounded session, so sizes are recorded only
+        when ``max_bytes`` is set.
+        """
+        return _payload_nbytes(obj) if self.max_bytes is not None else 0
+
+    def _cached_engine(self, netlist: Netlist) -> Engine | None:
+        """The resident compiled engine for ``netlist``, if any (no touch)."""
+        entry = self._contexts.get(("engine", netlist))
+        return None if entry is None else entry.obj
+
     def _engine_for(self, netlist: Netlist) -> Engine:
-        """The compiled engine for ``netlist`` — compile once per session."""
-        engine = self._engines.get(netlist)
-        if engine is None:
-            engine = make_engine(netlist, self.engine)
-            self._engines[netlist] = engine
+        """The compiled engine for ``netlist`` — compile once per residency.
+
+        A cache hit refreshes the entry's LRU position; a miss compiles,
+        mints the engine's stable context token (so a later eviction can
+        reach the pool workers), and may evict colder entries.
+        """
+        key = ("engine", netlist)
+        entry = self._touch(key)
+        if entry is not None:
+            return entry.obj
+        engine = make_engine(netlist, self.engine)
+        self._engine_compiles += 1
+        self._insert(
+            key,
+            _CacheEntry(
+                kind="engine",
+                obj=engine,
+                token=engine_context_token(engine),
+                nbytes=self._payload_nbytes_if_budgeted(engine),
+            ),
+        )
         return engine
 
     def _tester_for(self, program: TestProgram) -> WaferTester:
-        """The cached tester for ``program``, sharing compiled circuits."""
-        entry = self._testers.get(id(program))
-        if entry is not None and entry[0] is program:
-            return entry[1]
+        """The cached tester for ``program``, sharing compiled circuits.
+
+        Keyed by program identity (a :class:`TestProgram` carries a
+        NumPy curve, so it is not hashable); the entry anchors the
+        program so the id stays stable while cached.  The tester's shard
+        context (compiled circuit + packed pattern blocks) is what ships
+        to the pool, so its pickled size is what the byte budget counts.
+        """
+        key = ("tester", id(program))
+        entry = self._touch(key)
+        if entry is not None and entry.anchor is program:
+            return entry.obj
         engine = self._engine_for(program.netlist)
         tester = WaferTester(
             program,
@@ -124,15 +276,51 @@ class Session:
             batch_circuit=getattr(engine, "batch", None),
             compiled_circuit=getattr(engine, "compiled", None),
         )
-        self._testers[id(program)] = (program, tester)
+        self._insert(
+            key,
+            _CacheEntry(
+                kind="tester",
+                obj=tester,
+                token=tester._context_token,
+                nbytes=self._payload_nbytes_if_budgeted(
+                    tester._lot_shard_context()
+                ),
+                anchor=program,
+            ),
+        )
         return tester
 
     def stats(self) -> dict[str, int]:
-        """Cache/pool observability: compiled netlists, testers, shipments."""
+        """Cache/pool observability counters.
+
+        ``cached_netlists`` / ``cached_testers`` / ``cached_fab_contexts``
+            Resident LRU entries of each kind.
+        ``engine_compiles``
+            Netlist compilations since the session opened — the
+            compile-once observable (an evicted netlist seen again
+            raises it by one).
+        ``contexts_shipped`` / ``contexts_evicted``
+            Context broadcasts to / removals from the persistent pool.
+        ``evictions``
+            LRU entries dropped by the ``max_contexts``/``max_bytes``
+            budgets.
+        ``resident_bytes``
+            Summed pickled size of the resident contexts (tracked only
+            when ``max_bytes`` is set; 0 otherwise).
+        ``worker_recoveries``
+            Crashed-worker re-install/retry cycles the executor healed.
+        """
+        kinds = [entry.kind for entry in self._contexts.values()]
         return {
-            "cached_netlists": len(self._engines),
-            "cached_testers": len(self._testers),
+            "cached_netlists": kinds.count("engine"),
+            "cached_testers": kinds.count("tester"),
+            "cached_fab_contexts": kinds.count("fab"),
+            "engine_compiles": self._engine_compiles,
             "contexts_shipped": self._executor.contexts_shipped,
+            "contexts_evicted": self._executor.contexts_evicted,
+            "evictions": self._evictions,
+            "resident_bytes": self._resident_bytes,
+            "worker_recoveries": self._executor.worker_recoveries,
         }
 
     # ------------------------------------------------------------- pipeline
@@ -148,11 +336,31 @@ class Session:
         """Fabricate a lot of ``num_chips`` dies through the session pool.
 
         Wafer layouts are levelized once per (netlist, recipe, dies) and
-        shipped to the pool workers once per session; the lot is
-        bit-identical to :func:`~repro.manufacturing.lot.fabricate_lot`
-        at any worker count.
+        shipped to the pool workers once per residency; the fabrication
+        shard context participates in the session's LRU like engines
+        and testers, so ``max_contexts`` / ``max_bytes`` bound it in the
+        workers too.  The lot is bit-identical to
+        :func:`~repro.manufacturing.lot.fabricate_lot` at any worker
+        count.
         """
         self._check_open()
+        # Track the fab shard context (pre-built wafer + token, cached
+        # by the manufacturing layer) as an LRU entry so the budgets
+        # also bound worker-resident fabrication contexts.
+        key = ("fab", netlist, recipe, dies_per_wafer)
+        if self._touch(key) is None:
+            context, token = _cached_fab_context(
+                netlist, recipe, dies_per_wafer
+            )
+            self._insert(
+                key,
+                _CacheEntry(
+                    kind="fab",
+                    obj=context,
+                    token=token,
+                    nbytes=self._payload_nbytes_if_budgeted(context),
+                ),
+            )
         return fabricate_lot(
             netlist,
             recipe,
@@ -170,9 +378,11 @@ class Session:
     ) -> TestProgram:
         """Fault-simulate ``patterns`` into a :class:`TestProgram`.
 
-        The simulation engine is compiled once per netlist per session;
-        repeated builds on one netlist reuse the compiled arrays and the
-        session pool.
+        The simulation engine is compiled once per netlist per residency
+        (see the class docstring for the eviction contract); repeated
+        builds on one netlist reuse the compiled arrays and the session
+        pool, and the compiled engine ships to the pool workers once —
+        only the packed pattern blocks travel per call.
         """
         self._check_open()
         return TestProgram.build(

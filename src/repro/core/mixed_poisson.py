@@ -112,7 +112,13 @@ class MixedPoissonFaultModel:
         mu = self.n0 - 1.0
         if self.clustering == 0.0:
             return math.exp(-mu * coverage)
-        return (1.0 + self.clustering * mu * coverage) ** (-1.0 / self.clustering)
+        # log1p keeps tiny c*mu*f at full relative precision; the naive
+        # (1 + x)**(-1/c) quantizes x to double spacing and turns the
+        # curve into ~1e-4-relative stairsteps as c -> 0, which breaks
+        # the required_coverage bisection.
+        return math.exp(
+            -math.log1p(self.clustering * mu * coverage) / self.clustering
+        )
 
     def bad_chip_pass_yield(self, coverage: float) -> float:
         """Generalized Eq. 7: ``(1-y)(1-f) (1 + c (n0-1) f)^(-1/c)``."""

@@ -8,13 +8,17 @@ Installed as the ``repro-experiments`` console script::
     repro-experiments --output-dir results/  # also write one .txt each
     repro-experiments --engine compiled      # pre-batching fault-sim engine
     repro-experiments --workers auto         # process-sharded Monte Carlo
+    repro-experiments --server 127.0.0.1:7642  # run on a repro-server
 
 One :class:`repro.api.Session` carries the selected engine and worker
 pool across every experiment of an invocation: each ``run(session=...)``
 draws on the same persistent pool and compiled-circuit caches, so the
-CLI is also the smallest demonstration of the session API.  Unknown
-experiment names are rejected up front (exit code 2, valid choices
-listed) before anything runs.
+CLI is also the smallest demonstration of the session API.  With
+``--server ADDR`` the experiments run on a remote
+:class:`repro.server.LotServer` instead (which owns execution policy,
+so ``--engine`` / ``--workers`` cannot be combined with it); reports
+are bit-identical either way.  Unknown experiment names are rejected up
+front (exit code 2, valid choices listed) before anything runs.
 """
 
 from __future__ import annotations
@@ -132,7 +136,24 @@ def main(argv: list[str] | None = None) -> int:
             "bit-identical at every worker count."
         ),
     )
+    parser.add_argument(
+        "--server",
+        metavar="ADDR",
+        default=None,
+        help=(
+            "run the experiments on a repro-server at ADDR "
+            "('host:port' or 'unix:/path') instead of in-process; the "
+            "server owns engine/workers policy, so this flag excludes "
+            "--engine and --workers"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.server is not None and (args.engine != "batch" or args.workers != 1):
+        parser.error(
+            "--server is mutually exclusive with --engine/--workers: "
+            "execution policy belongs to the server (repro-server "
+            "--engine ... --workers ...)"
+        )
     if args.list:
         for name in EXPERIMENTS:
             print(name)
@@ -150,10 +171,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.output_dir is not None:
         args.output_dir.mkdir(parents=True, exist_ok=True)
 
-    with Session(engine=args.engine, workers=args.workers) as session:
+    def report_all(run_one) -> None:
         for name in names:
             start = time.perf_counter()
-            report = run_experiment(name, session=session)
+            report = run_one(name)
             elapsed = time.perf_counter() - start
             banner = f"=== {name} ({elapsed:.1f}s) ==="
             print(banner)
@@ -161,6 +182,16 @@ def main(argv: list[str] | None = None) -> int:
             print()
             if args.output_dir is not None:
                 (args.output_dir / f"{name}.txt").write_text(report + "\n")
+
+    if args.server is not None:
+        # Imported lazily so the in-process path never pays for it.
+        from repro.server import Client
+
+        with Client(args.server) as client:
+            report_all(client.run_experiment)
+    else:
+        with Session(engine=args.engine, workers=args.workers) as session:
+            report_all(lambda name: run_experiment(name, session=session))
     return 0
 
 

@@ -44,7 +44,7 @@ from repro.simulator import Engine, make_engine
 from repro.simulator.parallel_sim import CompiledCircuit
 from repro.simulator.values import WORD_BITS, first_detecting_bits, pack_patterns
 
-__all__ = ["FaultSimulator", "FaultSimResult"]
+__all__ = ["FaultSimulator", "FaultSimResult", "engine_context_token"]
 
 
 @dataclass(frozen=True)
@@ -153,7 +153,7 @@ class _FaultShardContext:
     compiled NumPy arrays instead of re-levelizing.  The packed pattern
     blocks vary per run, so they travel with the shard tasks instead —
     a persistent pool can then keep the engine cached under a stable
-    token (see :func:`_engine_context_token`) across many runs.
+    token (see :func:`engine_context_token`) across many runs.
     """
 
     engine: Engine
@@ -167,7 +167,15 @@ _ENGINE_TOKENS: "weakref.WeakKeyDictionary[Engine, tuple]" = (
 )
 
 
-def _engine_context_token(engine: Engine) -> tuple:
+def engine_context_token(engine: Engine) -> tuple:
+    """The stable shard-context token of one compiled engine instance.
+
+    Minted on first request and cached weakly, so every caller that
+    ships ``engine`` to a persistent pool — the fault simulator, a
+    session, the lot-testing server — presents one token and the pool
+    installs the context once.  :class:`repro.api.Session` also uses it
+    to evict the engine's context from the pool workers.
+    """
     token = _ENGINE_TOKENS.get(engine)
     if token is None:
         token = new_context_token()
@@ -279,7 +287,7 @@ class FaultSimulator:
                     _simulate_fault_shard,
                     context,
                     tasks,
-                    token=_engine_context_token(self.engine),
+                    token=engine_context_token(self.engine),
                 )
             else:
                 with ParallelExecutor(num_workers) as executor:

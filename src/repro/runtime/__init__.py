@@ -48,7 +48,16 @@ once per pool lifetime no matter how many calls replay it.
 **Pool lifecycle.**  Executors are context managers with an explicit
 :meth:`ParallelExecutor.close`; one-shot call sites wrap each call in
 ``with ParallelExecutor(n) as executor`` and long-lived owners (a
-``Session``) close their executor when they close.
+``Session``, the :mod:`repro.server` front end) close their executor
+when they close.  Long-lived persistent pools additionally support
+token **eviction** (:meth:`ParallelExecutor.evict` broadcasts a context
+removal to every worker, bounding worker-resident memory) and
+**crash recovery**: a worker killed between calls is respawned by
+``multiprocessing`` with an empty registry, reports the missing context
+via :class:`WorkerCrashError`, and is transparently healed by a context
+re-broadcast and retry — callers see the error only when recovery fails
+repeatedly, and can tell it apart from user-code failures by type (it
+carries the shard index and token).
 
 **Serial fallback.**  ``workers=1`` (the default everywhere) never
 touches ``multiprocessing``: the work runs in-process on the exact
@@ -59,6 +68,7 @@ CPU count.
 
 from repro.runtime.executor import (
     ParallelExecutor,
+    WorkerCrashError,
     new_context_token,
     resolve_workers,
 )
@@ -67,6 +77,7 @@ from repro.runtime.sharding import ShardPlan
 __all__ = [
     "ParallelExecutor",
     "ShardPlan",
+    "WorkerCrashError",
     "new_context_token",
     "resolve_workers",
 ]

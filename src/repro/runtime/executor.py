@@ -19,7 +19,38 @@ lifecycles:
   a context is broadcast to the workers only the first time its token is
   seen, so a session that tests N small lots against one compiled
   circuit pays the fork and the context pickling once, not N times.
-  This is the execution substrate of :class:`repro.api.Session`.
+  This is the execution substrate of :class:`repro.api.Session` and the
+  lot-testing server (:mod:`repro.server`).
+
+Server-grade persistent pools add two behaviors a long-lived process
+needs:
+
+* **Eviction** — :meth:`~ParallelExecutor.evict` broadcasts a token
+  removal to every worker, releasing the worker-resident context memory
+  without tearing the pool down.  A :class:`repro.api.Session` with
+  ``max_contexts`` / ``max_bytes`` drives this from its LRU.
+* **Crash recovery** — a killed worker process poisons a
+  ``multiprocessing`` pool in ways its silent respawn cannot fix (a
+  worker killed while holding the shared task-queue lock deadlocks the
+  respawned pool, and a cleanly respawned worker starts with an empty
+  context registry).  The executor therefore recovers at the
+  coordinator: before dispatching on a persistent pool it compares the
+  live worker pids against the pids the pool was built with, and on any
+  death or respawn it *rebuilds* the pool and re-ships contexts on
+  demand (tokens are simply marked uninstalled).  As a second layer, a
+  respawn that slips past the pid check signals
+  :class:`WorkerCrashError` from the worker the first time it is handed
+  a task; :meth:`~ParallelExecutor.map_shards` catches it,
+  re-broadcasts the context, and retries.  Crashes *while* a call is in
+  flight are covered too: a plain ``pool.map`` would block forever on a
+  task that died with its worker, so every persistent-pool dispatch is
+  an async map polled against worker liveness — a death mid-call raises
+  :class:`WorkerCrashError` at the coordinator, which rebuilds and
+  retries the whole call.  Only when recovery fails repeatedly does
+  :class:`WorkerCrashError` — which carries the shard index and token,
+  unlike a user-code exception — propagate to the caller.  Worker
+  functions must therefore be pure (they may be re-run on retry); every
+  worker in this codebase is.
 
 Executors are context managers; one-shot call sites should use
 ``with ParallelExecutor(n) as executor: ...`` so teardown is explicit
@@ -33,7 +64,12 @@ import multiprocessing
 import os
 from typing import Any, Callable, Hashable, Iterable, TypeVar
 
-__all__ = ["ParallelExecutor", "new_context_token", "resolve_workers"]
+__all__ = [
+    "ParallelExecutor",
+    "WorkerCrashError",
+    "new_context_token",
+    "resolve_workers",
+]
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
@@ -55,6 +91,40 @@ _TOKEN_COUNTER = itertools.count()
 # always re-installed, so the worker-side registry stays bounded.
 _ONESHOT_TOKEN = ("__oneshot__",)
 
+# How many times one map_shards call re-installs its context and retries
+# after a worker crash before giving up and raising WorkerCrashError.
+_MAX_RECOVERIES_PER_CALL = 2
+
+# How often an in-flight persistent-pool dispatch checks worker liveness.
+_POOL_POLL_SECONDS = 0.5
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died and its respawned replacement lacks a context.
+
+    Raised *inside* a worker when it is handed a token it has no context
+    for — which only happens when ``multiprocessing`` respawned a
+    crashed worker process (fresh processes start with an empty
+    registry).  :meth:`ParallelExecutor.map_shards` intercepts it,
+    re-ships the context, and retries transparently; callers only see it
+    when recovery fails repeatedly.  Unlike exceptions raised by user
+    worker functions, it carries where the failure happened:
+
+    ``token``
+        The context token the worker was missing.
+    ``shard_index``
+        0-based index of the shard task that hit the respawned worker.
+    """
+
+    def __init__(self, message: str, token=None, shard_index=None):
+        super().__init__(message)
+        self.token = token
+        self.shard_index = shard_index
+
+    def __reduce__(self):
+        # Keep token/shard_index across the worker->parent pickle hop.
+        return (type(self), (self.args[0], self.token, self.shard_index))
+
 
 def new_context_token() -> tuple[str, int]:
     """A fresh, process-unique token identifying one shard context.
@@ -62,7 +132,8 @@ def new_context_token() -> tuple[str, int]:
     Callers that reuse a compiled context across
     :meth:`ParallelExecutor.map_shards` calls mint one token per context
     and pass it each time; a persistent pool then ships the context to
-    its workers only on the first call.
+    its workers only on the first call, and can later drop it again via
+    :meth:`ParallelExecutor.evict`.
     """
     return ("ctx", next(_TOKEN_COUNTER))
 
@@ -102,10 +173,19 @@ def _run_task(task):
 
 
 def _init_persistent_worker(barrier) -> None:
-    """Persistent pool initializer: empty context registry + barrier."""
+    """Persistent pool initializer: empty context registry + barrier.
+
+    Runs both at pool creation and whenever ``multiprocessing`` respawns
+    a crashed worker — which is why a respawned worker starts with an
+    empty registry and must be healed by a context re-broadcast.
+    """
     global _WORKER_CONTEXTS, _WORKER_BARRIER
     _WORKER_CONTEXTS = {}
     _WORKER_BARRIER = barrier
+
+
+def _broadcast_barrier_wait() -> None:
+    _WORKER_BARRIER.wait()  # type: ignore[union-attr]
 
 
 def _install_context(payload) -> None:
@@ -118,20 +198,89 @@ def _install_context(payload) -> None:
     """
     token, fn, context = payload
     _WORKER_CONTEXTS[token] = (fn, context)  # type: ignore[index]
-    _WORKER_BARRIER.wait()  # type: ignore[union-attr]
+    _broadcast_barrier_wait()
+
+
+def _evict_context(token) -> None:
+    """Drop one context from this worker's registry (barrier-synced).
+
+    Same one-task-per-worker broadcast discipline as
+    :func:`_install_context`; unknown tokens are ignored so eviction is
+    idempotent even on a worker that was respawned after a crash.
+    """
+    _WORKER_CONTEXTS.pop(token, None)  # type: ignore[union-attr]
+    _broadcast_barrier_wait()
+
+
+def _collect_worker_stats(_payload) -> dict:
+    """Report this worker's registry occupancy (barrier-synced).
+
+    The barrier guarantees one answer per live worker process, so the
+    caller sees the true worker-side residency — the observable that the
+    eviction tests assert on.
+    """
+    stats = {
+        "pid": os.getpid(),
+        "resident_contexts": len(_WORKER_CONTEXTS),  # type: ignore[arg-type]
+        "tokens": sorted(repr(t) for t in _WORKER_CONTEXTS),  # type: ignore[union-attr]
+    }
+    _broadcast_barrier_wait()
+    return stats
+
+
+def _force_release(lock) -> None:
+    """Free a pool queue lock that a SIGKILLed worker died holding.
+
+    If the lock is healthy, the acquire succeeds and the release simply
+    restores it.  If the holder is dead, the acquire times out and the
+    bare release (legal on multiprocessing's semaphore-backed ``Lock``)
+    un-poisons it; over-releasing a free lock raises and is swallowed.
+    """
+    try:
+        if lock.acquire(timeout=0.1):
+            lock.release()
+        else:
+            lock.release()
+    except Exception:
+        pass
+
+
+def _destroy_pool(pool) -> None:
+    """Tear down a (possibly crash-poisoned) persistent pool, guaranteed.
+
+    ``Pool.terminate`` deadlocks if a worker was killed while holding a
+    shared queue lock (its ``_help_stuff_finish`` blocks acquiring the
+    task-queue read lock forever).  So: kill the workers first, force-
+    release the queue locks a dead worker may have held, then run the
+    normal teardown, which can now drain and join cleanly.
+    """
+    for proc in pool._pool:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in pool._pool:
+        proc.join(5)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+    _force_release(pool._inqueue._rlock)
+    _force_release(pool._outqueue._wlock)
+    pool.terminate()
+    pool.join()
 
 
 def _run_token_task(payload):
-    token, task = payload
+    token, index, task = payload
     state = _WORKER_CONTEXTS.get(token)  # type: ignore[union-attr]
     if state is None:
         # Only reachable when multiprocessing silently respawned a
         # crashed worker: the replacement starts with an empty registry
-        # while the parent still believes the token is installed.
-        raise RuntimeError(
+        # while the parent still believes the token is installed.  The
+        # parent catches this, re-broadcasts the context, and retries.
+        raise WorkerCrashError(
             "shard context missing in worker — a pool worker was "
-            "restarted after a crash; close and rebuild the "
-            "executor/session"
+            "restarted after a crash",
+            token=token,
+            shard_index=index,
         )
     fn, context = state
     return fn(context, task)
@@ -150,21 +299,30 @@ class ParallelExecutor:
         (created lazily on first parallel call, torn down by
         :meth:`close`).  Persistent pools cache shard contexts by token,
         so an unchanged context is shipped to the workers only once.
-        Two session-scoped trade-offs follow: token-keyed contexts stay
-        resident in every worker until :meth:`close` (memory grows with
-        the number of *distinct* contexts, by design — close the
-        session to release them), and an abnormally killed worker
-        process invalidates the pool (its respawned replacement has no
-        contexts; calls then raise a "context missing" ``RuntimeError``
-        rather than recompute silently).
+        Token-keyed contexts stay resident in every worker until they
+        are :meth:`evict`\\ ed or the executor is closed; a long-lived
+        owner (a server session) bounds residency with an LRU that calls
+        :meth:`evict`.  A worker killed between calls is healed
+        transparently: the executor notices the dead/respawned pid
+        before dispatching, rebuilds the pool, and re-ships contexts on
+        demand (with a :class:`WorkerCrashError` re-install/retry as the
+        fallback layer).
+
+    Determinism: results are returned in task order and every shard is
+    computed independently, so for the pure worker functions this
+    codebase ships, output is bit-identical at every worker count and
+    across one-shot/persistent/serial lifecycles.
     """
 
     def __init__(self, workers: int | str | None = 1, persistent: bool = False):
         self.num_workers = resolve_workers(workers)
         self.persistent = bool(persistent)
         self._pool = None
+        self._pool_pids: frozenset[int] = frozenset()
         self._installed: set[Hashable] = set()
         self._contexts_shipped = 0
+        self._contexts_evicted = 0
+        self._worker_recoveries = 0
         self._closed = False
 
     @property
@@ -180,9 +338,26 @@ class ParallelExecutor:
         """How many context broadcasts this executor's persistent pool made.
 
         The cache-hit observable: calling :meth:`map_shards` twice with
-        the same token must raise this by one, not two.
+        the same token must raise this by one, not two.  Re-shipping a
+        context during crash recovery counts again (the bytes really do
+        travel again).
         """
         return self._contexts_shipped
+
+    @property
+    def contexts_evicted(self) -> int:
+        """How many tokens :meth:`evict` has dropped from the pool."""
+        return self._contexts_evicted
+
+    @property
+    def worker_recoveries(self) -> int:
+        """How many crashed-worker re-install/retry cycles have run."""
+        return self._worker_recoveries
+
+    @property
+    def installed_tokens(self) -> frozenset:
+        """Coordinator-side view of tokens currently installed in the pool."""
+        return frozenset(self._installed)
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -193,7 +368,71 @@ class ParallelExecutor:
                 initializer=_init_persistent_worker,
                 initargs=(barrier,),
             )
+            self._pool_pids = frozenset(p.pid for p in self._pool._pool)
         return self._pool
+
+    def _heal_pool(self) -> None:
+        """Rebuild the persistent pool if any worker died or was respawned.
+
+        The primary crash-recovery layer: a SIGKILLed worker can die
+        holding the pool's shared task-queue lock, deadlocking any task
+        sent to its silently respawned replacement — so a pool whose
+        worker pids changed (or that holds a dead worker) is torn down
+        and rebuilt before anything is dispatched to it.  Installed
+        tokens are marked uninstalled; contexts re-ship lazily on their
+        next use.
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        workers = list(pool._pool)
+        if len(workers) == self.num_workers and all(
+            p.is_alive() and p.pid in self._pool_pids for p in workers
+        ):
+            return
+        _destroy_pool(pool)
+        self._pool = None
+        self._pool_pids = frozenset()
+        self._installed.clear()
+        self._worker_recoveries += 1
+
+    def _pool_map(self, fn: Callable, payloads: list, chunksize=None) -> list:
+        """Dispatch on the persistent pool, watching worker liveness.
+
+        A plain ``pool.map`` blocks forever if a worker dies with a task
+        (or mid-barrier), so dispatch is asynchronous and polled: every
+        ``_POOL_POLL_SECONDS`` the coordinator compares the pool's
+        worker processes against the pids it was built with, and a
+        death or respawn raises :class:`WorkerCrashError` immediately —
+        the recovery loop in :meth:`map_shards` then rebuilds the pool
+        and retries.
+        """
+        pool = self._ensure_pool()
+        kwargs = {} if chunksize is None else {"chunksize": chunksize}
+        result = pool.map_async(fn, payloads, **kwargs)
+        while True:
+            result.wait(_POOL_POLL_SECONDS)
+            if result.ready():
+                return result.get()
+            workers = list(pool._pool)
+            if len(workers) != self.num_workers or any(
+                not p.is_alive() or p.pid not in self._pool_pids
+                for p in workers
+            ):
+                raise WorkerCrashError(
+                    "a pool worker died while a call was in flight"
+                )
+
+    def _broadcast(self, fn: Callable, payload) -> list:
+        """Run ``fn(payload)`` exactly once in every worker process.
+
+        One task per worker with ``chunksize=1`` plus the worker-side
+        barrier: no worker can take a second broadcast task before every
+        worker holds one, so the broadcast reaches each process exactly
+        once.  Must never interleave with another broadcast (the
+        executor is single-coordinator by design).
+        """
+        return self._pool_map(fn, [payload] * self.num_workers, chunksize=1)
 
     def map_shards(
         self,
@@ -210,6 +449,11 @@ class ParallelExecutor:
         only) identifies the context: a token the pool has already seen
         skips the context broadcast entirely, so only the tasks travel.
         Tokenless calls re-ship the context each time.
+
+        If a worker process crashed since the last call, its respawned
+        replacement raises :class:`WorkerCrashError`; the call re-ships
+        ``context`` under ``token`` and retries (``fn`` must be pure).
+        The error propagates only after repeated recovery failures.
         """
         if self._closed:
             raise RuntimeError("executor is closed")
@@ -225,27 +469,83 @@ class ParallelExecutor:
                 processes, initializer=_init_worker, initargs=(fn, context)
             ) as pool:
                 return pool.map(_run_task, tasks)
-        pool = self._ensure_pool()
         if token is None:
             token = _ONESHOT_TOKEN
             self._installed.discard(token)
+        payloads = [(token, i, task) for i, task in enumerate(tasks)]
+        recoveries = 0
+        while True:
+            self._heal_pool()
+            try:
+                if token not in self._installed:
+                    self._broadcast(_install_context, (token, fn, context))
+                    self._installed.add(token)
+                    self._contexts_shipped += 1
+                return self._pool_map(_run_token_task, payloads)
+            except WorkerCrashError:
+                # A worker died in flight (coordinator liveness poll) or
+                # a respawn slipped past the pid check and lacked the
+                # context (worker-side signal); heal by rebuilding/
+                # re-broadcasting and retrying the whole (pure) call.
+                self._installed.discard(token)
+                recoveries += 1
+                if recoveries > _MAX_RECOVERIES_PER_CALL:
+                    raise
+                self._worker_recoveries += 1
+
+    def evict(self, token: Hashable) -> bool:
+        """Drop ``token``'s context from the coordinator *and* every worker.
+
+        Returns ``True`` if the token was installed.  The worker-side
+        registries release their reference immediately (one barrier-
+        synchronized broadcast), so the compiled arrays become
+        collectable in every process without tearing down the pool.
+        Evicting an unknown token is a no-op; the next
+        :meth:`map_shards` with the token simply re-ships its context.
+        """
+        if self._closed:
+            return False
+        self._heal_pool()
         if token not in self._installed:
-            pool.map(
-                _install_context,
-                [(token, fn, context)] * self.num_workers,
-                chunksize=1,
-            )
-            self._installed.add(token)
-            self._contexts_shipped += 1
-        return pool.map(_run_token_task, [(token, task) for task in tasks])
+            return False
+        self._installed.discard(token)
+        if self._pool is not None:
+            try:
+                self._broadcast(_evict_context, token)
+            except WorkerCrashError:
+                # A worker died under the broadcast; the rebuild drops
+                # every context anyway, which subsumes this eviction.
+                self._heal_pool()
+        self._contexts_evicted += 1
+        return True
+
+    def worker_stats(self) -> list[dict]:
+        """Per-worker registry occupancy, one dict per live worker process.
+
+        Each dict has ``pid``, ``resident_contexts`` and ``tokens``
+        (token reprs, sorted).  Empty when no pool exists (serial
+        executors, or a persistent executor before its first parallel
+        call).  This is a pool broadcast: do not call it concurrently
+        with :meth:`map_shards` from another thread.
+        """
+        if self._closed or self._pool is None:
+            return []
+        self._heal_pool()
+        if self._pool is None:
+            return []
+        try:
+            return self._broadcast(_collect_worker_stats, None)
+        except WorkerCrashError:
+            self._heal_pool()
+            return []
 
     def close(self) -> None:
         """Tear down the pool and mark the executor unusable (idempotent)."""
         self._closed = True
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            _destroy_pool(self._pool)
             self._pool = None
+            self._pool_pids = frozenset()
         self._installed.clear()
 
     def __enter__(self) -> "ParallelExecutor":

@@ -24,6 +24,15 @@ class ShardPlan:
 
     ``shard_sizes[i]`` is the length of shard ``i``; shards cover the item
     range in order with no gaps or overlaps.
+
+    This is the determinism half of the runtime's contract: because
+    shards are contiguous and :meth:`merge` concatenates results in
+    shard order, any per-item computation mapped shard-wise (through
+    :class:`~repro.runtime.ParallelExecutor` or not) yields output
+    position-identical to the serial loop at every worker count.  The
+    other half — compile-once — lives in the executor's token-keyed
+    context shipping; plans themselves are pure bookkeeping and never
+    touch processes.
     """
 
     num_items: int

@@ -1,0 +1,45 @@
+"""Multi-client lot-testing server and its wire protocol.
+
+The network face of the repo's service direction: a
+:class:`~repro.server.server.LotServer` (asyncio, TCP or Unix sockets,
+length-prefixed JSON frames) multiplexes many client connections onto
+one shared :class:`repro.api.Session`, so every client shares the
+per-netlist compiled caches, the persistent process pool, and the
+``max_contexts`` / ``max_bytes`` LRU bounding them.  The matching
+synchronous :class:`~repro.server.client.Client` mirrors the session
+surface, so moving an experiment onto a server is a one-line change.
+
+Start a server from the CLI (installed as ``repro-server``)::
+
+    repro-server --port 7642 --workers auto --max-contexts 64
+
+and talk to it::
+
+    from repro.server import Client
+
+    with Client("127.0.0.1:7642") as client:
+        report = client.run_experiment("table1")
+
+Results are bit-identical to direct in-process ``Session`` calls; see
+``docs/server.md`` for the protocol spec, error codes, and eviction
+policy.
+"""
+
+from repro.server.client import Client, parse_address
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RemoteError,
+    netlist_fingerprint,
+)
+from repro.server.server import LotServer
+
+__all__ = [
+    "Client",
+    "LotServer",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteError",
+    "netlist_fingerprint",
+    "parse_address",
+]

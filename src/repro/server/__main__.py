@@ -1,0 +1,106 @@
+"""Console entry point: ``repro-server`` (or ``python -m repro.server``).
+
+Binds a :class:`~repro.server.server.LotServer` and serves until a
+client sends ``shutdown`` or the process receives SIGINT.  On startup
+it prints exactly one line::
+
+    repro-server listening on <host>:<port>
+
+(or ``unix:<path>``), which wrapper scripts parse to discover an
+ephemeral ``--port 0`` binding — the server smoke test does exactly
+that.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.runner import _parse_workers
+from repro.server.server import LotServer
+
+__all__ = ["main"]
+
+
+def _positive_int(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {number}")
+    return number
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse CLI flags, run the server, return the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-server",
+        description=(
+            "Multi-client lot-testing server: serves fabricate / "
+            "build_program / test_lot / run_experiment requests over a "
+            "shared compile-once session (see docs/server.md)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="TCP bind host (default: %(default)s)")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7642,
+        help="TCP port; 0 binds an ephemeral port (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="listen on a Unix-domain socket instead of TCP",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("batch", "compiled", "event"),
+        default="batch",
+        help="fault-simulation engine of the shared session (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=1,
+        help="session pool processes: an integer or 'auto' (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-contexts",
+        type=_positive_int,
+        default=None,
+        help="LRU bound on resident compiled contexts (default: unbounded)",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=_positive_int,
+        default=None,
+        help="LRU bound on resident context bytes (default: unbounded)",
+    )
+    parser.add_argument(
+        "--max-handles",
+        type=_positive_int,
+        default=256,
+        help="retained lot/program handles per kind (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    server = LotServer(
+        host=args.host,
+        port=0 if args.socket else args.port,
+        socket_path=args.socket,
+        engine=args.engine,
+        workers=args.workers,
+        max_contexts=args.max_contexts,
+        max_bytes=args.max_bytes,
+        max_handles=args.max_handles,
+    )
+    try:
+        server.run(verbose=True)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

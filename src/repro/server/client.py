@@ -1,0 +1,250 @@
+"""Synchronous client for the lot-testing server: :class:`Client`.
+
+The client mirrors the :class:`repro.api.Session` surface —
+``fabricate`` / ``build_program`` / ``test`` / ``run_experiment`` — so
+moving an experiment onto a remote server is a one-line change::
+
+    from repro.server import Client
+
+    with Client("127.0.0.1:7642") as client:
+        lot = client.fabricate(chip, recipe, num_chips=277, seed=27)
+        program = client.build_program(chip, patterns)
+        result = client.test(lot, program)      # bit-identical to Session
+
+Netlists are registered once per client (keyed by structural
+fingerprint, so every client sharing a circuit shares the server's
+compiled caches), and objects the server built — lots, programs — are
+remembered by their server handle: passing them back to :meth:`test`
+sends the small handle, not the pickled object.  Objects the client
+built locally are uploaded transparently instead.
+
+Server-reported failures raise
+:class:`~repro.server.protocol.RemoteError` with the protocol error
+code; transport problems raise ``OSError`` /
+:class:`~repro.server.protocol.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Mapping, Sequence
+
+from repro.circuit.netlist import Netlist
+from repro.manufacturing.lot import FabricatedLot
+from repro.manufacturing.process import ProcessRecipe
+from repro.manufacturing.wafer import FabricatedChip
+from repro.server.protocol import (
+    ProtocolError,
+    RemoteError,
+    netlist_fingerprint,
+    pack_obj,
+    recv_frame,
+    send_frame,
+    unpack_obj,
+)
+from repro.tester.program import TestProgram
+from repro.tester.results import LotTestResult
+
+__all__ = ["Client", "parse_address"]
+
+
+def parse_address(address: str) -> tuple[str, Any]:
+    """Parse a server address into ``("tcp", (host, port))`` or ``("unix", path)``.
+
+    Accepted forms: ``"host:port"`` (TCP) and ``"unix:/path/to.sock"``
+    (Unix-domain socket).
+    """
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise ValueError("empty unix socket path")
+        return ("unix", path)
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"address must be 'host:port' or 'unix:/path', got {address!r}"
+        )
+    try:
+        return ("tcp", (host, int(port)))
+    except ValueError:
+        raise ValueError(f"invalid port in address {address!r}") from None
+
+
+class Client:
+    """A synchronous connection to one :class:`~repro.server.LotServer`.
+
+    Parameters
+    ----------
+    address:
+        ``"host:port"`` or ``"unix:/path"`` (see :func:`parse_address`).
+    timeout:
+        Socket timeout in seconds for connect and each response
+        (pipeline requests can be slow — fabricating a big lot *is* the
+        request — so the default is generous).
+
+    Clients are context managers; they are not thread-safe (use one
+    client per thread — the server multiplexes them).
+    """
+
+    def __init__(self, address: str, timeout: float = 600.0):
+        kind, target = parse_address(address)
+        if kind == "unix":
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(target)
+        else:
+            self._sock = socket.create_connection(target, timeout=timeout)
+        self.address = address
+        self._next_id = 0
+        self._closed = False
+        # Local-object -> server-identity maps.  Values pin the objects
+        # so the id() keys stay unambiguous for the client's lifetime.
+        self._netlist_ids: dict[int, tuple[Netlist, str]] = {}
+        self._handles: dict[int, tuple[Any, str]] = {}
+
+    # ----------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        finally:
+            self._netlist_ids.clear()
+            self._handles.clear()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- request
+
+    def request(self, op: str, **params) -> dict:
+        """Send one request and block for its response (low-level API)."""
+        if self._closed:
+            raise RuntimeError("client is closed")
+        self._next_id += 1
+        rid = self._next_id
+        send_frame(self._sock, {"id": rid, "op": op, "params": params})
+        response = recv_frame(self._sock)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        if response.get("id") != rid:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match request id {rid}"
+            )
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise RemoteError(
+                error.get("code", "internal"), error.get("message", "unknown error")
+            )
+        result = response.get("result")
+        return result if isinstance(result, dict) else {}
+
+    # ------------------------------------------------------------ pipeline
+
+    def ping(self) -> dict:
+        """Round-trip liveness check; returns the server's banner."""
+        return self.request("ping")
+
+    def register(self, netlist: Netlist) -> str:
+        """Ensure ``netlist`` is registered server-side; return its id.
+
+        Idempotent and cached per client — later pipeline calls on the
+        same object send only the id.
+        """
+        cached = self._netlist_ids.get(id(netlist))
+        if cached is not None and cached[0] is netlist:
+            return cached[1]
+        result = self.request("register_netlist", netlist=pack_obj(netlist))
+        netlist_id = result["netlist_id"]
+        assert netlist_id == netlist_fingerprint(netlist)
+        self._netlist_ids[id(netlist)] = (netlist, netlist_id)
+        return netlist_id
+
+    def _remember(self, obj: Any, handle: str) -> None:
+        self._handles[id(obj)] = (obj, handle)
+
+    def _handle_for(self, obj: Any) -> str | None:
+        cached = self._handles.get(id(obj))
+        if cached is not None and cached[0] is obj:
+            return cached[1]
+        return None
+
+    def fabricate(
+        self,
+        netlist: Netlist,
+        recipe: ProcessRecipe,
+        num_chips: int,
+        dies_per_wafer: int = 100,
+        seed=None,
+    ) -> FabricatedLot:
+        """Fabricate a lot on the server; bit-identical to ``Session.fabricate``."""
+        result = self.request(
+            "fabricate",
+            netlist_id=self.register(netlist),
+            recipe=pack_obj(recipe),
+            num_chips=num_chips,
+            dies_per_wafer=dies_per_wafer,
+            seed=seed,
+        )
+        lot = unpack_obj(result["lot"])
+        self._remember(lot, result["lot_id"])
+        return lot
+
+    def build_program(
+        self,
+        netlist: Netlist,
+        patterns: Sequence[Mapping[str, int]],
+        collapse: bool = True,
+    ) -> TestProgram:
+        """Build a test program on the server; bit-identical to ``Session``."""
+        result = self.request(
+            "build_program",
+            netlist_id=self.register(netlist),
+            patterns=pack_obj([dict(p) for p in patterns]),
+            collapse=collapse,
+        )
+        program = unpack_obj(result["program"])
+        self._remember(program, result["program_id"])
+        return program
+
+    def test(
+        self,
+        lot: FabricatedLot | Sequence[FabricatedChip],
+        program: TestProgram,
+    ) -> LotTestResult:
+        """First-fail test a lot against ``program`` on the server.
+
+        Server-built lots and programs are referenced by handle (no
+        re-upload); locally built ones are pickled up transparently.
+        """
+        params: dict[str, Any] = {}
+        program_handle = self._handle_for(program)
+        if program_handle is not None:
+            params["program_id"] = program_handle
+        else:
+            params["program"] = pack_obj(program)
+        lot_handle = self._handle_for(lot)
+        if lot_handle is not None:
+            params["lot_id"] = lot_handle
+        else:
+            chips = lot if isinstance(lot, FabricatedLot) else tuple(lot)
+            params["chips"] = pack_obj(chips)
+        result = self.request("test_lot", **params)
+        return unpack_obj(result["result"])
+
+    def run_experiment(self, name: str) -> str:
+        """Run one named paper experiment on the server; returns the report."""
+        return self.request("run_experiment", name=name)["report"]
+
+    def stats(self) -> dict:
+        """Server, session, and pool-worker observability counters."""
+        return self.request("stats")
+
+    def shutdown_server(self) -> None:
+        """Ask the server to shut down cleanly (the connection then closes)."""
+        self.request("shutdown")

@@ -1,0 +1,225 @@
+"""Wire protocol of the lot-testing server: framing, payloads, errors.
+
+The protocol is deliberately small (see ``docs/server.md`` for the
+normative spec):
+
+**Framing.**  Every message is one *frame*: a 4-byte big-endian unsigned
+length prefix followed by that many bytes of UTF-8 JSON.  Frames flow in
+both directions over a plain TCP or Unix-domain stream; a client may
+pipeline requests, and the server answers each request with exactly one
+response frame carrying the same ``id``.
+
+**Envelope.**  Requests are ``{"id": int, "op": str, "params": {...}}``.
+Responses are ``{"id": int, "ok": true, "result": {...}}`` on success or
+``{"id": int, "ok": false, "error": {"code": str, "message": str}}`` on
+failure; error codes are the ``ERR_*`` constants below.
+
+**Payloads.**  Scalar parameters travel as plain JSON.  Domain objects —
+netlists, recipes, pattern lists, lots, programs, results — travel as
+base64-encoded pickles inside JSON strings (:func:`pack_obj` /
+:func:`unpack_obj`): the same bytes the in-process runtime already ships
+to its pool workers, which is what keeps server-mediated results
+bit-identical to direct :class:`repro.api.Session` calls.  Pickle is a
+code-execution vector, so the server trusts its clients by design — bind
+it to localhost or a protected test-floor network, never the open
+internet.
+
+**Identity.**  Netlists are registered once and addressed by
+*fingerprint* (:func:`netlist_fingerprint`, a SHA-256 over the exact
+gate structure), so any number of clients uploading the same circuit
+share one server-side canonical netlist — and therefore one compiled
+context.  Lots and programs built by the server are addressed by
+server-assigned handles (``lot-N`` / ``prog-N``) so follow-up requests
+reference them without re-uploading.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+import socket
+import struct
+from typing import Any
+
+from repro.circuit.netlist import Netlist
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "RemoteError",
+    "encode_frame",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "pack_obj",
+    "unpack_obj",
+    "netlist_fingerprint",
+]
+
+PROTOCOL_VERSION = 1
+
+# One frame must fit a pickled lot/program comfortably; half a GiB is
+# far beyond any realistic payload and bounds a hostile length prefix.
+MAX_FRAME_BYTES = 512 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+# Error codes — the closed vocabulary of the "error.code" field.
+ERR_BAD_REQUEST = "bad-request"  # malformed envelope or parameters
+ERR_UNKNOWN_OP = "unknown-op"  # op name not in the dispatch table
+ERR_UNKNOWN_NETLIST = "unknown-netlist"  # netlist_id never registered
+ERR_UNKNOWN_HANDLE = "unknown-handle"  # lot/program handle expired or bogus
+ERR_USER = "user-error"  # pipeline rejected the inputs (ValueError etc.)
+ERR_WORKER_CRASH = "worker-crash"  # pool worker crash recovery exhausted
+ERR_SHUTTING_DOWN = "shutting-down"  # request arrived after shutdown began
+ERR_INTERNAL = "internal"  # unexpected server-side failure
+
+
+class ProtocolError(Exception):
+    """A malformed frame or envelope (either direction)."""
+
+
+class RemoteError(Exception):
+    """A server-reported failure, surfaced client-side.
+
+    ``code`` is one of the ``ERR_*`` constants; ``message`` is the
+    human-readable server explanation.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+# ------------------------------------------------------------------ framing
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialize one envelope to its length-prefixed wire form."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> dict:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame body must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+
+
+async def read_frame(reader) -> dict | None:
+    """Async side: read one envelope, or ``None`` on a clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return _decode_body(body)
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count and not chunks:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Sync side: read one envelope, or ``None`` on a clean EOF."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return _decode_body(body)
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Sync side: write one envelope."""
+    sock.sendall(encode_frame(message))
+
+
+# ----------------------------------------------------------------- payloads
+
+
+def pack_obj(obj: Any) -> str:
+    """Encode a domain object for a JSON field (base64 pickle)."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def unpack_obj(data: str) -> Any:
+    """Decode a :func:`pack_obj` payload.  Trusts the peer (see module doc)."""
+    try:
+        return pickle.loads(base64.b64decode(data.encode("ascii")))
+    except Exception as exc:
+        raise ProtocolError(f"undecodable object payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------- identity
+
+
+def netlist_fingerprint(netlist: Netlist) -> str:
+    """A stable structural identity for a netlist, hex SHA-256.
+
+    Two :class:`~repro.circuit.netlist.Netlist` objects that describe
+    the same circuit — same name, same gates with the same types and
+    input connections in the same declaration order, same primary
+    inputs/outputs — fingerprint identically, no matter which process
+    or client built them.  This is the key the server's shared compiled
+    caches are shared *on*: every client uploading the same circuit maps
+    to one canonical server-side netlist, so it compiles exactly once.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(netlist.name.encode("utf-8"))
+    for section in (netlist.inputs, netlist.outputs):
+        hasher.update(b"\x00")
+        for name in section:
+            hasher.update(name.encode("utf-8") + b"\x1f")
+    hasher.update(b"\x00")
+    for signal in netlist.signals:
+        gate = netlist.gate(signal)
+        hasher.update(gate.name.encode("utf-8") + b"\x1f")
+        hasher.update(gate.gate_type.name.encode("utf-8") + b"\x1f")
+        for source in gate.inputs:
+            hasher.update(source.encode("utf-8") + b"\x1f")
+        hasher.update(b"\x00")
+    return hasher.hexdigest()

@@ -1,0 +1,581 @@
+"""The multi-client lot-testing server: :class:`LotServer`.
+
+An asyncio front end that multiplexes many concurrent client
+connections onto one shared :class:`repro.api.Session` — the same
+shape as a test-floor DAQ service: many operators stream requests at
+the one process that owns the hardware-facing hot path.
+
+Execution model
+---------------
+
+* The event loop owns all sockets and never runs pipeline work.
+* Requests that touch the pipeline (``fabricate``, ``build_program``,
+  ``test_lot``, ``run_experiment``) are enqueued **per netlist** (FIFO
+  order per netlist, round-robin fairness across netlists via queue
+  consumers) and executed one at a time on a dedicated worker thread
+  against the shared session.  Parallelism lives *below* that thread,
+  in the session's process pool — so two clients hammering different
+  netlists contend for the pool, not for locks.
+* Because the session is shared, its compile-once caches are shared:
+  any number of clients uploading the same netlist (same
+  :func:`~repro.server.protocol.netlist_fingerprint`) compile its
+  engine exactly once and ship its contexts to the pool once.  The
+  session's ``max_contexts`` / ``max_bytes`` LRU bounds what stays
+  resident, and a crashed pool worker is healed transparently by the
+  executor's re-install/retry — in-flight requests from other clients
+  never observe it.
+* Results are **bit-identical** to direct ``Session`` calls: the server
+  moves the same pickled bytes the in-process runtime ships to its pool
+  workers; it never re-computes or re-rounds anything.
+
+Responses on one connection are returned in request order; independent
+connections interleave freely.  See ``docs/server.md`` for the protocol
+spec and :mod:`repro.server.client` for the matching sync client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import sys
+import threading
+import traceback
+from collections import Counter, OrderedDict
+from typing import Any, Awaitable, Callable
+
+from repro.api import Session
+from repro.circuit.netlist import Netlist
+from repro.manufacturing.lot import FabricatedLot
+from repro.manufacturing.process import ProcessRecipe
+from repro.runtime import WorkerCrashError
+from repro.server.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_INTERNAL,
+    ERR_SHUTTING_DOWN,
+    ERR_UNKNOWN_HANDLE,
+    ERR_UNKNOWN_NETLIST,
+    ERR_UNKNOWN_OP,
+    ERR_USER,
+    ERR_WORKER_CRASH,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+    netlist_fingerprint,
+    pack_obj,
+    read_frame,
+    unpack_obj,
+)
+from repro.tester.program import TestProgram
+
+__all__ = ["LotServer"]
+
+# Queue key for requests that are not tied to a client netlist (the
+# named paper experiments build their own circuits internally).
+_EXPERIMENT_QUEUE = "__experiments__"
+
+_MISSING = object()
+
+
+class _RequestError(Exception):
+    """An error with a protocol code, raised by request handlers."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+def _param(params: dict, name: str, kinds, default=_MISSING):
+    """Fetch and type-check one request parameter."""
+    value = params.get(name, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise _RequestError(ERR_BAD_REQUEST, f"missing parameter {name!r}")
+        return default
+    if kinds is not None:
+        allowed = kinds if isinstance(kinds, tuple) else (kinds,)
+        ok = isinstance(value, allowed)
+        if isinstance(value, bool) and bool not in allowed:
+            ok = False  # bool is an int subclass; reject it for int params
+        if not ok:
+            raise _RequestError(
+                ERR_BAD_REQUEST,
+                f"parameter {name!r} has the wrong type ({type(value).__name__})",
+            )
+    return value
+
+
+class LotServer:
+    """Serve lot-testing requests from many clients over one session.
+
+    Parameters
+    ----------
+    host, port:
+        TCP endpoint; ``port=0`` binds an ephemeral port (read
+        :attr:`address` after startup).  Mutually exclusive with
+        ``socket_path``.
+    socket_path:
+        Unix-domain socket path to listen on instead of TCP.
+    engine, workers, max_contexts, max_bytes:
+        Forwarded to the shared :class:`repro.api.Session` — the
+        server's execution policy and cache budget.
+    max_handles:
+        Upper bound on server-retained lot and program handles (each
+        kind separately, FIFO-evicted).  Evicted handles answer
+        ``unknown-handle``; clients can always re-upload.
+
+    Run it blocking with :meth:`run` (the ``repro-server`` CLI does), or
+    in a thread via :func:`repro.server.testing.running_server`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: str | None = None,
+        engine: str = "batch",
+        workers: int | str = 1,
+        max_contexts: int | None = None,
+        max_bytes: int | None = None,
+        max_handles: int = 256,
+    ):
+        if socket_path is not None and port:
+            raise ValueError("pass either port or socket_path, not both")
+        if max_handles < 1:
+            raise ValueError(f"max_handles must be >= 1, got {max_handles}")
+        self._host = host
+        self._port = port
+        self._socket_path = socket_path
+        self._max_handles = max_handles
+        self._session = Session(
+            engine=engine,
+            workers=workers,
+            max_contexts=max_contexts,
+            max_bytes=max_bytes,
+        )
+        self._netlists: dict[str, Netlist] = {}
+        self._lots: OrderedDict[str, FabricatedLot] = OrderedDict()
+        # handle -> (netlist fingerprint, program); the fingerprint is
+        # stored so test_lot-by-handle never re-hashes the netlist.
+        self._programs: OrderedDict[str, tuple[str, TestProgram]] = OrderedDict()
+        self._handle_counter = 0
+        self._queues: dict[str, asyncio.Queue] = {}
+        self._consumers: dict[str, asyncio.Task] = {}
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._counters: Counter[str] = Counter()
+        self._connections_open = 0
+        self._connections_total = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._stopping = False
+        self._started = threading.Event()
+        self._finished = threading.Event()
+        self.address: str | None = None
+        # The one thread that touches the shared session; its FIFO queue
+        # is what serializes pipeline work across netlist queues.
+        self._exec: Any = None
+
+    # ----------------------------------------------------------- lifecycle
+
+    def run(self, verbose: bool = False) -> None:
+        """Bind, announce (``verbose``), and serve until shutdown (blocking)."""
+        try:
+            asyncio.run(self._main(verbose))
+        finally:
+            self._finished.set()
+            self._started.set()  # unblock waiters even on startup failure
+
+    def wait_started(self, timeout: float = 30.0) -> None:
+        """Block until the server is listening (for run-in-a-thread users)."""
+        if not self._started.wait(timeout):
+            raise TimeoutError("server did not start listening in time")
+        if self.address is None:
+            raise RuntimeError("server failed during startup")
+
+    def request_shutdown(self) -> None:
+        """Ask the server to stop, from any thread (idempotent)."""
+        loop, stop = self._loop, self._stop_event
+        if loop is None or stop is None:
+            self._stopping = True
+            return
+        try:
+            loop.call_soon_threadsafe(stop.set)
+        except RuntimeError:
+            pass  # loop already closed — the server is already down
+
+    async def _main(self, verbose: bool) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        if self._stopping:  # shutdown requested before startup
+            self._stop_event.set()
+        self._exec = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-server-exec"
+        )
+        if self._socket_path is not None:
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=self._socket_path
+            )
+            self.address = f"unix:{self._socket_path}"
+        else:
+            server = await asyncio.start_server(
+                self._handle_connection, host=self._host, port=self._port
+            )
+            bound = server.sockets[0].getsockname()
+            self.address = f"{bound[0]}:{bound[1]}"
+        if verbose:
+            print(f"repro-server listening on {self.address}", flush=True)
+        self._started.set()
+        try:
+            await self._stop_event.wait()
+            self._stopping = True
+        finally:
+            # Stop accepting, then cancel live connection handlers
+            # explicitly: since Python 3.12.1 ``wait_closed`` blocks
+            # until every handler coroutine finishes, so an idle client
+            # that never disconnects would otherwise hang shutdown.
+            server.close()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(
+                    *self._conn_tasks, return_exceptions=True
+                )
+            try:
+                await server.wait_closed()
+            except Exception:
+                pass
+            for task in self._consumers.values():
+                task.cancel()
+            for task in self._consumers.values():
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            # Let an in-flight pipeline call finish, then release the pool.
+            self._exec.shutdown(wait=True)
+            self._session.close()
+            if self._socket_path is not None:
+                import os
+
+                try:
+                    os.unlink(self._socket_path)
+                except OSError:
+                    pass
+
+    # --------------------------------------------------------- connections
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._connections_open += 1
+        self._connections_total += 1
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError:
+                    break  # peer sent garbage; drop the connection
+                if request is None:
+                    break
+                response, stop_after = await self._handle_request(request)
+                writer.write(encode_frame(response))
+                await writer.drain()
+                if stop_after:
+                    self._stop_event.set()  # type: ignore[union-attr]
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._connections_open -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _handle_request(self, request: dict) -> tuple[dict, bool]:
+        rid = request.get("id")
+        if not isinstance(rid, int) or isinstance(rid, bool):
+            return self._error_response(None, ERR_BAD_REQUEST, "request id must be an integer"), False
+        op = request.get("op")
+        params = request.get("params", {})
+        try:
+            if not isinstance(op, str):
+                raise _RequestError(ERR_BAD_REQUEST, "request op must be a string")
+            if not isinstance(params, dict):
+                raise _RequestError(ERR_BAD_REQUEST, "request params must be an object")
+            if self._stopping:
+                raise _RequestError(ERR_SHUTTING_DOWN, "server is shutting down")
+            handler = self._OPS.get(op)
+            if handler is None:
+                raise _RequestError(
+                    ERR_UNKNOWN_OP,
+                    f"unknown op {op!r}; choose from {sorted(self._OPS)}",
+                )
+            self._counters[op] += 1
+            result = await handler(self, params)
+            return {"id": rid, "ok": True, "result": result}, op == "shutdown"
+        except _RequestError as exc:
+            return self._error_response(rid, exc.code, str(exc)), False
+        except WorkerCrashError as exc:
+            return self._error_response(
+                rid,
+                ERR_WORKER_CRASH,
+                f"pool worker crash recovery exhausted: {exc} "
+                f"(token={exc.token!r}, shard_index={exc.shard_index!r})",
+            ), False
+        except ProtocolError as exc:
+            return self._error_response(rid, ERR_BAD_REQUEST, str(exc)), False
+        except (ValueError, KeyError, IndexError, TypeError) as exc:
+            return self._error_response(rid, ERR_USER, f"{type(exc).__name__}: {exc}"), False
+        except Exception as exc:  # pragma: no cover - defensive
+            traceback.print_exc(file=sys.stderr)
+            return self._error_response(rid, ERR_INTERNAL, f"{type(exc).__name__}: {exc}"), False
+
+    @staticmethod
+    def _error_response(rid, code: str, message: str) -> dict:
+        return {"id": rid, "ok": False, "error": {"code": code, "message": message}}
+
+    # ------------------------------------------------------ queued execution
+
+    async def _run_queued(self, key: str, fn: Callable[[], Any]) -> Any:
+        """Enqueue ``fn`` on the per-netlist queue and await its result."""
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._queues[key] = queue
+            self._consumers[key] = asyncio.ensure_future(self._consume(queue))
+        future = self._loop.create_future()  # type: ignore[union-attr]
+        await queue.put((fn, future))
+        return await future
+
+    async def _consume(self, queue: asyncio.Queue) -> None:
+        """Drain one netlist queue, one request at a time, FIFO.
+
+        All consumers submit to the same single-thread executor, whose
+        FIFO run queue interleaves ready requests from different
+        netlists fairly while keeping the shared session single-threaded.
+        """
+        while True:
+            fn, future = await queue.get()
+            try:
+                result = await self._loop.run_in_executor(self._exec, fn)  # type: ignore[union-attr]
+            except Exception as exc:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            else:
+                if not future.cancelled():
+                    future.set_result(result)
+            finally:
+                queue.task_done()
+
+    def _new_handle(self, prefix: str) -> str:
+        self._handle_counter += 1
+        return f"{prefix}-{self._handle_counter}"
+
+    def _retain(self, registry: OrderedDict, handle: str, obj: Any) -> None:
+        registry[handle] = obj
+        while len(registry) > self._max_handles:
+            registry.popitem(last=False)
+
+    def _netlist_for(self, params: dict) -> tuple[str, Netlist]:
+        netlist_id = _param(params, "netlist_id", str)
+        netlist = self._netlists.get(netlist_id)
+        if netlist is None:
+            raise _RequestError(
+                ERR_UNKNOWN_NETLIST,
+                f"netlist {netlist_id!r} is not registered; call register_netlist first",
+            )
+        return netlist_id, netlist
+
+    # ------------------------------------------------------------------ ops
+
+    async def _op_ping(self, params: dict) -> dict:
+        return {
+            "pong": True,
+            "server": "repro-server",
+            "protocol": PROTOCOL_VERSION,
+        }
+
+    async def _op_register_netlist(self, params: dict) -> dict:
+        netlist = unpack_obj(_param(params, "netlist", str))
+        if not isinstance(netlist, Netlist):
+            raise _RequestError(
+                ERR_BAD_REQUEST,
+                f"netlist payload must be a Netlist, got {type(netlist).__name__}",
+            )
+        fingerprint = netlist_fingerprint(netlist)
+        known = fingerprint in self._netlists
+        if not known:
+            self._netlists[fingerprint] = netlist
+        return {"netlist_id": fingerprint, "known": known}
+
+    async def _op_fabricate(self, params: dict) -> dict:
+        netlist_id, netlist = self._netlist_for(params)
+        recipe = unpack_obj(_param(params, "recipe", str))
+        if not isinstance(recipe, ProcessRecipe):
+            raise _RequestError(
+                ERR_BAD_REQUEST,
+                f"recipe payload must be a ProcessRecipe, got {type(recipe).__name__}",
+            )
+        num_chips = _param(params, "num_chips", int)
+        dies_per_wafer = _param(params, "dies_per_wafer", int, default=100)
+        seed = _param(params, "seed", (int, str, type(None)), default=None)
+        return_lot = _param(params, "return_lot", bool, default=True)
+
+        def job() -> dict:
+            lot = self._session.fabricate(
+                netlist,
+                recipe,
+                num_chips,
+                dies_per_wafer=dies_per_wafer,
+                seed=seed,
+            )
+            handle = self._new_handle("lot")
+            self._retain(self._lots, handle, lot)
+            result = {
+                "lot_id": handle,
+                "num_chips": len(lot),
+                "empirical_yield": lot.empirical_yield(),
+            }
+            if return_lot:
+                result["lot"] = pack_obj(lot)
+            return result
+
+        return await self._run_queued(netlist_id, job)
+
+    async def _op_build_program(self, params: dict) -> dict:
+        netlist_id, netlist = self._netlist_for(params)
+        patterns = unpack_obj(_param(params, "patterns", str))
+        collapse = _param(params, "collapse", bool, default=True)
+        return_program = _param(params, "return_program", bool, default=True)
+
+        def job() -> dict:
+            program = self._session.build_program(netlist, patterns, collapse=collapse)
+            handle = self._new_handle("prog")
+            self._retain(self._programs, handle, (netlist_id, program))
+            result = {
+                "program_id": handle,
+                "num_patterns": len(program),
+                "final_coverage": program.final_coverage,
+            }
+            if return_program:
+                result["program"] = pack_obj(program)
+            return result
+
+        return await self._run_queued(netlist_id, job)
+
+    def _resolve_program(self, params: dict) -> tuple[str, TestProgram]:
+        """The request's program and its netlist queue key.
+
+        Accepts a server handle (``program_id``) or an uploaded pickled
+        program; uploads are canonicalized onto the server's registered
+        netlist (by fingerprint) so they share the compiled caches, and
+        register their netlist implicitly when it is new.
+        """
+        if "program_id" in params:
+            handle = _param(params, "program_id", str)
+            entry = self._programs.get(handle)
+            if entry is None:
+                raise _RequestError(
+                    ERR_UNKNOWN_HANDLE, f"unknown or expired program handle {handle!r}"
+                )
+            return entry
+        program = unpack_obj(_param(params, "program", str))
+        if not isinstance(program, TestProgram):
+            raise _RequestError(
+                ERR_BAD_REQUEST,
+                f"program payload must be a TestProgram, got {type(program).__name__}",
+            )
+        fingerprint = netlist_fingerprint(program.netlist)
+        canonical = self._netlists.get(fingerprint)
+        if canonical is None:
+            self._netlists[fingerprint] = program.netlist
+        elif canonical is not program.netlist:
+            program = dataclasses.replace(program, netlist=canonical)
+        return fingerprint, program
+
+    def _resolve_chips(self, params: dict):
+        if "lot_id" in params:
+            handle = _param(params, "lot_id", str)
+            lot = self._lots.get(handle)
+            if lot is None:
+                raise _RequestError(
+                    ERR_UNKNOWN_HANDLE, f"unknown or expired lot handle {handle!r}"
+                )
+            return lot
+        chips = unpack_obj(_param(params, "chips", str))
+        if isinstance(chips, FabricatedLot):
+            return chips
+        return tuple(chips)
+
+    async def _op_test_lot(self, params: dict) -> dict:
+        netlist_id, program = self._resolve_program(params)
+        chips = self._resolve_chips(params)
+
+        def job() -> dict:
+            result = self._session.test(chips, program)
+            return {
+                "result": pack_obj(result),
+                "num_records": result.lot_size,
+                "fraction_rejected": result.fraction_rejected(),
+            }
+
+        return await self._run_queued(netlist_id, job)
+
+    async def _op_run_experiment(self, params: dict) -> dict:
+        name = _param(params, "name", str)
+        from repro.experiments.runner import EXPERIMENTS
+
+        if name not in EXPERIMENTS:
+            raise _RequestError(
+                ERR_USER,
+                f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}",
+            )
+
+        def job() -> dict:
+            return {"report": self._session.run_experiment(name)}
+
+        return await self._run_queued(_EXPERIMENT_QUEUE, job)
+
+    async def _op_stats(self, params: dict) -> dict:
+        def job() -> dict:
+            # Runs on the exec thread so the worker_stats pool broadcast
+            # never interleaves with a pipeline map on the shared pool.
+            return {
+                "session": self._session.stats(),
+                "workers": self._session.executor.worker_stats(),
+            }
+
+        stats = await self._run_queued(_EXPERIMENT_QUEUE, job)
+        stats["server"] = {
+            "protocol": PROTOCOL_VERSION,
+            "connections_open": self._connections_open,
+            "connections_total": self._connections_total,
+            "requests_by_op": dict(self._counters),
+            "registered_netlists": len(self._netlists),
+            "lots_retained": len(self._lots),
+            "programs_retained": len(self._programs),
+            "queue_depths": {
+                key: queue.qsize() for key, queue in self._queues.items()
+            },
+        }
+        return stats
+
+    async def _op_shutdown(self, params: dict) -> dict:
+        return {"stopping": True}
+
+    _OPS: dict[str, Callable[["LotServer", dict], Awaitable[dict]]] = {
+        "ping": _op_ping,
+        "register_netlist": _op_register_netlist,
+        "fabricate": _op_fabricate,
+        "build_program": _op_build_program,
+        "test_lot": _op_test_lot,
+        "run_experiment": _op_run_experiment,
+        "stats": _op_stats,
+        "shutdown": _op_shutdown,
+    }

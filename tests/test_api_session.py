@@ -94,7 +94,7 @@ class TestCompileOnce:
             # The tester shares the session's compiled batch circuit
             # instead of re-levelizing the netlist.
             tester = session._tester_for(first)
-            assert tester._batch is session._engines[chip].batch
+            assert tester._batch is session._cached_engine(chip).batch
             assert len(calls) == 1
 
     def test_tester_cached_per_program(self, chip, recipe, patterns):

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Execute the fenced ``python`` code blocks of markdown files.
+
+The docs CI job runs this over ``README.md`` and ``docs/*.md`` so every
+published snippet is guaranteed to run against the current code — docs
+that drift from the API fail the build instead of lying.
+
+Rules:
+
+* only ```` ```python ```` fences are executed;
+* blocks in one file share a namespace and run top to bottom (so a doc
+  can build state across snippets);
+* a fence immediately preceded by an ``<!-- check_docs: skip -->``
+  comment line is skipped (for illustrative pseudo-code).
+
+Usage::
+
+    python tools/check_docs.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+SKIP_MARKER = "<!-- check_docs: skip -->"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def extract_blocks(path: Path) -> list[tuple[int, str]]:
+    """``(first_line_number, source)`` for each runnable python fence."""
+    blocks: list[tuple[int, str]] = []
+    lines = path.read_text().splitlines()
+    in_block = False
+    skip_next = False
+    start = 0
+    buffer: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not in_block:
+            if stripped == SKIP_MARKER:
+                skip_next = True
+            elif stripped.startswith("```python"):
+                if skip_next:
+                    skip_next = False
+                    in_block = True
+                    buffer = None  # type: ignore[assignment]  # skipped fence
+                else:
+                    in_block = True
+                    start = number + 1
+                    buffer = []
+            elif stripped and not stripped.startswith("<!--"):
+                skip_next = False
+        else:
+            if stripped == "```":
+                in_block = False
+                if buffer is not None:
+                    blocks.append((start, "\n".join(buffer)))
+            elif buffer is not None:
+                buffer.append(line)
+    return blocks
+
+
+def run_file(path: Path) -> int:
+    """Run every block of one file in a shared namespace; count failures."""
+    namespace: dict = {"__name__": f"docs_snippet[{path.name}]"}
+    failures = 0
+    for line, source in extract_blocks(path):
+        label = f"{path}:{line}"
+        started = time.perf_counter()
+        try:
+            code = compile(source, label, "exec")
+            exec(code, namespace)
+        except Exception as exc:
+            failures += 1
+            print(f"FAIL {label}: {type(exc).__name__}: {exc}")
+            import traceback
+
+            traceback.print_exc()
+        else:
+            print(f"ok   {label} ({time.perf_counter() - started:.1f}s)")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_docs.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    failures = 0
+    total = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            print(f"FAIL {path}: no such file")
+            failures += 1
+            continue
+        blocks = extract_blocks(path)
+        total += len(blocks)
+        print(f"--- {path}: {len(blocks)} runnable block(s)")
+        failures += run_file(path)
+    print(f"--- {total} block(s), {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

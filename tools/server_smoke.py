@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the ``repro-server`` console entry point.
+
+What the CI server job runs: spawn the real server as a subprocess
+(ephemeral port), discover the address from its announce line, drive a
+full ``test_lot`` round trip through the wire protocol, check the
+result is bit-identical to a direct in-process ``Session``, then shut
+the server down cleanly and verify it exits 0.
+
+Usage::
+
+    PYTHONPATH=src python tools/server_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+sys.path.insert(0, SRC)
+
+
+def main() -> int:
+    from repro.api import Session
+    from repro.atpg.random_gen import random_patterns
+    from repro.circuit.generators import c17
+    from repro.manufacturing.process import ProcessRecipe
+    from repro.server import Client
+
+    chip = c17()
+    recipe = ProcessRecipe(
+        defect_density=3.0, clustering=0.5, mean_defect_radius=0.15
+    )
+    patterns = random_patterns(chip, 24, seed=3)
+
+    with Session(workers=1) as session:
+        lot = session.fabricate(chip, recipe, 12, dies_per_wafer=4, seed=7)
+        program = session.build_program(chip, patterns)
+        expected = session.test(lot, program)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--port", "0", "--max-contexts", "8"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        announce = proc.stdout.readline().strip()
+        print(announce)
+        assert announce.startswith("repro-server listening on "), announce
+        address = announce.rsplit(" ", 1)[-1]
+
+        with Client(address) as client:
+            assert client.ping()["pong"] is True
+            server_lot = client.fabricate(chip, recipe, 12, dies_per_wafer=4, seed=7)
+            server_program = client.build_program(chip, patterns)
+            result = client.test(server_lot, server_program)
+            assert server_lot.chips == lot.chips, "fabricated lots differ"
+            assert result.records == expected.records, "test records differ"
+            stats = client.stats()
+            assert stats["session"]["engine_compiles"] == 1
+            assert stats["server"]["requests_by_op"]["test_lot"] == 1
+            client.shutdown_server()
+        code = proc.wait(timeout=60)
+        assert code == 0, f"server exited {code}"
+    except BaseException:
+        proc.kill()
+        raise
+    print("server smoke: round trip bit-identical, clean shutdown (exit 0)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
