@@ -339,7 +339,10 @@ class Session:
         shipped to the pool workers once per residency; the fabrication
         shard context participates in the session's LRU like engines
         and testers, so ``max_contexts`` / ``max_bytes`` bound it in the
-        workers too.  The lot is bit-identical to
+        workers too.  Fabrication runs on the array-native path (grid
+        index + SoA chips — see ``docs/fabrication.md``), with shard
+        workers returning compact array payloads rather than pickled
+        object trees; the lot is bit-identical to
         :func:`~repro.manufacturing.lot.fabricate_lot` at any worker
         count.
         """

@@ -116,9 +116,14 @@ class MixedPoissonFaultModel:
         # (1 + x)**(-1/c) quantizes x to double spacing and turns the
         # curve into ~1e-4-relative stairsteps as c -> 0, which breaks
         # the required_coverage bisection.
-        return math.exp(
-            -math.log1p(self.clustering * mu * coverage) / self.clustering
-        )
+        x = self.clustering * mu * coverage
+        if x < 1e-8:
+            # For subnormal c even the product c*mu*f quantizes (to
+            # multiples of 5e-324), so log1p(x)/c itself stairsteps;
+            # the series log1p(x)/x = 1 - x/2 + O(x^2) never divides
+            # by c and is exact to double precision on this range.
+            return math.exp(-mu * coverage * (1.0 - 0.5 * x))
+        return math.exp(-math.log1p(x) / self.clustering)
 
     def bad_chip_pass_yield(self, coverage: float) -> float:
         """Generalized Eq. 7: ``(1-y)(1-f) (1 + c (n0-1) f)^(-1/c)``."""

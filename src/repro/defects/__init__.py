@@ -12,6 +12,12 @@ package models that bridge:
   (negative-binomial) density clustering;
 * :mod:`repro.defects.mapping` — defect footprint -> set of stuck-at
   faults, the fault-multiplicity law that makes ``n0 > 1``.
+
+The hot path is array-native: the layout carries a cell-binned spatial
+grid index answering whole defect arrays in one CSR-batched query, and
+the mapper samples all of a chip's defects into ``(site, polarity)``
+arrays while consuming random draws in the exact per-defect order of
+the scalar reference path (see ``docs/fabrication.md``).
 """
 
 from repro.defects.layout import ChipLayout

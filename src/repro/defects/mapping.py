@@ -8,11 +8,22 @@ matters).  A defect touching zero sites is benign — it hit empty area.
 This is the mechanism that realizes the paper's observation that one
 physical defect yields several logical faults, and hence ``n0 > 1``: the
 expected faults per killing defect grows with ``(radius / cell)^2``.
+
+The hot path is array-native: :meth:`DefectToFaultMapper.site_hits_for_chip`
+maps a whole chip's defect arrays to ``(site index, polarity)`` arrays in
+one pass over the layout's grid index, drawing random numbers in the exact
+per-defect order of the scalar reference path so fabricated chips are
+bit-identical to it.  Fault *objects* are materialized only at the API
+boundary (:meth:`DefectToFaultMapper.faults_for_chip`,
+:attr:`repro.manufacturing.wafer.FabricatedChip.faults`).
 """
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
+
+import numpy as np
 
 from repro.defects.generation import Defect
 from repro.defects.layout import ChipLayout
@@ -20,6 +31,214 @@ from repro.faults.model import StuckAtFault
 from repro.utils.rng import make_rng
 
 __all__ = ["DefectToFaultMapper"]
+
+# (word >> 11) * 2^-53 is how a 64-bit generator word becomes a uniform
+# double in [0, 1) — numpy's standard transformation.
+_DOUBLE_SCALE = 2.0**-53
+_U32_MOD = 1 << 32
+
+# Whether the word-stream fast path reproduces this numpy's Generator
+# draws bit-for-bit (None = not yet checked).  Verified once per process
+# against the generic path; a numpy release that changed the Generator
+# stream internals would flip this to False and quietly fall back.
+_WORD_STREAM_OK: bool | None = None
+
+
+def _sample_hits_words(
+    site_indices: np.ndarray, bounds: list, activation: float, rng
+) -> tuple[list, list]:
+    """Word-stream sampler: emulate the generator's draws from raw words.
+
+    Bulk-draws the generator's native 64-bit words once per chip and
+    re-applies numpy's own transformations in plain Python — uniforms
+    are ``(word >> 11) * 2^-53`` (one word each), bounded integers are
+    Lemire rejection on buffered 32-bit half-words (low half first, the
+    spare half carried in the generator's ``uinteger`` slot).  Consuming
+    the stream this way is bit-identical to calling ``rng.random`` /
+    ``rng.integers`` per defect but costs two O(words) vector ops per
+    chip instead of two Generator calls per defect.  The generator is
+    left in exactly the state the per-call path would leave it in
+    (surplus words are returned via ``advance``; the half-word buffer is
+    written back), so callers can keep drawing from it.
+    """
+    bit_generator = rng.bit_generator
+    state = bit_generator.state
+    has_half = bool(state["has_uint32"])
+    half = int(state["uinteger"])
+    start0 = bounds[0]
+    total_covered = bounds[-1] - start0
+    # Word budget: one per covered site (uniforms) plus up to one half
+    # per kept site (polarities) plus slack for Lemire redraws; the
+    # parse refills mid-chip if a redraw streak outruns the slack.
+    drawn = total_covered + (total_covered >> 1) + 8
+    words = bit_generator.random_raw(drawn)
+    keep_flags = (
+        ((words >> np.uint64(11)) * _DOUBLE_SCALE) < activation
+    ).tolist()
+    word_list = words.tolist()
+    buffered = len(word_list)
+    chip_sites = site_indices[start0 : bounds[-1]].tolist()
+    kept: list[int] = []
+    polarities: list[int] = []
+    polarities_append = polarities.append
+    pos = 0
+    previous = start0
+    for stop in bounds[1:]:
+        count = stop - previous
+        if count == 0:
+            continue
+        if pos + count + (count >> 1) + 4 > buffered:
+            chunk = max(pos + count + (count >> 1) + 4 - buffered, 64)
+            extra = bit_generator.random_raw(chunk)
+            drawn += chunk
+            word_list.extend(extra.tolist())
+            keep_flags.extend(
+                (((extra >> np.uint64(11)) * _DOUBLE_SCALE) < activation).tolist()
+            )
+            buffered = len(word_list)
+        base = previous - start0
+        selected = [
+            site
+            for site, flag in zip(
+                chip_sites[base : base + count], keep_flags[pos : pos + count]
+            )
+            if flag
+        ]
+        pos += count
+        previous = stop
+        if not selected:
+            if count == 1:
+                selected = [chip_sites[base]]
+            else:
+                # Lemire bounded draw on [0, count) — numpy's algorithm
+                # on buffered 32-bit half-words, low half first.
+                threshold = None
+                while True:
+                    if has_half:
+                        has_half = False
+                        value = half
+                    else:
+                        if pos >= buffered:
+                            extra = bit_generator.random_raw(64)
+                            drawn += 64
+                            word_list.extend(extra.tolist())
+                            keep_flags.extend(
+                                (
+                                    ((extra >> np.uint64(11)) * _DOUBLE_SCALE)
+                                    < activation
+                                ).tolist()
+                            )
+                            buffered = len(word_list)
+                        word = word_list[pos]
+                        pos += 1
+                        half = word >> 32
+                        has_half = True
+                        value = word & 0xFFFFFFFF
+                    product = value * count
+                    leftover = product & 0xFFFFFFFF
+                    if leftover >= count:
+                        break
+                    if threshold is None:
+                        threshold = (_U32_MOD - count) % count
+                    if leftover >= threshold:
+                        break
+                selected = [chip_sites[base + (product >> 32)]]
+        # Polarity bits: one 32-bit half per kept site, low half first —
+        # i.e. bits 31 and 63 of each stream word, the spare half kept
+        # in the generator's buffer slot.
+        kept.extend(selected)
+        remaining = len(selected)
+        if has_half:
+            has_half = False
+            polarities_append((half >> 31) & 1)
+            remaining -= 1
+        if pos + (remaining >> 1) + 1 > buffered:
+            # Only reachable when a Lemire redraw streak ate the
+            # per-defect slack — astronomically rare, but cheap to guard.
+            extra = bit_generator.random_raw(64)
+            drawn += 64
+            word_list.extend(extra.tolist())
+            keep_flags.extend(
+                (((extra >> np.uint64(11)) * _DOUBLE_SCALE) < activation).tolist()
+            )
+            buffered = len(word_list)
+        for word in word_list[pos : pos + (remaining >> 1)]:
+            polarities_append((word >> 31) & 1)
+            polarities_append(word >> 63)
+        pos += remaining >> 1
+        if remaining & 1:
+            word = word_list[pos]
+            pos += 1
+            polarities_append((word >> 31) & 1)
+            half = word >> 32
+            has_half = True
+
+    if pos != drawn:
+        bit_generator.advance(int(pos) - int(drawn))
+    state = bit_generator.state
+    state["has_uint32"] = int(has_half)
+    state["uinteger"] = half
+    bit_generator.state = state
+    return kept, polarities
+
+
+def _word_stream_verified() -> bool:
+    """One-time differential self-check of the word-stream sampler.
+
+    Runs both samplers on a synthetic covered-site CSR (with activation
+    low enough to exercise the fallback and Lemire redraw paths) and
+    requires identical hits, polarities, and *generator continuations*.
+    Cheap insurance against a future numpy changing Generator stream
+    internals out from under the emulation.
+    """
+    global _WORD_STREAM_OK
+    if _WORD_STREAM_OK is None:
+        sites = np.arange(24, dtype=np.intp)
+        bounds = [0, 3, 3, 4, 9, 17, 24]
+        ok = True
+        for seed in range(4):
+            for activation in (0.05, 0.7):
+                a = np.random.default_rng(seed)
+                b = np.random.default_rng(seed)
+                ga, pa = _sample_hits_generic(sites, bounds, activation, a)
+                gb, pb = _sample_hits_words(sites, bounds, activation, b)
+                ok &= list(ga) == list(gb) and list(pa) == list(pb)
+                ok &= a.random(3).tolist() == b.random(3).tolist()
+                ok &= a.integers(97, size=5).tolist() == b.integers(
+                    97, size=5
+                ).tolist()
+        _WORD_STREAM_OK = ok
+    return _WORD_STREAM_OK
+
+
+def _sample_hits_generic(
+    site_indices: np.ndarray, bounds: list, activation: float, rng
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-defect Generator-call sampler (any bit generator).
+
+    The portable implementation of the sampling contract: one
+    ``rng.random(covered)`` per defect, a bounded ``rng.integers`` iff
+    nothing activated, one ``rng.integers(2, size=kept)`` for the
+    polarities.  The word-stream path must match this bit for bit.
+    """
+    random = rng.random
+    integers = rng.integers
+    kept_chunks: list[np.ndarray] = []
+    polarity_chunks: list[np.ndarray] = []
+    start = bounds[0]
+    for stop in bounds[1:]:
+        if stop > start:
+            covered = site_indices[start:stop]
+            keep = covered[random(stop - start) < activation]
+            if not keep.size:
+                fallback = integers(stop - start)
+                keep = covered[fallback : fallback + 1]
+            kept_chunks.append(keep)
+            polarity_chunks.append(integers(2, size=keep.size))
+        start = stop
+    if not kept_chunks:
+        return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.int64)
+    return np.concatenate(kept_chunks), np.concatenate(polarity_chunks)
 
 
 class DefectToFaultMapper:
@@ -44,6 +263,83 @@ class DefectToFaultMapper:
             )
         self.layout = layout
         self.activation_probability = activation_probability
+
+    def site_hits_for_chip(
+        self, xs, ys, radii, rng=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All of a chip's defects -> deduplicated ``(site, polarity)`` arrays.
+
+        The array-native core of the fab pipeline: one batched grid query
+        covers every defect, then activation sampling, the
+        at-least-one-site fallback, and the polarity draws run on NumPy
+        arrays per defect, and first-polarity-wins deduplication (on the
+        site's electrical key — one net carries one DC state) runs once
+        over the concatenated hits.  Random draws are consumed in the
+        exact order of the scalar reference path
+        (:meth:`faults_for_chip_scalar`): per defect, one uniform per
+        covered site in ascending site order, one bounded integer iff no
+        site activated, then one polarity bit per kept site — so results
+        are bit-identical to it for the same generator state.
+
+        Returns ``(site_indices, polarities)``: aligned arrays, one entry
+        per distinct faulted site, in first-hit order.
+        """
+        site_idx, offsets = self.layout.sites_within_many(xs, ys, radii)
+        return self.draw_hits(site_idx, offsets, rng=rng)
+
+    def draw_hits(
+        self, site_indices: np.ndarray, offsets, rng=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The sampling half of :meth:`site_hits_for_chip`.
+
+        Takes one chip's covered-site CSR — ``site_indices[offsets[d]:
+        offsets[d + 1]]`` per defect ``d`` — as produced by
+        :meth:`~repro.defects.layout.ChipLayout.sites_within_many`
+        (``offsets`` may be any window into a larger batched query, e.g.
+        one die of a whole-wafer query).  Split out so callers can batch
+        the geometry across many chips while each chip's draws stay on
+        its own generator.
+        """
+        rng = make_rng(rng)
+        empty = (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.int64))
+        bounds = np.asarray(offsets).tolist()
+        if len(bounds) < 2 or bounds[-1] == bounds[0]:
+            return empty
+        if (
+            type(rng.bit_generator) is np.random.PCG64
+            and _word_stream_verified()
+        ):
+            kept, polarities = _sample_hits_words(
+                site_indices, bounds, self.activation_probability, rng
+            )
+            if not kept:
+                return empty
+            hit_sites = np.array(kept, dtype=np.intp)
+            polarity_arr = np.array(polarities, dtype=np.int64)
+        else:
+            hit_sites, polarity_arr = _sample_hits_generic(
+                site_indices, bounds, self.activation_probability, rng
+            )
+            if hit_sites.size == 0:
+                return empty
+        # First polarity wins: keep the first occurrence of each
+        # electrical key, in hit order.
+        keys = self.layout.site_key_ids[hit_sites]
+        _, first = np.unique(keys, return_index=True)
+        first.sort()
+        return hit_sites[first], polarity_arr[first]
+
+    def _materialize(
+        self, site_indices: np.ndarray, polarities: np.ndarray
+    ) -> list[StuckAtFault]:
+        """Fault objects for ``(site, polarity)`` arrays (API boundary)."""
+        sites = self.layout.sites
+        return [
+            StuckAtFault(
+                sites[i].signal, int(v), gate=sites[i].gate, pin=sites[i].pin
+            )
+            for i, v in zip(site_indices.tolist(), polarities.tolist())
+        ]
 
     def faults_for_defect(self, defect: Defect, rng=None) -> list[StuckAtFault]:
         """Stuck-at faults induced by one defect (possibly empty)."""
@@ -72,26 +368,79 @@ class DefectToFaultMapper:
 
         Two defects can hit the same site; a site cannot be stuck at both
         values, so the first polarity drawn wins — mirroring the physical
-        reality that one net carries one DC state.
+        reality that one net carries one DC state.  Runs on the array
+        path (:meth:`site_hits_for_chip`), bit-identical to
+        :meth:`faults_for_chip_scalar`.
+        """
+        xs = np.array([defect.x for defect in defects], dtype=float)
+        ys = np.array([defect.y for defect in defects], dtype=float)
+        radii = np.array([defect.radius for defect in defects], dtype=float)
+        return self._materialize(*self.site_hits_for_chip(xs, ys, radii, rng=rng))
+
+    def faults_for_chip_scalar(
+        self, defects: Sequence[Defect], rng=None
+    ) -> list[StuckAtFault]:
+        """Reference per-object implementation of :meth:`faults_for_chip`.
+
+        Walks defects one at a time, each with a full-die distance scan
+        and per-site scalar draws — the pre-grid hot path, retained as
+        the ground truth for the differential test suite and the fab
+        benchmark's serial-object baseline.
         """
         rng = make_rng(rng)
         chosen: dict[tuple, StuckAtFault] = {}
         for defect in defects:
-            for fault in self.faults_for_defect(defect, rng):
-                key = (fault.signal, fault.gate, fault.pin)
+            covered = self.layout._sites_within_scan(
+                defect.x, defect.y, defect.radius
+            )
+            if not covered:
+                continue
+            keep = [
+                i for i in covered if rng.random() < self.activation_probability
+            ]
+            if not keep:
+                keep = [covered[int(rng.integers(len(covered)))]]
+            for idx in keep:
+                site = self.layout.sites[idx]
+                value = int(rng.integers(2))
+                key = (site.signal, site.gate, site.pin)
                 if key not in chosen:
-                    chosen[key] = fault
+                    chosen[key] = StuckAtFault(
+                        site.signal, value, gate=site.gate, pin=site.pin
+                    )
         return list(chosen.values())
 
     def expected_sites_per_defect(self, radius: float) -> float:
         """Mean fault sites covered by a defect of the given radius.
 
         Analytic density x footprint approximation, used to pick
-        ``mean_radius`` for a target fault multiplicity.
+        ``mean_radius`` for a target fault multiplicity.  See
+        :meth:`counted_sites_per_defect` for the exact counted variant.
         """
         if radius < 0:
             raise ValueError(f"radius must be >= 0, got {radius}")
         site_density = self.layout.num_sites / self.layout.area
-        import math
-
         return site_density * math.pi * radius * radius
+
+    def counted_sites_per_defect(self, radius: float, resolution: int = 64) -> float:
+        """Exact (counted) mean sites covered by a defect of the given radius.
+
+        Averages the true covered-site count over a ``resolution x
+        resolution`` lattice of defect centers via one batched grid
+        query — no density approximation, no edge-effect blindness.  The
+        analytic :meth:`expected_sites_per_defect` overshoots near the
+        die edge (footprints hang off active area); this is the ground
+        truth the tests compare it against.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        if resolution < 1:
+            raise ValueError(f"resolution must be >= 1, got {resolution}")
+        step = self.layout.side / resolution
+        centers = (np.arange(resolution) + 0.5) * step
+        grid_x, grid_y = np.meshgrid(centers, centers)
+        xs = grid_x.ravel()
+        _, offsets = self.layout.sites_within_many(
+            xs, grid_y.ravel(), np.full(xs.size, float(radius))
+        )
+        return float(np.diff(offsets).mean())

@@ -7,15 +7,23 @@ fault sets follow the clustered spot-defect process.  The empirical yield
 of a lot matches Eq. 3 for the recipe's parameters, and the empirical mean
 fault count of defective chips is the ground-truth ``n0`` that the paper's
 calibration procedure is then asked to recover.
+
+Fabrication runs on an array-native hot path (``docs/fabrication.md``):
+chips are structure-of-arrays (:class:`ChipFabData`) that materialize
+``Defect`` / ``StuckAtFault`` objects lazily, wafers batch their
+footprint geometry through the layout's grid index, and lots keep their
+statistics as per-chip count arrays — bit-identical to the historical
+per-object implementation at every worker count.
 """
 
 from repro.manufacturing.process import ProcessRecipe
-from repro.manufacturing.wafer import FabricatedChip, Wafer
+from repro.manufacturing.wafer import ChipFabData, FabricatedChip, Wafer
 from repro.manufacturing.lot import FabricatedLot, fabricate_lot
 from repro.manufacturing.wafermap import PlacedChip, WaferMap
 
 __all__ = [
     "ProcessRecipe",
+    "ChipFabData",
     "FabricatedChip",
     "Wafer",
     "FabricatedLot",

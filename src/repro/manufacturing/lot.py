@@ -4,17 +4,23 @@ A lot is a set of wafers from one recipe.  :class:`FabricatedLot` exposes
 the empirical quantities the paper's analysis is built on — yield, the
 fault-count histogram, and the mean fault count of defective chips (the
 ground-truth ``n0``) — so experiments can compare what the calibration
-procedure *estimates* against what the fab actually *did*.
+procedure *estimates* against what the fab actually *did*.  The lot keeps
+those statistics as a lot-level structure-of-arrays (per-chip fault and
+defect counts), so none of them ever materializes per-chip ``Defect`` /
+``StuckAtFault`` objects.
 
 Fabrication is wafer-parallel: wafers of a lot are independent once each
 has its RNG-tree child, so ``fabricate_lot(..., workers=N)`` shards the
 wafer list over a process pool.  The per-wafer generators are spawned
 from the lot seed *before* sharding, so the fabricated chips are
-bit-identical at every worker count (see :mod:`repro.runtime`).  The
-expensive :class:`~repro.defects.layout.ChipLayout` (a full fault-site
-placement) and its :class:`~repro.manufacturing.wafer.Wafer` are cached
-per netlist, so call sites that fabricate many lots under one recipe
-levelize the layout once.
+bit-identical at every worker count (see :mod:`repro.runtime`).  Shard
+workers return compact array payloads (concatenated defect arrays plus
+site/polarity hits, CSR offsets per die) rather than pickled object
+trees; chips are rebuilt lazily on the coordinator from array slices.
+The expensive :class:`~repro.defects.layout.ChipLayout` (a full
+fault-site placement) and its :class:`~repro.manufacturing.wafer.Wafer`
+are cached per netlist, so call sites that fabricate many lots under one
+recipe levelize the layout once.
 """
 
 from __future__ import annotations
@@ -27,7 +33,12 @@ import numpy as np
 from repro.circuit.netlist import Netlist
 from repro.defects.layout import ChipLayout
 from repro.manufacturing.process import ProcessRecipe
-from repro.manufacturing.wafer import FabricatedChip, Wafer
+from repro.manufacturing.wafer import (
+    ChipFabData,
+    FabricatedChip,
+    Wafer,
+    _concat,
+)
 from repro.runtime import (
     ParallelExecutor,
     ShardPlan,
@@ -41,7 +52,13 @@ __all__ = ["FabricatedLot", "fabricate_lot"]
 
 @dataclass(frozen=True)
 class FabricatedLot:
-    """All chips of a lot plus the recipe that produced them."""
+    """All chips of a lot plus the recipe that produced them.
+
+    The aggregate statistics run on a lot-level SoA of per-chip fault
+    and defect counts, computed once (eagerly by the array fab path,
+    lazily otherwise) and cached — iterating chip objects is needed only
+    to get at actual ``Defect`` / ``StuckAtFault`` instances.
+    """
 
     recipe: ProcessRecipe
     chips: tuple[FabricatedChip, ...]
@@ -49,15 +66,40 @@ class FabricatedLot:
     def __len__(self) -> int:
         return len(self.chips)
 
+    def _counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """The lot SoA: ``(fault_counts, defect_counts)`` per chip."""
+        cached = getattr(self, "_soa", None)
+        if cached is None:
+            cached = (
+                np.array([c.fault_count for c in self.chips], dtype=np.int64),
+                np.array([c.defect_count for c in self.chips], dtype=np.int64),
+            )
+            object.__setattr__(self, "_soa", cached)
+        return cached
+
+    @classmethod
+    def _from_soa(
+        cls,
+        recipe: ProcessRecipe,
+        chips: tuple[FabricatedChip, ...],
+        fault_counts: np.ndarray,
+        defect_counts: np.ndarray,
+    ) -> "FabricatedLot":
+        """Build a lot with its count SoA pre-filled (the array fab path)."""
+        lot = cls(recipe=recipe, chips=chips)
+        object.__setattr__(lot, "_soa", (fault_counts, defect_counts))
+        return lot
+
     def empirical_yield(self) -> float:
         """Fraction of fault-free chips."""
         if not self.chips:
             raise ValueError("empty lot has no yield")
-        return sum(chip.is_good for chip in self.chips) / len(self.chips)
+        fault_counts, _ = self._counts()
+        return int((fault_counts == 0).sum()) / len(self.chips)
 
     def fault_counts(self) -> np.ndarray:
         """Per-chip logical-fault counts."""
-        return np.array([chip.fault_count for chip in self.chips])
+        return self._counts()[0]
 
     def fault_count_histogram(self) -> dict[int, int]:
         """``{fault count: number of chips}`` — the empirical Eq. 1."""
@@ -87,7 +129,7 @@ class FabricatedLot:
         """Mean *physical* defect count per chip (good chips included)."""
         if not self.chips:
             raise ValueError("empty lot has no mean defect count")
-        return float(np.mean([len(chip.defects) for chip in self.chips]))
+        return float(self._counts()[1].mean())
 
 
 # Per-netlist caches of the fault-site placement and the wafer built on
@@ -153,20 +195,103 @@ def _cached_fab_context(
     return entry
 
 
+@dataclass(frozen=True)
+class _FabShardPayload:
+    """Compact wire format of one fabricated shard.
+
+    Eight flat arrays instead of a pickled tree of per-die objects: per
+    die a chip id plus CSR slices into the concatenated defect arrays
+    (``defect_offsets``) and hit arrays (``hit_offsets``).  This is what
+    travels back over the pool pipe; :func:`_unpack_shard` rebuilds lazy
+    array-backed chips from slice views on the coordinator.
+    """
+
+    chip_ids: np.ndarray
+    defect_offsets: np.ndarray
+    xs: np.ndarray
+    ys: np.ndarray
+    radii: np.ndarray
+    hit_offsets: np.ndarray
+    site_indices: np.ndarray
+    polarities: np.ndarray
+
+    @property
+    def num_dies(self) -> int:
+        return int(self.chip_ids.size)
+
+
+def _pack_chips(chips: list[FabricatedChip]) -> _FabShardPayload:
+    """Concatenate array-backed chips into one :class:`_FabShardPayload`."""
+    xs, ys, radii, sites, pols = [], [], [], [], []
+    defect_counts = np.empty(len(chips) + 1, dtype=np.intp)
+    hit_counts = np.empty(len(chips) + 1, dtype=np.intp)
+    defect_counts[0] = hit_counts[0] = 0
+    for k, chip in enumerate(chips):
+        data = chip._data
+        xs.append(data.xs)
+        ys.append(data.ys)
+        radii.append(data.radii)
+        sites.append(data.site_indices)
+        pols.append(data.polarities)
+        defect_counts[k + 1] = data.xs.size
+        hit_counts[k + 1] = data.site_indices.size
+    return _FabShardPayload(
+        chip_ids=np.array([chip.chip_id for chip in chips], dtype=np.int64),
+        defect_offsets=np.cumsum(defect_counts),
+        xs=_concat(xs, float),
+        ys=_concat(ys, float),
+        radii=_concat(radii, float),
+        hit_offsets=np.cumsum(hit_counts),
+        site_indices=_concat(sites, np.intp),
+        polarities=_concat(pols, np.int64),
+    )
+
+
+def _unpack_shard(
+    payload: _FabShardPayload, layout: ChipLayout
+) -> list[FabricatedChip]:
+    """Rebuild lazy chips from a payload's array slices (views, no copy)."""
+    chips = []
+    d_off, h_off = payload.defect_offsets, payload.hit_offsets
+    for k in range(payload.num_dies):
+        d0, d1 = d_off[k], d_off[k + 1]
+        h0, h1 = h_off[k], h_off[k + 1]
+        chips.append(
+            FabricatedChip(
+                chip_id=int(payload.chip_ids[k]),
+                data=ChipFabData(
+                    xs=payload.xs[d0:d1],
+                    ys=payload.ys[d0:d1],
+                    radii=payload.radii[d0:d1],
+                    site_indices=payload.site_indices[h0:h1],
+                    polarities=payload.polarities[h0:h1],
+                    layout=layout,
+                ),
+            )
+        )
+    return chips
+
+
 def _fabricate_wafer_shard(
     context: _FabShardContext,
-    wafer_tasks: list[tuple[int, np.random.Generator]],
-) -> list[FabricatedChip]:
-    """Worker: fabricate a shard of ``(wafer_index, wafer_rng)`` tasks."""
+    wafer_tasks: list[tuple[int, np.random.Generator, int | None]],
+) -> _FabShardPayload:
+    """Worker: fabricate ``(wafer_index, wafer_rng, die_limit)`` tasks.
+
+    Returns the shard as one compact array payload — the pool pipe
+    carries eight flat arrays per shard instead of a pickled
+    object tree per die.
+    """
     chips: list[FabricatedChip] = []
-    for index, wafer_rng in wafer_tasks:
+    for index, wafer_rng, die_limit in wafer_tasks:
         chips.extend(
             context.wafer.fabricate(
                 seed=wafer_rng,
                 first_chip_id=index * context.dies_per_wafer,
+                max_dies=die_limit,
             )
         )
-    return chips
+    return _pack_chips(chips)
 
 
 def fabricate_lot(
@@ -180,21 +305,31 @@ def fabricate_lot(
 ) -> FabricatedLot:
     """Fabricate ``num_chips`` dies of ``netlist`` under ``recipe``.
 
-    Chips come off whole wafers; the final partial wafer is truncated so
-    exactly ``num_chips`` are returned.  ``workers`` fabricates wafers in
-    parallel (``1`` = serial, ``"auto"`` = one process per CPU); the
-    per-wafer RNG tree is spawned from ``seed`` before sharding, so the
-    lot is bit-identical for any worker count.  ``executor`` injects a
-    long-lived pool (a :class:`repro.api.Session` owns one): its worker
-    count governs the sharding and the pre-built wafer ships to the
-    workers once per session, not once per lot.
+    Chips come off whole wafers; the final wafer gets a die-count limit
+    so exactly ``num_chips`` are fabricated — no truncated surplus dies,
+    serial or sharded.  ``workers`` fabricates wafers in parallel (``1``
+    = serial, ``"auto"`` = one process per CPU); the per-wafer RNG tree
+    is spawned from ``seed`` before sharding, so the lot is bit-identical
+    for any worker count.  ``executor`` injects a long-lived pool (a
+    :class:`repro.api.Session` owns one): its worker count governs the
+    sharding and the pre-built wafer ships to the workers once per
+    session, not once per lot.
     """
     if num_chips < 1:
         raise ValueError(f"need >= 1 chip, got {num_chips}")
     wafer = _cached_wafer(netlist, recipe, dies_per_wafer)
     rng = make_rng(seed)
     num_wafers = -(-num_chips // dies_per_wafer)
+    last_limit = num_chips - (num_wafers - 1) * dies_per_wafer
     wafer_rngs = spawn_rngs(rng, num_wafers)
+    tasks = [
+        (
+            index,
+            wafer_rng,
+            last_limit if index == num_wafers - 1 else None,
+        )
+        for index, wafer_rng in enumerate(wafer_rngs)
+    ]
     if executor is not None:
         num_workers = executor.num_workers
     else:
@@ -202,21 +337,41 @@ def fabricate_lot(
     plan = ShardPlan.balanced(num_wafers, num_workers)
     if plan.num_shards > 1:
         context, token = _cached_fab_context(netlist, recipe, dies_per_wafer)
-        tasks = plan.split(list(enumerate(wafer_rngs)))
+        shard_tasks = plan.split(tasks)
         if executor is not None:
-            shards = executor.map_shards(
-                _fabricate_wafer_shard, context, tasks, token=token
+            payloads = executor.map_shards(
+                _fabricate_wafer_shard, context, shard_tasks, token=token
             )
         else:
             with ParallelExecutor(num_workers) as one_shot:
-                shards = one_shot.map_shards(
-                    _fabricate_wafer_shard, context, tasks
+                payloads = one_shot.map_shards(
+                    _fabricate_wafer_shard, context, shard_tasks
                 )
-        chips = plan.merge(shards)
+        chips: list[FabricatedChip] = []
+        fault_chunks: list[np.ndarray] = []
+        defect_chunks: list[np.ndarray] = []
+        for payload in payloads:
+            chips.extend(_unpack_shard(payload, wafer.layout))
+            fault_chunks.append(np.diff(payload.hit_offsets))
+            defect_chunks.append(np.diff(payload.defect_offsets))
+        fault_counts = _concat(fault_chunks, np.int64).astype(np.int64)
+        defect_counts = _concat(defect_chunks, np.int64).astype(np.int64)
     else:
         chips = []
-        for wafer_rng in wafer_rngs:
-            chips.extend(wafer.fabricate(seed=wafer_rng, first_chip_id=len(chips)))
-            if len(chips) >= num_chips:
-                break
-    return FabricatedLot(recipe=recipe, chips=tuple(chips[:num_chips]))
+        for index, wafer_rng, die_limit in tasks:
+            chips.extend(
+                wafer.fabricate(
+                    seed=wafer_rng,
+                    first_chip_id=index * dies_per_wafer,
+                    max_dies=die_limit,
+                )
+            )
+        fault_counts = np.array(
+            [chip.fault_count for chip in chips], dtype=np.int64
+        )
+        defect_counts = np.array(
+            [chip.defect_count for chip in chips], dtype=np.int64
+        )
+    return FabricatedLot._from_soa(
+        recipe, tuple(chips), fault_counts, defect_counts
+    )

@@ -3,14 +3,20 @@
 A wafer draws one defect-density realization from the recipe's mixing
 distribution — defect clustering in real lines is dominated by
 wafer-to-wafer and lot-to-lot variation — and every die on the wafer then
-sees an independent Poisson defect count at that density.  Each defect is
-placed on the die, mapped through the layout to stuck-at faults, and the
-die's fault list recorded.
+sees an independent Poisson defect count at that density.  The die's
+defects and the stuck-at faults they cause are computed on the array
+path: the defect generator emits ``(xs, ys, radii)`` arrays, the mapper
+turns them into ``(site, polarity)`` arrays through the layout's grid
+index, and :class:`FabricatedChip` stores exactly those arrays —
+``Defect`` / ``StuckAtFault`` objects are materialized lazily, only when
+a consumer actually asks for them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.defects.generation import Defect
 from repro.defects.layout import ChipLayout
@@ -19,16 +25,113 @@ from repro.faults.model import StuckAtFault
 from repro.manufacturing.process import ProcessRecipe
 from repro.utils.rng import make_rng, spawn_rngs
 
-__all__ = ["FabricatedChip", "Wafer"]
+__all__ = ["ChipFabData", "FabricatedChip", "Wafer"]
+
+
+def _concat(chunks: list[np.ndarray], dtype) -> np.ndarray:
+    """Empty-safe concatenate (np.concatenate rejects zero arrays)."""
+    return np.concatenate(chunks) if chunks else np.empty(0, dtype=dtype)
 
 
 @dataclass(frozen=True)
-class FabricatedChip:
-    """One die: its physical defects and the logical faults they caused."""
+class ChipFabData:
+    """SoA backing of one die: defect arrays, fault-site hits, the layout.
 
-    chip_id: int
-    defects: tuple[Defect, ...]
-    faults: tuple[StuckAtFault, ...]
+    ``xs``/``ys``/``radii`` are the die's spot defects;
+    ``site_indices``/``polarities`` the deduplicated faulted sites with
+    their stuck levels.  ``layout`` maps site indices back to
+    :class:`~repro.faults.model.StuckAtFault` identities on demand.
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    radii: np.ndarray
+    site_indices: np.ndarray
+    polarities: np.ndarray
+    layout: ChipLayout
+
+
+class FabricatedChip:
+    """One die: its physical defects and the logical faults they caused.
+
+    Array-backed chips (the fab hot path) hold a :class:`ChipFabData` and
+    materialize their ``defects`` / ``faults`` tuples lazily; eagerly
+    constructed chips (``FabricatedChip(id, defects, faults)``, the
+    historical signature) behave exactly as before.  Equality, hashing,
+    and pickling are defined on the materialized ``(chip_id, defects,
+    faults)`` triple, so the two representations are interchangeable.
+    """
+
+    __slots__ = ("chip_id", "_defects", "_faults", "_data")
+
+    def __init__(
+        self,
+        chip_id: int,
+        defects: tuple[Defect, ...] | None = None,
+        faults: tuple[StuckAtFault, ...] | None = None,
+        *,
+        data: ChipFabData | None = None,
+    ):
+        if data is None:
+            if defects is None or faults is None:
+                raise TypeError(
+                    "FabricatedChip needs either defects= and faults= "
+                    "tuples or an array-backed data= payload"
+                )
+            self._defects: tuple[Defect, ...] | None = tuple(defects)
+            self._faults: tuple[StuckAtFault, ...] | None = tuple(faults)
+        else:
+            if defects is not None or faults is not None:
+                raise TypeError(
+                    "FabricatedChip takes defects=/faults= or data=, not both"
+                )
+            self._defects = None
+            self._faults = None
+        self.chip_id = chip_id
+        self._data = data
+
+    @property
+    def defects(self) -> tuple[Defect, ...]:
+        """The die's spot defects (materialized from arrays on first use)."""
+        if self._defects is None:
+            data = self._data
+            self._defects = tuple(
+                Defect(x, y, r)
+                for x, y, r in zip(
+                    data.xs.tolist(), data.ys.tolist(), data.radii.tolist()
+                )
+            )
+        return self._defects
+
+    @property
+    def faults(self) -> tuple[StuckAtFault, ...]:
+        """The die's stuck-at faults (materialized from arrays on first use)."""
+        if self._faults is None:
+            data = self._data
+            sites = data.layout.sites
+            self._faults = tuple(
+                StuckAtFault(
+                    sites[i].signal, int(v), gate=sites[i].gate, pin=sites[i].pin
+                )
+                for i, v in zip(
+                    data.site_indices.tolist(), data.polarities.tolist()
+                )
+            )
+        return self._faults
+
+    @property
+    def fault_count(self) -> int:
+        """Logical-fault count — O(1), no materialization."""
+        if self._faults is not None:
+            return len(self._faults)
+        return int(self._data.site_indices.size)
+
+    @property
+    def defect_count(self) -> int:
+        """Physical-defect count — O(1), no materialization."""
+        if self._defects is not None:
+            return len(self._defects)
+        return int(self._data.xs.size)
 
     @property
     def is_good(self) -> bool:
@@ -38,11 +141,33 @@ class FabricatedChip:
         area damages nothing, which is one reason the paper separates the
         defect count (yield) from the fault count (``n0``).
         """
-        return not self.faults
+        return self.fault_count == 0
 
-    @property
-    def fault_count(self) -> int:
-        return len(self.faults)
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FabricatedChip):
+            return NotImplemented
+        return (
+            self.chip_id == other.chip_id
+            and self.fault_count == other.fault_count
+            and self.defect_count == other.defect_count
+            and self.defects == other.defects
+            and self.faults == other.faults
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.chip_id, self.defects, self.faults))
+
+    def __reduce__(self):
+        # Pickle the materialized triple: consumers on the other side of
+        # a pipe (pool workers, server clients) need the objects anyway,
+        # and the layout backing an array chip must not travel with it.
+        return (FabricatedChip, (self.chip_id, self.defects, self.faults))
+
+    def __repr__(self) -> str:
+        return (
+            f"FabricatedChip(chip_id={self.chip_id}, "
+            f"defects={self.defect_count}, faults={self.fault_count})"
+        )
 
 
 class Wafer:
@@ -68,23 +193,68 @@ class Wafer:
             layout, activation_probability=recipe.activation_probability
         )
 
-    def fabricate(self, seed=None, first_chip_id: int = 0) -> list[FabricatedChip]:
-        """Fabricate one wafer's worth of dies."""
+    def fabricate(
+        self,
+        seed=None,
+        first_chip_id: int = 0,
+        max_dies: int | None = None,
+    ) -> list[FabricatedChip]:
+        """Fabricate one wafer's worth of dies on the array path.
+
+        ``max_dies`` truncates the wafer after that many dies — used for
+        a lot's final partial wafer.  Safe for determinism: per-die RNGs
+        are spawned by index from the wafer generator, so the first ``k``
+        dies of a truncated wafer are bit-identical to the first ``k``
+        dies of the full one.
+        """
+        if max_dies is not None and max_dies < 1:
+            raise ValueError(f"max_dies must be >= 1, got {max_dies}")
         rng = make_rng(seed)
         density = float(
             self.recipe.density_distribution().sample(rng, 1)[0]
         )
-        chips = []
-        for die, die_rng in enumerate(spawn_rngs(rng, self.dies_per_wafer)):
-            defects = self._generator.chip_defects(
-                self.recipe.chip_area, rng=die_rng, density_value=density
+        count = (
+            self.dies_per_wafer
+            if max_dies is None
+            else min(max_dies, self.dies_per_wafer)
+        )
+        area = self.recipe.chip_area
+        die_rngs = spawn_rngs(rng, count)
+        # Draw every die's defects first (each on its own spawned
+        # generator, so per-die draw order matches the serial reference),
+        # then answer the *whole wafer's* footprint queries in one
+        # batched pass over the grid index — geometry consumes no
+        # randomness, so only the RNG-bearing sampling stays per die.
+        per_die = [
+            self._generator.chip_defect_arrays(
+                area, rng=die_rng, density_value=density
             )
-            faults = self._mapper.faults_for_chip(defects, rng=die_rng)
+            for die_rng in die_rngs
+        ]
+        defect_counts = np.array([xs.size for xs, _, _ in per_die], dtype=np.intp)
+        bounds = np.zeros(count + 1, dtype=np.intp)
+        np.cumsum(defect_counts, out=bounds[1:])
+        site_idx, offsets = self.layout.sites_within_many(
+            _concat([xs for xs, _, _ in per_die], float),
+            _concat([ys for _, ys, _ in per_die], float),
+            _concat([radii for _, _, radii in per_die], float),
+        )
+        chips = []
+        for die, ((xs, ys, radii), die_rng) in enumerate(zip(per_die, die_rngs)):
+            site_indices, polarities = self._mapper.draw_hits(
+                site_idx, offsets[bounds[die] : bounds[die + 1] + 1], rng=die_rng
+            )
             chips.append(
                 FabricatedChip(
                     chip_id=first_chip_id + die,
-                    defects=tuple(defects),
-                    faults=tuple(faults),
+                    data=ChipFabData(
+                        xs=xs,
+                        ys=ys,
+                        radii=radii,
+                        site_indices=site_indices,
+                        polarities=polarities,
+                        layout=self.layout,
+                    ),
                 )
             )
         return chips

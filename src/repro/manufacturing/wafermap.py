@@ -23,7 +23,7 @@ import numpy as np
 from repro.defects.layout import ChipLayout
 from repro.defects.mapping import DefectToFaultMapper
 from repro.manufacturing.process import ProcessRecipe
-from repro.manufacturing.wafer import FabricatedChip
+from repro.manufacturing.wafer import ChipFabData, FabricatedChip
 from repro.utils.rng import make_rng, spawn_rngs
 
 __all__ = ["PlacedChip", "WaferMap"]
@@ -114,16 +114,24 @@ class WaferMap:
         ):
             rho2 = x * x + y * y
             density = wafer_density * self._profile(rho2)
-            defects = self._generator.chip_defects(
+            xs, ys, radii = self._generator.chip_defect_arrays(
                 self.recipe.chip_area, rng=die_rng, density_value=density
             )
-            faults = self._mapper.faults_for_chip(defects, rng=die_rng)
+            site_indices, polarities = self._mapper.site_hits_for_chip(
+                xs, ys, radii, rng=die_rng
+            )
             placed.append(
                 PlacedChip(
                     chip=FabricatedChip(
                         chip_id=first_chip_id + k,
-                        defects=tuple(defects),
-                        faults=tuple(faults),
+                        data=ChipFabData(
+                            xs=xs,
+                            ys=ys,
+                            radii=radii,
+                            site_indices=site_indices,
+                            polarities=polarities,
+                            layout=self.layout,
+                        ),
                     ),
                     x=x,
                     y=y,

@@ -107,6 +107,20 @@ class TestQuality:
         f = model.required_coverage(r)
         assert model.field_reject_rate(f) <= r * (1 + 1e-6)
 
+    def test_required_coverage_subnormal_clustering(self):
+        # Hypothesis-found regression: at subnormal c the product
+        # c*(n0-1)*f quantizes to multiples of 5e-324, so even the
+        # log1p form stairstepped and the bisection overshot the target.
+        model = MixedPoissonFaultModel(0.5, 12.0, 5e-324)
+        f = model.required_coverage(0.0625)
+        assert model.field_reject_rate(f) <= 0.0625 * (1 + 1e-6)
+        # ... and the subnormal-c curve is the Poisson (c=0) limit.
+        poisson = MixedPoissonFaultModel(0.5, 12.0, 0.0)
+        for cov in (0.0, 0.3, 0.8, 1.0):
+            assert model.escape_pgf(cov) == pytest.approx(
+                poisson.escape_pgf(cov), rel=1e-12
+            )
+
     def test_pgf_against_sampling(self):
         model = MixedPoissonFaultModel(0.2, 8.0, 1.5)
         counts = model.sample(300_000, seed=3)

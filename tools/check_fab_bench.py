@@ -1,0 +1,103 @@
+"""Validate the schema of a ``BENCH_fab.json`` record.
+
+CI runs the fab benchmark in quick mode and then this validator, so a
+perf regression (or a bench refactor that silently stops recording the
+single-process speedup) fails the PR instead of rotting quietly.
+
+Usage: ``python tools/check_fab_bench.py benchmarks/BENCH_fab.json``
+(add ``--quick`` when validating a ``BENCH_fab_quick.json`` smoke
+record; without it, a quick-workload record is rejected so a smoke run
+can never masquerade as the committed full-workload snapshot).
+Exits 0 when the record is well-formed, 1 with a message otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_WORKLOAD_KEYS = {
+    "circuit",
+    "recipe",
+    "num_sites",
+    "lot_chips",
+    "dies_per_wafer",
+    "quick",
+}
+REQUIRED_MODE_KEYS = {"mode", "seconds", "speedup"}
+
+
+def check(path: Path, expect_quick: bool = False) -> list[str]:
+    """Return a list of schema violations (empty = valid)."""
+    errors: list[str] = []
+    try:
+        record = json.loads(path.read_text())
+    except FileNotFoundError:
+        return [f"{path}: missing (did the benchmark run?)"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON ({exc})"]
+
+    for key in ("python", "cpus", "workload", "modes"):
+        if key not in record:
+            errors.append(f"missing top-level key {key!r}")
+    if errors:
+        return errors
+
+    if not isinstance(record["cpus"], int) or record["cpus"] < 1:
+        errors.append(f"cpus must be a positive integer, got {record['cpus']!r}")
+    missing = REQUIRED_WORKLOAD_KEYS - set(record["workload"])
+    if missing:
+        errors.append(f"workload missing keys {sorted(missing)}")
+    elif bool(record["workload"]["quick"]) != expect_quick:
+        expected = "quick" if expect_quick else "full"
+        errors.append(
+            f"workload is not a {expected} record "
+            f"(quick={record['workload']['quick']!r})"
+        )
+
+    modes = record["modes"]
+    if not isinstance(modes, list) or not modes:
+        return errors + ["modes must be a non-empty list"]
+    seen = []
+    for entry in modes:
+        if not isinstance(entry, dict) or REQUIRED_MODE_KEYS - set(entry):
+            errors.append(f"mode entry {entry!r} missing {sorted(REQUIRED_MODE_KEYS)}")
+            continue
+        seen.append(entry["mode"])
+        for field in ("seconds", "speedup"):
+            value = entry[field]
+            if not isinstance(value, (int, float)) or value <= 0:
+                errors.append(f"mode {entry['mode']!r}: {field} must be > 0")
+    for required_mode in ("serial-object", "array"):
+        if required_mode not in seen:
+            errors.append(f"missing required mode {required_mode!r}")
+    for entry in modes:
+        if entry.get("mode") == "array" and isinstance(
+            entry.get("speedup"), (int, float)
+        ):
+            if entry["speedup"] < 1.0:
+                errors.append(
+                    f"array path slower than the serial-object baseline "
+                    f"({entry['speedup']:.2f}x) — perf regression"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    expect_quick = "--quick" in argv
+    argv = [arg for arg in argv if arg != "--quick"]
+    if len(argv) != 1:
+        print(__doc__)
+        return 2
+    errors = check(Path(argv[0]), expect_quick=expect_quick)
+    if errors:
+        for message in errors:
+            print(f"BENCH_fab schema: {message}")
+        return 1
+    print(f"{argv[0]}: schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
