@@ -220,6 +220,24 @@ class ChipLayout:
         """Map site indices back to fault objects."""
         return [self.sites[i] for i in indices]
 
+    def materialize_faults(
+        self, site_indices: np.ndarray, polarities: np.ndarray
+    ) -> list[StuckAtFault]:
+        """Fault objects for aligned ``(site index, drawn polarity)`` arrays.
+
+        The single construction point for turning sampled hits back into
+        :class:`StuckAtFault` objects, shared by the mapper's API boundary
+        and lazy ``FabricatedChip`` materialization so the site-identity
+        mapping cannot diverge between them.
+        """
+        sites = self.sites
+        return [
+            StuckAtFault(
+                sites[i].signal, int(v), gate=sites[i].gate, pin=sites[i].pin
+            )
+            for i, v in zip(site_indices.tolist(), polarities.tolist())
+        ]
+
     def __repr__(self) -> str:
         return (
             f"ChipLayout({self.netlist.name!r}, area={self.area}, "

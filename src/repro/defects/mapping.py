@@ -77,6 +77,19 @@ def _sample_hits_words(
     ).tolist()
     word_list = words.tolist()
     buffered = len(word_list)
+
+    def refill(chunk):
+        # Extend word_list/keep_flags/drawn/buffered together — the four
+        # must stay mutually consistent for the stream emulation to hold.
+        nonlocal drawn, buffered
+        extra = bit_generator.random_raw(chunk)
+        drawn += chunk
+        word_list.extend(extra.tolist())
+        keep_flags.extend(
+            (((extra >> np.uint64(11)) * _DOUBLE_SCALE) < activation).tolist()
+        )
+        buffered = len(word_list)
+
     chip_sites = site_indices[start0 : bounds[-1]].tolist()
     kept: list[int] = []
     polarities: list[int] = []
@@ -88,14 +101,7 @@ def _sample_hits_words(
         if count == 0:
             continue
         if pos + count + (count >> 1) + 4 > buffered:
-            chunk = max(pos + count + (count >> 1) + 4 - buffered, 64)
-            extra = bit_generator.random_raw(chunk)
-            drawn += chunk
-            word_list.extend(extra.tolist())
-            keep_flags.extend(
-                (((extra >> np.uint64(11)) * _DOUBLE_SCALE) < activation).tolist()
-            )
-            buffered = len(word_list)
+            refill(max(pos + count + (count >> 1) + 4 - buffered, 64))
         base = previous - start0
         selected = [
             site
@@ -119,16 +125,7 @@ def _sample_hits_words(
                         value = half
                     else:
                         if pos >= buffered:
-                            extra = bit_generator.random_raw(64)
-                            drawn += 64
-                            word_list.extend(extra.tolist())
-                            keep_flags.extend(
-                                (
-                                    ((extra >> np.uint64(11)) * _DOUBLE_SCALE)
-                                    < activation
-                                ).tolist()
-                            )
-                            buffered = len(word_list)
+                            refill(64)
                         word = word_list[pos]
                         pos += 1
                         half = word >> 32
@@ -155,13 +152,7 @@ def _sample_hits_words(
         if pos + (remaining >> 1) + 1 > buffered:
             # Only reachable when a Lemire redraw streak ate the
             # per-defect slack — astronomically rare, but cheap to guard.
-            extra = bit_generator.random_raw(64)
-            drawn += 64
-            word_list.extend(extra.tolist())
-            keep_flags.extend(
-                (((extra >> np.uint64(11)) * _DOUBLE_SCALE) < activation).tolist()
-            )
-            buffered = len(word_list)
+            refill(64)
         for word in word_list[pos : pos + (remaining >> 1)]:
             polarities_append((word >> 31) & 1)
             polarities_append(word >> 63)
@@ -333,13 +324,7 @@ class DefectToFaultMapper:
         self, site_indices: np.ndarray, polarities: np.ndarray
     ) -> list[StuckAtFault]:
         """Fault objects for ``(site, polarity)`` arrays (API boundary)."""
-        sites = self.layout.sites
-        return [
-            StuckAtFault(
-                sites[i].signal, int(v), gate=sites[i].gate, pin=sites[i].pin
-            )
-            for i, v in zip(site_indices.tolist(), polarities.tolist())
-        ]
+        return self.layout.materialize_faults(site_indices, polarities)
 
     def faults_for_defect(self, defect: Defect, rng=None) -> list[StuckAtFault]:
         """Stuck-at faults induced by one defect (possibly empty)."""

@@ -108,14 +108,8 @@ class FabricatedChip:
         """The die's stuck-at faults (materialized from arrays on first use)."""
         if self._faults is None:
             data = self._data
-            sites = data.layout.sites
             self._faults = tuple(
-                StuckAtFault(
-                    sites[i].signal, int(v), gate=sites[i].gate, pin=sites[i].pin
-                )
-                for i, v in zip(
-                    data.site_indices.tolist(), data.polarities.tolist()
-                )
+                data.layout.materialize_faults(data.site_indices, data.polarities)
             )
         return self._faults
 

@@ -27,6 +27,13 @@ REQUIRED_WORKLOAD_KEYS = {
 }
 REQUIRED_MODE_KEYS = {"mode", "seconds", "speedup"}
 
+# The documented bar for the committed full-workload snapshot (ISSUE 5 /
+# ROADMAP advertise ~6x; drift below 5x is a regression worth failing
+# the PR over).  Quick smoke records run a workload too small to
+# amortize the grid-index build, so they only need to beat the baseline.
+MIN_FULL_ARRAY_SPEEDUP = 5.0
+MIN_QUICK_ARRAY_SPEEDUP = 1.0
+
 
 def check(path: Path, expect_quick: bool = False) -> list[str]:
     """Return a list of schema violations (empty = valid)."""
@@ -72,14 +79,19 @@ def check(path: Path, expect_quick: bool = False) -> list[str]:
     for required_mode in ("serial-object", "array"):
         if required_mode not in seen:
             errors.append(f"missing required mode {required_mode!r}")
+    min_speedup = (
+        MIN_QUICK_ARRAY_SPEEDUP if expect_quick else MIN_FULL_ARRAY_SPEEDUP
+    )
     for entry in modes:
         if entry.get("mode") == "array" and isinstance(
             entry.get("speedup"), (int, float)
         ):
-            if entry["speedup"] < 1.0:
+            if entry["speedup"] < min_speedup:
                 errors.append(
-                    f"array path slower than the serial-object baseline "
-                    f"({entry['speedup']:.2f}x) — perf regression"
+                    f"array path speedup {entry['speedup']:.2f}x below the "
+                    f"{min_speedup:.1f}x bar for a "
+                    f"{'quick' if expect_quick else 'full'} record — "
+                    f"perf regression"
                 )
     return errors
 
