@@ -48,12 +48,47 @@ def require_cpus(name, min_cpus, workload=None):
             existing.read_text()
         ).get("skipped", False)
         if not has_real_curve:
-            payload = {"skipped": True, "cpus": cpus, "reason": reason}
+            payload = {
+                **preserved_record_keys(name),
+                "skipped": True,
+                "cpus": cpus,
+                "reason": reason,
+            }
             if workload is not None:
                 payload["workload"] = workload
             write_bench_record(name, payload)
         pytest.skip(reason)
     return cpus
+
+
+def preserved_record_keys(name, keys=("payload_bytes",)):
+    """Keys of ``BENCH_<name>.json`` that every writer must carry forward.
+
+    Sections like ``payload_bytes`` are maintained by a *different* bench
+    than the scaling curve; a curve (or skip-marker) rewrite must not
+    silently drop them.
+    """
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    if not path.exists():
+        return {}
+    try:
+        record = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return {}
+    return {key: record[key] for key in keys if key in record}
+
+
+def merge_bench_record(name, payload):
+    """Update top-level keys of ``BENCH_<name>.json``, keeping the rest."""
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    record = {}
+    if path.exists():
+        try:
+            record = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            record = {}
+    record.update(payload)
+    return write_bench_record(name, record)
 
 
 def write_scaling_record(name, workload, timings, **extra):
@@ -75,7 +110,13 @@ def write_scaling_record(name, workload, timings, **extra):
     ]
     return write_bench_record(
         name,
-        {"workload": workload, "cpus": available_cpus(), "curve": curve, **extra},
+        {
+            **preserved_record_keys(name),
+            "workload": workload,
+            "cpus": available_cpus(),
+            "curve": curve,
+            **extra,
+        },
     )
 
 

@@ -1,18 +1,32 @@
-"""Worker-scaling benchmark of the process-sharded runtime.
+"""Worker-scaling and wire-payload benchmarks of the sharded runtime.
 
-Times the PR-2 parallel axis on the canonical lot workload — wafer
-fabrication, first-fail lot testing, and a full-universe fault
-simulation — at ``workers`` = 1, 2, 4, asserts the results are
-bit-identical at every worker count, and writes the wall-clock scaling
-curve to ``BENCH_parallel.json``.  On single-core machines the curve is
-meaningless, so the bench records a skip marker instead of failing (see
-``bench_utils.require_cpus``).
+``test_bench_parallel_scaling`` times the PR-2 parallel axis on the
+canonical lot workload — wafer fabrication, first-fail lot testing, and
+a full-universe fault simulation — at ``workers`` = 1, 2, 4, asserts the
+results are bit-identical at every worker count, and writes the
+wall-clock scaling curve to ``BENCH_parallel.json``.  On single-core
+machines the curve is meaningless, so the bench records a skip marker
+instead of failing (see ``bench_utils.require_cpus``).
+
+``test_bench_payload_bytes`` measures what the pool pipe actually
+*carries*: shard payload bytes per stage under the SoA wire format
+versus the legacy pickled-object shards, via the executor's
+``ipc_bytes_out`` counters.  Byte counts are deterministic, so this
+bench runs on any machine (CPU count only changes pool size, never
+payload bytes) and merges a ``payload_bytes`` section into
+``BENCH_parallel.json`` without touching the scaling curve.
+``REPRO_BENCH_QUICK=1`` shrinks the workload and writes
+``BENCH_parallel_quick.json`` instead; ``tools/check_ipc_bench.py``
+validates either record and enforces the reduction bar.
 """
+
+import os
 
 import pytest
 
 from bench_utils import (
     available_cpus,
+    merge_bench_record,
     require_cpus,
     time_best_of,
     write_scaling_record,
@@ -22,7 +36,10 @@ from repro.atpg.random_gen import random_patterns
 from repro.experiments import config
 from repro.faults.fault_sim import FaultSimulator
 from repro.manufacturing.lot import fabricate_lot
+from repro.runtime import ParallelExecutor
 from repro.tester.tester import WaferTester
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 WORKER_COUNTS = (1, 2, 4)
 # Sized so one serial pass is a few seconds: the per-stage pool setup
@@ -30,6 +47,11 @@ WORKER_COUNTS = (1, 2, 4)
 LOT_CHIPS = 20000
 DIES_PER_WAFER = 25
 SIM_PATTERNS = 512
+
+# Payload bench workload — lot-scale but wall-clock cheap (the point is
+# byte counting, not timing).
+PAYLOAD_LOT_CHIPS = 100 if QUICK else 4000
+PAYLOAD_SIM_PATTERNS = 32 if QUICK else 128
 
 
 def test_bench_parallel_scaling(request):
@@ -100,3 +122,99 @@ def test_bench_parallel_scaling(request):
         assert speedup[4] >= 2.5
     else:
         assert speedup[2] >= 1.2
+
+
+def _stage_payload_bytes(payload_format):
+    """Shard-payload bytes each pipeline stage ships, per wire format.
+
+    Runs ``test_lot`` and ``fault_sim`` on a persistent 2-worker pool:
+    the first call per stage warms the pool (ships the shard context),
+    the second is measured — its ``ipc_bytes_out`` delta is purely the
+    per-lot shard payloads, the bytes that scale with lot size.
+    """
+    chip = config.make_chip()
+    recipe = config.make_recipe()
+    program = config.make_program(chip)
+    patterns = random_patterns(chip, PAYLOAD_SIM_PATTERNS, seed=9)
+    lot = fabricate_lot(
+        chip,
+        recipe,
+        PAYLOAD_LOT_CHIPS,
+        dies_per_wafer=DIES_PER_WAFER,
+        seed=5,
+    )
+
+    stage_bytes = {}
+    with ParallelExecutor(2, persistent=True) as executor:
+        tester = WaferTester(
+            program, executor=executor, payload_format=payload_format
+        )
+        tester.test_lot(lot.chips)  # warm: ships the compiled context
+        before = executor.ipc_bytes_out
+        records = tester.test_lot(lot.chips)
+        stage_bytes["test_lot"] = executor.ipc_bytes_out - before
+
+        simulator = FaultSimulator(
+            chip, executor=executor, payload_format=payload_format
+        )
+        simulator.run(patterns)  # warm
+        before = executor.ipc_bytes_out
+        sim = simulator.run(patterns)
+        stage_bytes["fault_sim"] = executor.ipc_bytes_out - before
+    return stage_bytes, (records, sim.first_detect)
+
+
+def test_bench_payload_bytes():
+    """Pool-pipe payload bytes: SoA wire format vs pickled-object shards.
+
+    Asserts the two formats produce bit-identical results and that the
+    SoA ``test_lot`` payload is at least 10x smaller than the pickled
+    chip-object baseline (the PR-6 acceptance bar; quick mode asserts a
+    relaxed 5x because tiny lots amortize fixed framing overhead worse).
+    """
+    soa_bytes, soa_results = _stage_payload_bytes("soa")
+    object_bytes, object_results = _stage_payload_bytes("objects")
+    assert soa_results == object_results  # wire format never changes results
+
+    stages = []
+    for stage in ("test_lot", "fault_sim"):
+        obj, soa = object_bytes[stage], soa_bytes[stage]
+        assert soa > 0 and obj > 0
+        stages.append(
+            {
+                "stage": stage,
+                "object_bytes": obj,
+                "soa_bytes": soa,
+                "ratio": obj / soa,
+            }
+        )
+    section = {
+        "payload_bytes": {
+            "quick": QUICK,
+            "workload": {
+                "circuit": "canonical_x1",
+                "lot_chips": PAYLOAD_LOT_CHIPS,
+                "dies_per_wafer": DIES_PER_WAFER,
+                "sim_patterns": PAYLOAD_SIM_PATTERNS,
+                "workers": 2,
+            },
+            "stages": stages,
+        }
+    }
+    name = "parallel_quick" if QUICK else "parallel"
+    record_path = merge_bench_record(name, section)
+    print(
+        "\npayload bytes: "
+        + ", ".join(
+            f"{s['stage']} objects={s['object_bytes']} soa={s['soa_bytes']} "
+            f"({s['ratio']:.1f}x smaller)"
+            for s in stages
+        )
+        + f" -> {record_path.name}"
+    )
+    bar = 5.0 if QUICK else 10.0
+    test_lot_ratio = stages[0]["ratio"]
+    assert test_lot_ratio >= bar, (
+        f"test_lot SoA payload only {test_lot_ratio:.1f}x smaller "
+        f"than object shards (bar: {bar:.0f}x)"
+    )

@@ -309,6 +309,10 @@ class Session:
             when ``max_bytes`` is set; 0 otherwise).
         ``worker_recoveries``
             Crashed-worker re-install/retry cycles the executor healed.
+        ``ipc_bytes_out`` / ``ipc_bytes_in``
+            Payload bytes the session's pool shipped to / received from
+            its workers (wire-format frames: contexts, shard tasks,
+            shard results).
         """
         kinds = [entry.kind for entry in self._contexts.values()]
         return {
@@ -321,6 +325,8 @@ class Session:
             "evictions": self._evictions,
             "resident_bytes": self._resident_bytes,
             "worker_recoveries": self._executor.worker_recoveries,
+            "ipc_bytes_out": self._executor.ipc_bytes_out,
+            "ipc_bytes_in": self._executor.ipc_bytes_in,
         }
 
     # ------------------------------------------------------------- pipeline

@@ -22,7 +22,11 @@ import math
 import numpy as np
 
 from repro.circuit.netlist import Netlist
-from repro.faults.model import StuckAtFault, full_fault_universe
+from repro.faults.model import (
+    StuckAtFault,
+    cached_fault_universe,
+    materialize_site_faults,
+)
 
 __all__ = ["ChipLayout"]
 
@@ -46,7 +50,9 @@ class ChipLayout:
         self.netlist = netlist
         self.area = area
         self.side = math.sqrt(area)
-        self.sites: list[StuckAtFault] = full_fault_universe(netlist)
+        # Shared with the wire-format decoders (same list object per
+        # netlist), so a site index means the same fault everywhere.
+        self.sites: list[StuckAtFault] = cached_fault_universe(netlist)
 
         # Row-major placement of signals; each signal's fault sites jitter
         # around the signal's cell center within a cell-sized neighborhood.
@@ -226,17 +232,15 @@ class ChipLayout:
         """Fault objects for aligned ``(site index, drawn polarity)`` arrays.
 
         The single construction point for turning sampled hits back into
-        :class:`StuckAtFault` objects, shared by the mapper's API boundary
-        and lazy ``FabricatedChip`` materialization so the site-identity
-        mapping cannot diverge between them.
+        :class:`StuckAtFault` objects — delegates to
+        :func:`repro.faults.model.materialize_site_faults`, shared by the
+        mapper's API boundary, lazy ``FabricatedChip`` materialization,
+        and the wire-format decoders so the site-identity mapping cannot
+        diverge between them.
         """
-        sites = self.sites
-        return [
-            StuckAtFault(
-                sites[i].signal, int(v), gate=sites[i].gate, pin=sites[i].pin
-            )
-            for i, v in zip(site_indices.tolist(), polarities.tolist())
-        ]
+        return materialize_site_faults(
+            self.sites, site_indices.tolist(), polarities.tolist()
+        )
 
     def __repr__(self) -> str:
         return (

@@ -33,7 +33,12 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.circuit.netlist import Netlist
-from repro.faults.model import StuckAtFault, full_fault_universe
+from repro.faults.model import (
+    StuckAtFault,
+    cached_fault_universe,
+    fault_site_lookup,
+    full_fault_universe,
+)
 from repro.runtime import (
     ParallelExecutor,
     ShardPlan,
@@ -185,10 +190,20 @@ def engine_context_token(engine: Engine) -> tuple:
 
 def _simulate_fault_shard(
     context: _FaultShardContext,
-    task: "tuple[tuple[tuple[dict[str, int], int], ...], list[StuckAtFault]]",
+    task: "tuple[tuple[tuple[dict[str, int], int], ...], object]",
 ) -> list[int | None]:
-    """Worker: scan the task's pattern blocks against its fault shard."""
+    """Worker: scan the task's pattern blocks against its fault shard.
+
+    The fault shard is either a list of :class:`StuckAtFault` objects or
+    (the SoA wire format) an ``int32`` array of fault-universe indices,
+    rehydrated here through the engine netlist's cached universe —
+    deterministic enumeration, so the decoded shard is bit-identical to
+    the encoded one.
+    """
     blocks, faults = task
+    if isinstance(faults, np.ndarray):
+        universe = cached_fault_universe(context.engine.netlist)
+        faults = [universe[i] for i in faults.tolist()]
     return _scan_blocks(context.engine, blocks, faults)
 
 
@@ -211,11 +226,22 @@ class FaultSimulator:
         engine: str | Engine = "batch",
         workers: int | str = 1,
         executor: ParallelExecutor | None = None,
+        payload_format: str = "soa",
     ):
+        if payload_format not in ("soa", "objects"):
+            raise ValueError(
+                f"payload_format must be 'soa' or 'objects', "
+                f"got {payload_format!r}"
+            )
         self.netlist = netlist
         self.engine = make_engine(netlist, engine)
         self.workers = workers
         self.executor = executor
+        # "soa" ships fault shards as int32 universe-index arrays over
+        # the pool pipe (workers rehydrate through the cached universe);
+        # "objects" ships pickled StuckAtFault lists — the
+        # differential-test baseline.
+        self.payload_format = payload_format
         self._compiled: CompiledCircuit | None = None
 
     @property
@@ -281,7 +307,10 @@ class FaultSimulator:
                 blocks.append((pack_patterns(input_names, block), len(block)))
             blocks = tuple(blocks)
             context = _FaultShardContext(engine=self.engine)
-            tasks = [(blocks, shard) for shard in plan.split(faults)]
+            tasks = [
+                (blocks, shard)
+                for shard in self._fault_shards(plan.split(faults))
+            ]
             if use_injected:
                 shard_detects = self.executor.map_shards(
                     _simulate_fault_shard,
@@ -305,6 +334,31 @@ class FaultSimulator:
             first_detect = _scan_blocks(self.engine, lazy_blocks(), faults)
 
         return FaultSimResult(tuple(faults), tuple(first_detect), len(patterns))
+
+    def _fault_shards(self, shards: list[list[StuckAtFault]]) -> list:
+        """Encode fault shards for the pool pipe per ``payload_format``.
+
+        ``"soa"`` maps each shard to an ``int32`` array of fault-universe
+        indices; a fault outside this netlist's universe (caller-supplied
+        ad-hoc faults) falls the whole run back to object shards, so
+        results never depend on which shards were encodable.
+        """
+        if self.payload_format != "soa":
+            return shards
+        lookup = fault_site_lookup(self.netlist)
+        packed = []
+        for shard in shards:
+            try:
+                packed.append(
+                    np.fromiter(
+                        (lookup[fault] for fault in shard),
+                        dtype=np.int32,
+                        count=len(shard),
+                    )
+                )
+            except KeyError:
+                return shards
+        return packed
 
     def detects(
         self,

@@ -11,12 +11,20 @@ s-a-1) per distinct site.  This count is the paper's ``N``.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Netlist
 
-__all__ = ["StuckAtFault", "full_fault_universe", "checkpoint_faults"]
+__all__ = [
+    "StuckAtFault",
+    "full_fault_universe",
+    "cached_fault_universe",
+    "fault_site_lookup",
+    "materialize_site_faults",
+    "checkpoint_faults",
+]
 
 
 @dataclass(frozen=True)
@@ -84,6 +92,68 @@ def full_fault_universe(netlist: Netlist) -> list[StuckAtFault]:
                 for value in (0, 1):
                     faults.append(StuckAtFault(signal, value, gate=sink, pin=pin))
     return faults
+
+
+# Per-netlist caches for the wire format's site-index representation.
+# Keyed weakly so a dropped netlist releases its universe; the enumerated
+# order is deterministic for a given netlist, which is what lets a site
+# index stand in for a fault object across process and socket boundaries.
+_UNIVERSE_CACHE: "weakref.WeakKeyDictionary[Netlist, list[StuckAtFault]]" = (
+    weakref.WeakKeyDictionary()
+)
+_SITE_LOOKUP_CACHE: "weakref.WeakKeyDictionary[Netlist, dict[StuckAtFault, int]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def cached_fault_universe(netlist: Netlist) -> list[StuckAtFault]:
+    """The :func:`full_fault_universe` of ``netlist``, cached per netlist.
+
+    The returned list must be treated as immutable — it is shared by
+    every wire-format decode against this netlist.
+    """
+    universe = _UNIVERSE_CACHE.get(netlist)
+    if universe is None:
+        universe = full_fault_universe(netlist)
+        _UNIVERSE_CACHE[netlist] = universe
+    return universe
+
+
+def fault_site_lookup(netlist: Netlist) -> dict[StuckAtFault, int]:
+    """``{fault: universe index}`` for ``netlist``, cached per netlist.
+
+    The inverse of :func:`cached_fault_universe`'s enumeration — the
+    encoder side of the site-index wire representation.  Both stuck
+    polarities of a site are distinct entries.
+    """
+    lookup = _SITE_LOOKUP_CACHE.get(netlist)
+    if lookup is None:
+        lookup = {
+            fault: index
+            for index, fault in enumerate(cached_fault_universe(netlist))
+        }
+        _SITE_LOOKUP_CACHE[netlist] = lookup
+    return lookup
+
+
+def materialize_site_faults(
+    sites: list[StuckAtFault], site_indices, polarities
+) -> list[StuckAtFault]:
+    """Fault objects for aligned ``(site index, polarity)`` sequences.
+
+    ``sites`` is a fault-universe enumeration (``sites[i]`` names the
+    signal/gate/pin of site ``i``); the drawn polarity replaces the
+    site's stuck value.  The single construction point shared by
+    :meth:`repro.defects.layout.ChipLayout.materialize_faults` and the
+    wire-format decoders, so the site-identity mapping cannot diverge
+    between process boundaries.
+    """
+    return [
+        StuckAtFault(
+            sites[i].signal, int(v), gate=sites[i].gate, pin=sites[i].pin
+        )
+        for i, v in zip(site_indices, polarities)
+    ]
 
 
 def checkpoint_faults(netlist: Netlist) -> list[StuckAtFault]:

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.circuit.netlist import Netlist
 from repro.defects.layout import ChipLayout
+from repro.faults.model import fault_site_lookup
 from repro.manufacturing.process import ProcessRecipe
 from repro.manufacturing.wafer import (
     ChipFabData,
@@ -47,7 +48,12 @@ from repro.runtime import (
 )
 from repro.utils.rng import make_rng, spawn_rngs
 
-__all__ = ["FabricatedLot", "fabricate_lot"]
+__all__ = [
+    "FabricatedLot",
+    "fabricate_lot",
+    "pack_lot_chips",
+    "unpack_lot_chips",
+]
 
 
 @dataclass(frozen=True)
@@ -150,15 +156,26 @@ _FAB_CONTEXT_CACHE: (
 ) = weakref.WeakKeyDictionary()
 
 
+def _cached_layout(netlist: Netlist, chip_area: float) -> ChipLayout:
+    """The fault-site placement for (netlist, area), built at most once.
+
+    Shared by wafer construction and the wire-format decoders (a lot
+    shipped as arrays is rebuilt against this layout), so a site index
+    always resolves against the same placement object per process.
+    """
+    layouts = _LAYOUT_CACHE.setdefault(netlist, {})
+    layout = layouts.get(chip_area)
+    if layout is None:
+        layout = ChipLayout(netlist, area=chip_area)
+        layouts[chip_area] = layout
+    return layout
+
+
 def _cached_wafer(
     netlist: Netlist, recipe: ProcessRecipe, dies_per_wafer: int
 ) -> Wafer:
     """The wafer for (netlist, recipe, dies), levelizing the layout once."""
-    layouts = _LAYOUT_CACHE.setdefault(netlist, {})
-    layout = layouts.get(recipe.chip_area)
-    if layout is None:
-        layout = ChipLayout(netlist, area=recipe.chip_area)
-        layouts[recipe.chip_area] = layout
+    layout = _cached_layout(netlist, recipe.chip_area)
     wafers = _WAFER_CACHE.setdefault(netlist, {})
     key = (recipe, dies_per_wafer)
     wafer = wafers.get(key)
@@ -201,9 +218,12 @@ class _FabShardPayload:
 
     Eight flat arrays instead of a pickled tree of per-die objects: per
     die a chip id plus CSR slices into the concatenated defect arrays
-    (``defect_offsets``) and hit arrays (``hit_offsets``).  This is what
-    travels back over the pool pipe; :func:`_unpack_shard` rebuilds lazy
-    array-backed chips from slice views on the coordinator.
+    (``defect_offsets``) and hit arrays (``hit_offsets``).  Hit arrays
+    use compact dtypes — ``int32`` site indices, ``uint8`` polarities —
+    sized for any netlist this repo can compile.  This is what travels
+    back over the pool pipe *and* (wrapped by the server protocol) over
+    the socket; :func:`_unpack_shard` rebuilds lazy array-backed chips
+    from slice views on the receiving side.
     """
 
     chip_ids: np.ndarray
@@ -237,13 +257,13 @@ def _pack_chips(chips: list[FabricatedChip]) -> _FabShardPayload:
         hit_counts[k + 1] = data.site_indices.size
     return _FabShardPayload(
         chip_ids=np.array([chip.chip_id for chip in chips], dtype=np.int64),
-        defect_offsets=np.cumsum(defect_counts),
+        defect_offsets=np.cumsum(defect_counts).astype(np.int64),
         xs=_concat(xs, float),
         ys=_concat(ys, float),
         radii=_concat(radii, float),
-        hit_offsets=np.cumsum(hit_counts),
-        site_indices=_concat(sites, np.intp),
-        polarities=_concat(pols, np.int64),
+        hit_offsets=np.cumsum(hit_counts).astype(np.int64),
+        site_indices=_concat(sites, np.intp).astype(np.int32),
+        polarities=_concat(pols, np.int64).astype(np.uint8),
     )
 
 
@@ -270,6 +290,78 @@ def _unpack_shard(
             )
         )
     return chips
+
+
+def pack_lot_chips(
+    netlist: Netlist, chips: "tuple[FabricatedChip, ...]"
+) -> _FabShardPayload | None:
+    """Encode any chip sequence as one :class:`_FabShardPayload`.
+
+    The socket-boundary encoder: array-backed chips laid out against
+    ``netlist`` contribute their arrays directly; eagerly constructed
+    chips (e.g. a lot that already crossed a pickle boundary) are mapped
+    fault-by-fault through :func:`fault_site_lookup`.  Returns ``None``
+    when any fault does not belong to ``netlist``'s universe — the
+    caller falls back to the legacy pickled-object encoding.
+    """
+    lookup = None
+    xs, ys, radii, sites, pols = [], [], [], [], []
+    defect_counts = np.empty(len(chips) + 1, dtype=np.intp)
+    hit_counts = np.empty(len(chips) + 1, dtype=np.intp)
+    defect_counts[0] = hit_counts[0] = 0
+    for k, chip in enumerate(chips):
+        data = chip._data
+        if data is not None and data.layout.netlist is netlist:
+            cxs, cys, cradii = data.xs, data.ys, data.radii
+            csites, cpols = data.site_indices, data.polarities
+        else:
+            if lookup is None:
+                lookup = fault_site_lookup(netlist)
+            try:
+                csites = np.array(
+                    [lookup[fault] for fault in chip.faults], dtype=np.int32
+                )
+            except KeyError:
+                return None
+            cpols = np.array(
+                [fault.value for fault in chip.faults], dtype=np.uint8
+            )
+            defects = chip.defects
+            cxs = np.array([d.x for d in defects], dtype=float)
+            cys = np.array([d.y for d in defects], dtype=float)
+            cradii = np.array([d.radius for d in defects], dtype=float)
+        xs.append(cxs)
+        ys.append(cys)
+        radii.append(cradii)
+        sites.append(csites)
+        pols.append(cpols)
+        defect_counts[k + 1] = cxs.size
+        hit_counts[k + 1] = csites.size
+    return _FabShardPayload(
+        chip_ids=np.array([chip.chip_id for chip in chips], dtype=np.int64),
+        defect_offsets=np.cumsum(defect_counts).astype(np.int64),
+        xs=_concat(xs, float),
+        ys=_concat(ys, float),
+        radii=_concat(radii, float),
+        hit_offsets=np.cumsum(hit_counts).astype(np.int64),
+        site_indices=_concat(sites, np.int32).astype(np.int32),
+        polarities=_concat(pols, np.uint8).astype(np.uint8),
+    )
+
+
+def unpack_lot_chips(
+    netlist: Netlist, chip_area: float, payload: _FabShardPayload
+) -> "tuple[FabricatedChip, ...]":
+    """Decode :func:`pack_lot_chips` output against the cached layout.
+
+    The rebuilt chips are lazy array-backed views; materializing their
+    faults resolves site indices through the per-process
+    :func:`_cached_layout` for ``(netlist, chip_area)``, whose universe
+    enumeration is deterministic — so the decoded lot is bit-identical
+    to the encoded one on any receiver that agrees on the netlist.
+    """
+    layout = _cached_layout(netlist, chip_area)
+    return tuple(_unpack_shard(payload, layout))
 
 
 def _fabricate_wafer_shard(

@@ -64,6 +64,8 @@ import multiprocessing
 import os
 from typing import Any, Callable, Hashable, Iterable, TypeVar
 
+from repro.runtime import wire
+
 __all__ = [
     "ParallelExecutor",
     "WorkerCrashError",
@@ -82,6 +84,12 @@ _WORKER_STATE: tuple[Callable, Any] | None = None
 # barrier, both set up by the persistent initializer.
 _WORKER_CONTEXTS: dict[Hashable, tuple[Callable, Any]] | None = None
 _WORKER_BARRIER = None
+
+# Worker-side wire accounting: decoded / returned payload bytes.
+# Shared-memory handles need no registry — decoded segments are
+# abandoned to their arrays (see repro.runtime.wire), so dropping a
+# context or task payload releases its pages automatically.
+_WORKER_IPC = {"bytes_in": 0, "bytes_out": 0}
 
 # Tokens are unique per process; the counter is shared by every executor
 # so a token can never collide across callers that feed one pool.
@@ -167,8 +175,34 @@ def _init_worker(fn: Callable, context: Any) -> None:
     _WORKER_STATE = (fn, context)
 
 
+def _run_wire_task(fn: Callable, context: Any, task: wire.WirePayload):
+    """Decode a wire-framed task, run it, wire-frame the result.
+
+    Worker-created result segments are closed locally right after the
+    copy (the name persists for the coordinator to adopt); task segments
+    opened here are abandoned to the decoded arrays, so their pages
+    unmap when the task object dies.
+    """
+    obj, opened = wire.unpack_payload(task)
+    wire.abandon_segments(opened)
+    _WORKER_IPC["bytes_in"] += task.nbytes
+    result = fn(context, obj)
+    del obj
+    envelope, owned = wire.pack_payload(result)
+    del result
+    _WORKER_IPC["bytes_out"] += envelope.nbytes
+    for segment in owned:
+        try:
+            segment.close()
+        except Exception:
+            pass
+    return envelope
+
+
 def _run_task(task):
     fn, context = _WORKER_STATE  # type: ignore[misc]
+    if isinstance(task, wire.WirePayload):
+        return _run_wire_task(fn, context, task)
     return fn(context, task)
 
 
@@ -197,6 +231,10 @@ def _install_context(payload) -> None:
     the context exactly once per token.
     """
     token, fn, context = payload
+    if isinstance(context, wire.WirePayload):
+        _WORKER_IPC["bytes_in"] += context.nbytes
+        context, opened = wire.unpack_payload(context)
+        wire.abandon_segments(opened)
     _WORKER_CONTEXTS[token] = (fn, context)  # type: ignore[index]
     _broadcast_barrier_wait()
 
@@ -223,6 +261,8 @@ def _collect_worker_stats(_payload) -> dict:
         "pid": os.getpid(),
         "resident_contexts": len(_WORKER_CONTEXTS),  # type: ignore[arg-type]
         "tokens": sorted(repr(t) for t in _WORKER_CONTEXTS),  # type: ignore[union-attr]
+        "ipc_bytes_in": _WORKER_IPC["bytes_in"],
+        "ipc_bytes_out": _WORKER_IPC["bytes_out"],
     }
     _broadcast_barrier_wait()
     return stats
@@ -283,6 +323,8 @@ def _run_token_task(payload):
             shard_index=index,
         )
     fn, context = state
+    if isinstance(task, wire.WirePayload):
+        return _run_wire_task(fn, context, task)
     return fn(context, task)
 
 
@@ -314,15 +356,36 @@ class ParallelExecutor:
     across one-shot/persistent/serial lifecycles.
     """
 
-    def __init__(self, workers: int | str | None = 1, persistent: bool = False):
+    def __init__(
+        self,
+        workers: int | str | None = 1,
+        persistent: bool = False,
+        wire_format: bool = True,
+    ):
         self.num_workers = resolve_workers(workers)
         self.persistent = bool(persistent)
+        # Wire-frame every parallel payload (tasks, results, context
+        # broadcasts) through repro.runtime.wire: pickle-5 out-of-band
+        # buffers, shared memory above SHM_MIN_BYTES, and byte
+        # accounting.  ``wire_format=False`` keeps the legacy raw-pickle
+        # pipe (the differential-test baseline); the serial path never
+        # frames anything either way.
+        self.wire_format = bool(wire_format)
+        if self.wire_format and self.num_workers > 1:
+            # Probe shared memory (spawning the resource_tracker) BEFORE
+            # any pool forks, so every worker inherits the one tracker —
+            # the single-registration discipline in repro.runtime.wire
+            # depends on parent and children sharing it.
+            wire._shm_usable()
         self._pool = None
         self._pool_pids: frozenset[int] = frozenset()
         self._installed: set[Hashable] = set()
         self._contexts_shipped = 0
         self._contexts_evicted = 0
         self._worker_recoveries = 0
+        self._ipc_bytes_out = 0
+        self._ipc_bytes_in = 0
+        self._ipc_by_token: dict[Hashable, list[int]] = {}
         self._closed = False
 
     @property
@@ -358,6 +421,57 @@ class ParallelExecutor:
     def installed_tokens(self) -> frozenset:
         """Coordinator-side view of tokens currently installed in the pool."""
         return frozenset(self._installed)
+
+    @property
+    def ipc_bytes_out(self) -> int:
+        """Total payload bytes shipped to the pool (tasks + contexts).
+
+        Counted at the wire layer, per payload: a context broadcast that
+        reaches N workers counts its payload once (with shared memory
+        the large buffers genuinely transfer once), and a crash-recovery
+        re-ship counts again — the bytes really travel again.  Zero on
+        serial dispatch and with ``wire_format=False``.
+        """
+        return self._ipc_bytes_out
+
+    @property
+    def ipc_bytes_in(self) -> int:
+        """Total payload bytes returned from the pool (shard results)."""
+        return self._ipc_bytes_in
+
+    def ipc_stats(self) -> dict:
+        """Shipped/returned payload bytes, total and per context token."""
+        return {
+            "bytes_out": self._ipc_bytes_out,
+            "bytes_in": self._ipc_bytes_in,
+            "by_token": {
+                repr(token): {"out": counts[0], "in": counts[1]}
+                for token, counts in self._ipc_by_token.items()
+            },
+        }
+
+    def _count_ipc(self, token: Hashable, out: int = 0, in_: int = 0) -> None:
+        self._ipc_bytes_out += out
+        self._ipc_bytes_in += in_
+        counts = self._ipc_by_token.setdefault(token, [0, 0])
+        counts[0] += out
+        counts[1] += in_
+
+    def _decode_results(self, token: Hashable, raw: list) -> list:
+        """Decode wire-framed shard results, adopting worker segments."""
+        results = []
+        for item in raw:
+            if isinstance(item, wire.WirePayload):
+                obj, opened = wire.unpack_payload(item)
+                # The creating worker already closed its handle; adopt
+                # unlinks the name now and abandons the mapping to the
+                # decoded arrays.
+                wire.adopt_segments(opened)
+                self._count_ipc(token, in_=item.nbytes)
+                results.append(obj)
+            else:
+                results.append(item)
+        return results
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -465,33 +579,68 @@ class ParallelExecutor:
         if not self.persistent:
             processes = min(self.num_workers, len(tasks))
             ctx = multiprocessing.get_context()
+            ipc_token = _ONESHOT_TOKEN if token is None else token
             with ctx.Pool(
                 processes, initializer=_init_worker, initargs=(fn, context)
             ) as pool:
-                return pool.map(_run_task, tasks)
+                if not self.wire_format:
+                    return pool.map(_run_task, tasks)
+                owned: list = []
+                try:
+                    payloads = []
+                    for task in tasks:
+                        envelope, task_owned = wire.pack_payload(task)
+                        owned.extend(task_owned)
+                        self._count_ipc(ipc_token, out=envelope.nbytes)
+                        payloads.append(envelope)
+                    raw = pool.map(_run_task, payloads)
+                finally:
+                    wire.release_segments(owned)
+                return self._decode_results(ipc_token, raw)
         if token is None:
             token = _ONESHOT_TOKEN
             self._installed.discard(token)
-        payloads = [(token, i, task) for i, task in enumerate(tasks)]
         recoveries = 0
         while True:
             self._heal_pool()
+            owned = []
             try:
                 if token not in self._installed:
-                    self._broadcast(_install_context, (token, fn, context))
+                    ctx_payload = context
+                    if self.wire_format:
+                        ctx_payload, ctx_owned = wire.pack_payload(context)
+                        owned.extend(ctx_owned)
+                        self._count_ipc(token, out=ctx_payload.nbytes)
+                    self._broadcast(_install_context, (token, fn, ctx_payload))
                     self._installed.add(token)
                     self._contexts_shipped += 1
-                return self._pool_map(_run_token_task, payloads)
+                if self.wire_format:
+                    payloads = []
+                    for i, task in enumerate(tasks):
+                        envelope, task_owned = wire.pack_payload(task)
+                        owned.extend(task_owned)
+                        self._count_ipc(token, out=envelope.nbytes)
+                        payloads.append((token, i, envelope))
+                else:
+                    payloads = [(token, i, task) for i, task in enumerate(tasks)]
+                raw = self._pool_map(_run_token_task, payloads)
+                return self._decode_results(token, raw)
             except WorkerCrashError:
                 # A worker died in flight (coordinator liveness poll) or
                 # a respawn slipped past the pid check and lacked the
                 # context (worker-side signal); heal by rebuilding/
                 # re-broadcasting and retrying the whole (pure) call.
+                # Shipped bytes stay counted — they really traveled.
                 self._installed.discard(token)
                 recoveries += 1
                 if recoveries > _MAX_RECOVERIES_PER_CALL:
                     raise
                 self._worker_recoveries += 1
+            finally:
+                # Release this attempt's sender-owned segments: every
+                # receiver that matters has mapped them (success) or the
+                # pool is about to be rebuilt (crash retry repacks).
+                wire.release_segments(owned)
 
     def evict(self, token: Hashable) -> bool:
         """Drop ``token``'s context from the coordinator *and* every worker.

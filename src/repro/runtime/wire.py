@@ -1,0 +1,281 @@
+"""Zero-copy wire framing for pool payloads: pickle-5 + shared memory.
+
+Everything that crosses a :class:`~repro.runtime.ParallelExecutor` pool
+boundary — shard tasks, shard results, context broadcasts — is framed as
+a :class:`WirePayload`: a pickle protocol-5 header with every ndarray
+buffer carried *out of band*.  Small buffers ride inline as ``bytes``
+(one copy into the pipe, none on the far side: the consumer array maps
+the frame bytes directly); buffers at or above :data:`SHM_MIN_BYTES` are
+placed in POSIX shared memory (``multiprocessing.shared_memory``), so
+the pipe carries only a ``(name, nbytes)`` reference and the receiving
+process maps the same physical pages — a context broadcast to N workers
+copies its large arrays exactly once, not N times.
+
+Ownership discipline (the part that keeps ``/dev/shm`` clean):
+
+* The **sender** owns the segments it creates: it unlinks and
+  deregisters them via :func:`release_segments` as soon as the dispatch
+  that shipped them completes (POSIX keeps the memory alive for every
+  process that already mapped it, so receivers are unaffected).
+* The **receiver** opens segments by name, immediately deregisters them
+  from its ``resource_tracker`` (Python 3.11 registers on *attach* as
+  well as create; without the deregister a receiver exit would unlink a
+  segment it does not own), and then **abandons** the handles
+  (:func:`abandon_segments`): the wrapper's fd is closed and its mmap
+  reference dropped, leaving the mapping's lifetime to the decoded
+  arrays themselves — the arrays' exported buffers keep the ``mmap``
+  object alive, and the pages unmap automatically when the last array
+  dies.  No handle bookkeeping, no ``SharedMemory.__del__`` noise.
+* A worker returning a large result closes its own handle right after
+  filling the segment (the name persists); the coordinator adopts the
+  segment on decode — unlinking it immediately — so a coordinator that
+  outlives the pool never accumulates names.  If a worker is SIGKILLed
+  between creating a result segment and the coordinator adopting it,
+  the shared ``resource_tracker`` unlinks the leaked name at interpreter
+  exit — the crash-safety net.
+
+Arrays decoded from *inline* buffers are read-only (they share the
+immutable frame bytes); arrays decoded from shared-memory segments are
+writable views of shared pages.  Worker functions must treat both as
+read-only, which every worker in this codebase does.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "SHM_MIN_BYTES",
+    "WirePayload",
+    "pack_payload",
+    "unpack_payload",
+    "payload_nbytes",
+    "release_segments",
+    "adopt_segments",
+    "abandon_segments",
+]
+
+# Buffers at or above this many bytes travel via shared memory; smaller
+# ones ride inline in the pipe frame.  Overridable for tests and tuning.
+SHM_MIN_BYTES = int(os.environ.get("REPRO_WIRE_SHM_MIN_BYTES", 1 << 20))
+
+# Probed once: whether this platform can create shared-memory segments.
+_SHM_USABLE: bool | None = None
+
+
+def _shm_usable() -> bool:
+    global _SHM_USABLE
+    if _SHM_USABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=1)
+            probe.close()
+            probe.unlink()
+            _SHM_USABLE = True
+        except Exception:
+            _SHM_USABLE = False
+    return _SHM_USABLE
+
+
+def _untrack(shm) -> None:
+    """Deregister a segment this process does not own (attach-side fix).
+
+    Python 3.11's ``SharedMemory.__init__`` registers with the
+    ``resource_tracker`` on attach as well as create; left in place, the
+    tracker would unlink the name when *this* process exits even though
+    the creator still owns it, and warn about "leaked" segments.
+
+    A forked pool worker shares its parent's tracker process (the repo's
+    executors probe :func:`_shm_usable` before forking, so the tracker
+    always predates the pool).  There the attach-side registration was a
+    set no-op — unregistering would strip the *creator's* entry and
+    break the crash-safety net — so fork children skip it.
+    """
+    try:
+        import multiprocessing
+        from multiprocessing import resource_tracker
+
+        if (
+            multiprocessing.parent_process() is not None
+            and multiprocessing.get_start_method(allow_none=True) != "spawn"
+        ):
+            return
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+@dataclass(frozen=True)
+class _SegmentRef:
+    """One out-of-band buffer parked in a named shared-memory segment."""
+
+    name: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class WirePayload:
+    """One framed object: pickle-5 header + ordered out-of-band buffers.
+
+    ``buffers`` holds, in pickle order, either the inline ``bytes`` of a
+    small buffer or a :class:`_SegmentRef` naming a shared-memory
+    segment.  ``nbytes`` is the total payload size (header plus every
+    buffer) — the number the executor's ``ipc_bytes_out/in`` counters
+    accumulate, independent of which transport each buffer used.
+    """
+
+    header: bytes
+    buffers: tuple
+    nbytes: int
+
+
+def pack_payload(obj: Any, shm_min_bytes: int | None = None):
+    """Frame ``obj`` for the pool pipe; returns ``(payload, owned)``.
+
+    ``owned`` lists the shared-memory segments this call created; the
+    caller must hand them to :func:`release_segments` once the dispatch
+    that shipped the payload completes (success or failure — receivers
+    that already mapped the pages are unaffected).
+    """
+    threshold = SHM_MIN_BYTES if shm_min_bytes is None else shm_min_bytes
+    picklebuffers: list[pickle.PickleBuffer] = []
+    header = pickle.dumps(
+        obj, protocol=5, buffer_callback=picklebuffers.append
+    )
+    buffers: list = []
+    owned: list = []
+    total = len(header)
+    use_shm = threshold is not None and _shm_usable()
+    for pb in picklebuffers:
+        raw = pb.raw()
+        size = raw.nbytes
+        total += size
+        if use_shm and size >= threshold:
+            from multiprocessing import shared_memory
+
+            segment = shared_memory.SharedMemory(create=True, size=size)
+            segment.buf[:size] = raw
+            owned.append(segment)
+            buffers.append(_SegmentRef(segment.name, size))
+        else:
+            buffers.append(raw.tobytes())
+        raw.release()
+        pb.release()
+    return WirePayload(header, tuple(buffers), total), owned
+
+
+def unpack_payload(payload: WirePayload):
+    """Decode a :class:`WirePayload`; returns ``(obj, opened)``.
+
+    ``opened`` lists the shared-memory handles this call attached; the
+    decoded arrays reference their pages directly.  Receivers hand them
+    straight to :func:`abandon_segments`; a coordinator decoding
+    worker-created result segments calls :func:`adopt_segments` (which
+    also unlinks) instead.
+    """
+    opened: list = []
+    bufs: list = []
+    for entry in payload.buffers:
+        if isinstance(entry, _SegmentRef):
+            from multiprocessing import shared_memory
+
+            segment = shared_memory.SharedMemory(name=entry.name)
+            _untrack(segment)
+            opened.append(segment)
+            bufs.append(segment.buf[: entry.nbytes])
+        else:
+            bufs.append(entry)
+    return pickle.loads(payload.header, buffers=bufs), opened
+
+
+def payload_nbytes(obj: Any) -> int:
+    """The wire size ``obj`` would frame to, without copying buffers."""
+    picklebuffers: list[pickle.PickleBuffer] = []
+    header = pickle.dumps(
+        obj, protocol=5, buffer_callback=picklebuffers.append
+    )
+    total = len(header)
+    for pb in picklebuffers:
+        raw = pb.raw()
+        total += raw.nbytes
+        raw.release()
+        pb.release()
+    return total
+
+
+def release_segments(segments) -> None:
+    """Sender side: close, unlink, and deregister owned segments.
+
+    ``SharedMemory.unlink`` deregisters from the ``resource_tracker``
+    itself, so the explicit :func:`_untrack` runs only when the unlink
+    never got that far (name already gone) — a second unregister on the
+    fork-shared tracker would strip someone else's entry.
+    """
+    for segment in segments:
+        try:
+            segment.close()
+        except Exception:
+            pass
+        try:
+            segment.unlink()
+        except Exception:
+            _untrack(segment)
+
+
+def adopt_segments(segments) -> None:
+    """Unlink + abandon segments whose creator is done with them.
+
+    The coordinator calls this right after :func:`unpack_payload` on a
+    result payload: the worker that created the segments has already
+    closed its handle, so unlinking here removes the *name* immediately
+    while the mapping — abandoned to the decoded arrays — keeps the
+    pages alive exactly as long as they are referenced.
+
+    :func:`unpack_payload`'s attach-side :func:`_untrack` already cleared
+    the tracker entry, but ``SharedMemory.unlink`` unconditionally sends
+    its own unregister — so re-register first to keep the tracker's
+    bookkeeping balanced (an unregister without a matching entry makes
+    the shared tracker process log a ``KeyError``).
+    """
+    for segment in segments:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.register(segment._name, "shared_memory")
+        except Exception:
+            pass
+        try:
+            segment.unlink()
+        except Exception:
+            _untrack(segment)
+    abandon_segments(segments)
+
+
+def abandon_segments(segments) -> None:
+    """Hand each mapping's lifetime over to the decoded arrays.
+
+    Releases the wrapper's own memoryview, drops its ``mmap`` reference,
+    and closes its fd.  The decoded arrays' exported buffers keep the
+    ``mmap`` object alive, so the pages stay mapped while any array
+    lives and unmap automatically when the last one dies — the wrapper
+    object itself becomes inert (no ``__del__`` close attempt, no
+    ``BufferError`` while views are still out).
+    """
+    for segment in segments:
+        try:
+            if segment._buf is not None:
+                segment._buf.release()
+        except Exception:
+            pass
+        segment._buf = None
+        segment._mmap = None
+        try:
+            if segment._fd >= 0:
+                os.close(segment._fd)
+                segment._fd = -1
+        except Exception:
+            pass

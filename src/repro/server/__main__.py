@@ -84,7 +84,19 @@ def main(argv: list[str] | None = None) -> int:
         default=256,
         help="retained lot/program handles per kind (default: %(default)s)",
     )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="log every request (op, frame format, payload bytes in/out)",
+    )
     args = parser.parse_args(argv)
+    if args.debug:
+        import logging
+
+        logging.basicConfig(
+            level=logging.DEBUG,
+            format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        )
     server = LotServer(
         host=args.host,
         port=0 if args.socket else args.port,

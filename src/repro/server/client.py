@@ -34,9 +34,13 @@ from repro.manufacturing.lot import FabricatedLot
 from repro.manufacturing.process import ProcessRecipe
 from repro.manufacturing.wafer import FabricatedChip
 from repro.server.protocol import (
+    LotArrays,
     ProtocolError,
     RemoteError,
+    WireObj,
+    lot_from_arrays,
     netlist_fingerprint,
+    pack_lot,
     pack_obj,
     recv_frame,
     send_frame,
@@ -100,7 +104,12 @@ class Client:
         # Local-object -> server-identity maps.  Values pin the objects
         # so the id() keys stay unambiguous for the client's lifetime.
         self._netlist_ids: dict[int, tuple[Netlist, str]] = {}
+        self._netlists_by_fid: dict[str, Netlist] = {}
         self._handles: dict[int, tuple[Any, str]] = {}
+        # Handshake: a protocol-2 server gets binary frames (raw array
+        # payloads); anything older falls back to base64-in-JSON.
+        self._binary = False
+        self._binary = self.ping().get("protocol", 1) >= 2
 
     # ----------------------------------------------------------- lifecycle
 
@@ -128,7 +137,11 @@ class Client:
             raise RuntimeError("client is closed")
         self._next_id += 1
         rid = self._next_id
-        send_frame(self._sock, {"id": rid, "op": op, "params": params})
+        send_frame(
+            self._sock,
+            {"id": rid, "op": op, "params": params},
+            binary=self._binary,
+        )
         response = recv_frame(self._sock)
         if response is None:
             raise ProtocolError("server closed the connection")
@@ -143,6 +156,15 @@ class Client:
             )
         result = response.get("result")
         return result if isinstance(result, dict) else {}
+
+    def _pack(self, obj: Any) -> Any:
+        """An object parameter in this connection's wire format."""
+        return WireObj(obj) if self._binary else pack_obj(obj)
+
+    @staticmethod
+    def _unpack(value: Any) -> Any:
+        """A result object in either wire format (str = base64 pickle)."""
+        return unpack_obj(value) if isinstance(value, str) else value
 
     # ------------------------------------------------------------ pipeline
 
@@ -159,10 +181,11 @@ class Client:
         cached = self._netlist_ids.get(id(netlist))
         if cached is not None and cached[0] is netlist:
             return cached[1]
-        result = self.request("register_netlist", netlist=pack_obj(netlist))
+        result = self.request("register_netlist", netlist=self._pack(netlist))
         netlist_id = result["netlist_id"]
         assert netlist_id == netlist_fingerprint(netlist)
         self._netlist_ids[id(netlist)] = (netlist, netlist_id)
+        self._netlists_by_fid[netlist_id] = netlist
         return netlist_id
 
     def _remember(self, obj: Any, handle: str) -> None:
@@ -186,12 +209,18 @@ class Client:
         result = self.request(
             "fabricate",
             netlist_id=self.register(netlist),
-            recipe=pack_obj(recipe),
+            recipe=self._pack(recipe),
             num_chips=num_chips,
             dies_per_wafer=dies_per_wafer,
             seed=seed,
         )
-        lot = unpack_obj(result["lot"])
+        lot = self._unpack(result["lot"])
+        if isinstance(lot, LotArrays):
+            # The server shipped arrays; rebuild against our own netlist
+            # object so the chips share its cached layout and universe.
+            lot = lot_from_arrays(
+                self._netlists_by_fid.get(lot.fingerprint, netlist), lot
+            )
         self._remember(lot, result["lot_id"])
         return lot
 
@@ -205,10 +234,10 @@ class Client:
         result = self.request(
             "build_program",
             netlist_id=self.register(netlist),
-            patterns=pack_obj([dict(p) for p in patterns]),
+            patterns=self._pack([dict(p) for p in patterns]),
             collapse=collapse,
         )
-        program = unpack_obj(result["program"])
+        program = self._unpack(result["program"])
         self._remember(program, result["program_id"])
         return program
 
@@ -227,15 +256,21 @@ class Client:
         if program_handle is not None:
             params["program_id"] = program_handle
         else:
-            params["program"] = pack_obj(program)
+            params["program"] = self._pack(program)
         lot_handle = self._handle_for(lot)
         if lot_handle is not None:
             params["lot_id"] = lot_handle
         else:
             chips = lot if isinstance(lot, FabricatedLot) else tuple(lot)
-            params["chips"] = pack_obj(chips)
+            upload: Any = None
+            if self._binary and isinstance(chips, FabricatedLot):
+                # Whole lots go up as SoA arrays keyed on the program's
+                # netlist (the server resolves the program — registering
+                # its netlist if uploaded — before the chips).
+                upload = pack_lot(program.netlist, chips)
+            params["chips"] = self._pack(upload if upload is not None else chips)
         result = self.request("test_lot", **params)
-        return unpack_obj(result["result"])
+        return self._unpack(result["result"])
 
     def run_experiment(self, name: str) -> str:
         """Run one named paper experiment on the server; returns the report."""

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import logging
 import sys
 import threading
 import traceback
@@ -58,16 +59,22 @@ from repro.server.protocol import (
     ERR_USER,
     ERR_WORKER_CRASH,
     PROTOCOL_VERSION,
+    LotArrays,
     ProtocolError,
+    WireObj,
     encode_frame,
+    lot_from_arrays,
     netlist_fingerprint,
+    pack_lot,
     pack_obj,
-    read_frame,
+    read_frame_info,
     unpack_obj,
 )
 from repro.tester.program import TestProgram
 
 __all__ = ["LotServer"]
+
+_log = logging.getLogger("repro.server")
 
 # Queue key for requests that are not tied to a client netlist (the
 # named paper experiments build their own circuits internally).
@@ -274,13 +281,27 @@ class LotServer:
         try:
             while True:
                 try:
-                    request = await read_frame(reader)
+                    frame = await read_frame_info(reader)
                 except ProtocolError:
                     break  # peer sent garbage; drop the connection
-                if request is None:
+                if frame is None:
                     break
-                response, stop_after = await self._handle_request(request)
-                writer.write(encode_frame(response))
+                # Answer in the format the request arrived in, so one
+                # server serves protocol-1 and protocol-2 clients alike.
+                response, stop_after = await self._handle_request(
+                    frame.message, frame.binary
+                )
+                reply = encode_frame(response, binary=frame.binary)
+                if _log.isEnabledFor(logging.DEBUG):
+                    _log.debug(
+                        "op=%s id=%s format=%s bytes_in=%d bytes_out=%d",
+                        frame.message.get("op"),
+                        frame.message.get("id"),
+                        "binary" if frame.binary else "json",
+                        frame.nbytes,
+                        len(reply),
+                    )
+                writer.write(reply)
                 await writer.drain()
                 if stop_after:
                     self._stop_event.set()  # type: ignore[union-attr]
@@ -297,7 +318,9 @@ class LotServer:
             except Exception:
                 pass
 
-    async def _handle_request(self, request: dict) -> tuple[dict, bool]:
+    async def _handle_request(
+        self, request: dict, binary: bool = False
+    ) -> tuple[dict, bool]:
         rid = request.get("id")
         if not isinstance(rid, int) or isinstance(rid, bool):
             return self._error_response(None, ERR_BAD_REQUEST, "request id must be an integer"), False
@@ -317,7 +340,7 @@ class LotServer:
                     f"unknown op {op!r}; choose from {sorted(self._OPS)}",
                 )
             self._counters[op] += 1
-            result = await handler(self, params)
+            result = await handler(self, params, binary)
             return {"id": rid, "ok": True, "result": result}, op == "shutdown"
         except _RequestError as exc:
             return self._error_response(rid, exc.code, str(exc)), False
@@ -392,17 +415,31 @@ class LotServer:
             )
         return netlist_id, netlist
 
+    @staticmethod
+    def _obj_param(params: dict, name: str, default=_MISSING):
+        """Fetch a domain-object parameter in either wire format.
+
+        JSON-frame clients send base64 pickle strings; binary-frame
+        clients send the object itself (already decoded from the frame's
+        buffer section).  Both are accepted on every request, regardless
+        of which format the *envelope* used.
+        """
+        value = _param(params, name, None, default=default)
+        if isinstance(value, str):
+            return unpack_obj(value)
+        return value
+
     # ------------------------------------------------------------------ ops
 
-    async def _op_ping(self, params: dict) -> dict:
+    async def _op_ping(self, params: dict, binary: bool) -> dict:
         return {
             "pong": True,
             "server": "repro-server",
             "protocol": PROTOCOL_VERSION,
         }
 
-    async def _op_register_netlist(self, params: dict) -> dict:
-        netlist = unpack_obj(_param(params, "netlist", str))
+    async def _op_register_netlist(self, params: dict, binary: bool) -> dict:
+        netlist = self._obj_param(params, "netlist")
         if not isinstance(netlist, Netlist):
             raise _RequestError(
                 ERR_BAD_REQUEST,
@@ -414,9 +451,9 @@ class LotServer:
             self._netlists[fingerprint] = netlist
         return {"netlist_id": fingerprint, "known": known}
 
-    async def _op_fabricate(self, params: dict) -> dict:
+    async def _op_fabricate(self, params: dict, binary: bool) -> dict:
         netlist_id, netlist = self._netlist_for(params)
-        recipe = unpack_obj(_param(params, "recipe", str))
+        recipe = self._obj_param(params, "recipe")
         if not isinstance(recipe, ProcessRecipe):
             raise _RequestError(
                 ERR_BAD_REQUEST,
@@ -443,14 +480,19 @@ class LotServer:
                 "empirical_yield": lot.empirical_yield(),
             }
             if return_lot:
-                result["lot"] = pack_obj(lot)
+                if binary:
+                    # SoA wire form when every chip encodes; the pickled
+                    # object fallback still rides the binary frame.
+                    result["lot"] = WireObj(pack_lot(netlist, lot) or lot)
+                else:
+                    result["lot"] = pack_obj(lot)
             return result
 
         return await self._run_queued(netlist_id, job)
 
-    async def _op_build_program(self, params: dict) -> dict:
+    async def _op_build_program(self, params: dict, binary: bool) -> dict:
         netlist_id, netlist = self._netlist_for(params)
-        patterns = unpack_obj(_param(params, "patterns", str))
+        patterns = self._obj_param(params, "patterns")
         collapse = _param(params, "collapse", bool, default=True)
         return_program = _param(params, "return_program", bool, default=True)
 
@@ -464,7 +506,9 @@ class LotServer:
                 "final_coverage": program.final_coverage,
             }
             if return_program:
-                result["program"] = pack_obj(program)
+                result["program"] = (
+                    WireObj(program) if binary else pack_obj(program)
+                )
             return result
 
         return await self._run_queued(netlist_id, job)
@@ -485,7 +529,7 @@ class LotServer:
                     ERR_UNKNOWN_HANDLE, f"unknown or expired program handle {handle!r}"
                 )
             return entry
-        program = unpack_obj(_param(params, "program", str))
+        program = self._obj_param(params, "program")
         if not isinstance(program, TestProgram):
             raise _RequestError(
                 ERR_BAD_REQUEST,
@@ -508,26 +552,37 @@ class LotServer:
                     ERR_UNKNOWN_HANDLE, f"unknown or expired lot handle {handle!r}"
                 )
             return lot
-        chips = unpack_obj(_param(params, "chips", str))
+        chips = self._obj_param(params, "chips")
+        if isinstance(chips, LotArrays):
+            netlist = self._netlists.get(chips.fingerprint)
+            if netlist is None:
+                raise _RequestError(
+                    ERR_UNKNOWN_NETLIST,
+                    f"lot arrays reference unregistered netlist "
+                    f"{chips.fingerprint!r}; call register_netlist first",
+                )
+            return lot_from_arrays(netlist, chips)
         if isinstance(chips, FabricatedLot):
             return chips
         return tuple(chips)
 
-    async def _op_test_lot(self, params: dict) -> dict:
+    async def _op_test_lot(self, params: dict, binary: bool) -> dict:
+        # Program first: an uploaded program registers its netlist, so a
+        # LotArrays chips payload drawn on it resolves by fingerprint.
         netlist_id, program = self._resolve_program(params)
         chips = self._resolve_chips(params)
 
         def job() -> dict:
             result = self._session.test(chips, program)
             return {
-                "result": pack_obj(result),
+                "result": WireObj(result) if binary else pack_obj(result),
                 "num_records": result.lot_size,
                 "fraction_rejected": result.fraction_rejected(),
             }
 
         return await self._run_queued(netlist_id, job)
 
-    async def _op_run_experiment(self, params: dict) -> dict:
+    async def _op_run_experiment(self, params: dict, binary: bool) -> dict:
         name = _param(params, "name", str)
         from repro.experiments.runner import EXPERIMENTS
 
@@ -542,7 +597,7 @@ class LotServer:
 
         return await self._run_queued(_EXPERIMENT_QUEUE, job)
 
-    async def _op_stats(self, params: dict) -> dict:
+    async def _op_stats(self, params: dict, binary: bool) -> dict:
         def job() -> dict:
             # Runs on the exec thread so the worker_stats pool broadcast
             # never interleaves with a pipeline map on the shared pool.
@@ -566,10 +621,10 @@ class LotServer:
         }
         return stats
 
-    async def _op_shutdown(self, params: dict) -> dict:
+    async def _op_shutdown(self, params: dict, binary: bool) -> dict:
         return {"stopping": True}
 
-    _OPS: dict[str, Callable[["LotServer", dict], Awaitable[dict]]] = {
+    _OPS: dict[str, Callable[["LotServer", dict, bool], Awaitable[dict]]] = {
         "ping": _op_ping,
         "register_netlist": _op_register_netlist,
         "fabricate": _op_fabricate,

@@ -24,6 +24,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
+from repro.faults.model import (
+    StuckAtFault,
+    cached_fault_universe,
+    fault_site_lookup,
+    materialize_site_faults,
+)
 from repro.manufacturing.wafer import FabricatedChip
 from repro.runtime import (
     ParallelExecutor,
@@ -64,21 +72,25 @@ class ChipTestRecord:
 def _batched_first_fail(
     batch: BatchCompiledCircuit,
     blocks: Sequence[tuple[dict[str, int], int]],
-    chips: Sequence[FabricatedChip],
+    chip_ids: Sequence[int],
+    fault_lists: Sequence[Sequence[StuckAtFault]],
 ) -> list[ChipTestRecord]:
     """Chip-parallel first-fail scan: one batch row per still-passing chip.
 
     The core lot-test loop, shared by the in-process path and the shard
-    workers (each worker runs it over its own chip shard).
+    workers (each worker runs it over its own chip shard).  Chips are
+    given as aligned ``(chip_ids, fault_lists)`` so the caller can feed
+    either materialized :class:`FabricatedChip` objects or faults
+    rehydrated from an SoA wire payload.
     """
     records: dict[int, ChipTestRecord] = {}
     remaining: list[int] = []
-    for i, chip in enumerate(chips):
-        if chip.faults:
+    for i, faults in enumerate(fault_lists):
+        if faults:
             remaining.append(i)
         else:
             records[i] = ChipTestRecord(
-                chip.chip_id, is_good=True, first_fail=None
+                chip_ids[i], is_good=True, first_fail=None
             )
 
     offset = 0
@@ -86,7 +98,7 @@ def _batched_first_fail(
         if not remaining:
             break
         fail_words = batch.detect_words(
-            words, [chips[i].faults for i in remaining]
+            words, [fault_lists[i] for i in remaining]
         )
         still_remaining: list[int] = []
         for i, first_bit in zip(
@@ -94,7 +106,7 @@ def _batched_first_fail(
         ):
             if first_bit is not None:
                 records[i] = ChipTestRecord(
-                    chips[i].chip_id,
+                    chip_ids[i],
                     is_good=False,
                     first_fail=offset + first_bit,
                 )
@@ -104,27 +116,28 @@ def _batched_first_fail(
         offset += block_len
     for i in remaining:
         records[i] = ChipTestRecord(
-            chips[i].chip_id, is_good=False, first_fail=None
+            chip_ids[i], is_good=False, first_fail=None
         )
-    return [records[i] for i in range(len(chips))]
+    return [records[i] for i in range(len(chip_ids))]
 
 
 def _word_level_first_fail(
     compiled: CompiledCircuit,
     blocks: Sequence[tuple[dict[str, int], int]],
     good: Sequence[dict[str, int]],
-    chip: FabricatedChip,
+    chip_id: int,
+    faults: Sequence[StuckAtFault],
 ) -> ChipTestRecord:
     """Serial word-level first-fail scan of one chip's multi-fault machine."""
     stems = []
     pins = []
-    for fault in chip.faults:
+    for fault in faults:
         if fault.is_branch:
             pins.append((fault.gate, fault.pin, fault.value))
         else:
             stems.append((fault.signal, fault.value))
     if not stems and not pins:
-        return ChipTestRecord(chip.chip_id, is_good=True, first_fail=None)
+        return ChipTestRecord(chip_id, is_good=True, first_fail=None)
 
     offset = 0
     for (words, block_len), good_words in zip(blocks, good):
@@ -135,10 +148,10 @@ def _word_level_first_fail(
         (first_bit,) = first_detecting_bits([fail_word], block_len)
         if first_bit is not None:
             return ChipTestRecord(
-                chip.chip_id, is_good=False, first_fail=offset + first_bit
+                chip_id, is_good=False, first_fail=offset + first_bit
             )
         offset += block_len
-    return ChipTestRecord(chip.chip_id, is_good=False, first_fail=None)
+    return ChipTestRecord(chip_id, is_good=False, first_fail=None)
 
 
 @dataclass(frozen=True)
@@ -156,15 +169,106 @@ class _LotShardContext:
     good: tuple[dict[str, int], ...] = ()
 
 
-def _test_lot_shard(
-    context: _LotShardContext, chips: list[FabricatedChip]
-) -> list[ChipTestRecord]:
+@dataclass(frozen=True)
+class _SoAChipShard:
+    """One chip shard as three flat arrays — the SoA wire payload.
+
+    ``coded_sites`` packs one fault per element as
+    ``(universe_index << 1) | polarity`` (``int32``, ~4 bytes per fault
+    vs ~hundreds for a pickled :class:`StuckAtFault`); ``fault_offsets``
+    is the per-chip CSR into it.  A site index is meaningful only
+    relative to the shard context's netlist, whose fault universe the
+    worker rehydrates from (deterministic enumeration, so the decoded
+    faults are bit-identical to the encoded ones).
+    """
+
+    chip_ids: np.ndarray
+    fault_offsets: np.ndarray
+    coded_sites: np.ndarray
+
+
+def _pack_soa_shard(netlist, lookup, chips) -> _SoAChipShard | None:
+    """Encode one chip shard as a :class:`_SoAChipShard`.
+
+    Array-backed chips laid out against ``netlist`` contribute their
+    ``(site, polarity)`` arrays directly; eager chips go fault-by-fault
+    through ``lookup`` (:func:`fault_site_lookup`).  Returns ``None``
+    when any fault does not belong to ``netlist``'s universe — the
+    caller then ships the legacy object payload for the whole lot.
+    """
+    coded: list[np.ndarray] = []
+    counts = np.empty(len(chips) + 1, dtype=np.int64)
+    counts[0] = 0
+    for k, chip in enumerate(chips):
+        arrays = chip.fault_site_arrays(netlist)
+        if arrays is not None:
+            sites, polarities = arrays
+            chip_codes = (
+                (sites.astype(np.int32) << np.int32(1))
+                | polarities.astype(np.int32)
+            ).astype(np.int32)
+        else:
+            try:
+                chip_codes = np.fromiter(
+                    (
+                        (lookup[fault] << 1) | fault.value
+                        for fault in chip.faults
+                    ),
+                    dtype=np.int32,
+                    count=len(chip.faults),
+                )
+            except KeyError:
+                return None
+        coded.append(chip_codes)
+        counts[k + 1] = chip_codes.size
+    return _SoAChipShard(
+        chip_ids=np.array([chip.chip_id for chip in chips], dtype=np.int64),
+        fault_offsets=np.cumsum(counts),
+        coded_sites=(
+            np.concatenate(coded) if coded else np.empty(0, dtype=np.int32)
+        ),
+    )
+
+
+def _shard_chip_faults(
+    context: _LotShardContext, shard
+) -> tuple[list[int], list]:
+    """Normalize a shard task to aligned ``(chip_ids, fault_lists)``.
+
+    Accepts either the legacy list of :class:`FabricatedChip` objects or
+    an :class:`_SoAChipShard`, whose faults are rehydrated through the
+    context circuit's cached fault universe.
+    """
+    if isinstance(shard, _SoAChipShard):
+        circuit = context.batch if context.batch is not None else context.compiled
+        universe = cached_fault_universe(circuit.netlist)
+        offsets = shard.fault_offsets
+        site_indices = (shard.coded_sites >> 1).tolist()
+        polarities = (shard.coded_sites & 1).tolist()
+        fault_lists = [
+            materialize_site_faults(
+                universe,
+                site_indices[offsets[k] : offsets[k + 1]],
+                polarities[offsets[k] : offsets[k + 1]],
+            )
+            for k in range(shard.chip_ids.size)
+        ]
+        return shard.chip_ids.tolist(), fault_lists
+    return [chip.chip_id for chip in shard], [chip.faults for chip in shard]
+
+
+def _test_lot_shard(context: _LotShardContext, shard) -> list[ChipTestRecord]:
     """Worker: first-fail test one chip shard with the shipped circuit."""
+    chip_ids, fault_lists = _shard_chip_faults(context, shard)
     if context.batch is not None:
-        return _batched_first_fail(context.batch, context.blocks, chips)
+        return _batched_first_fail(
+            context.batch, context.blocks, chip_ids, fault_lists
+        )
     return [
-        _word_level_first_fail(context.compiled, context.blocks, context.good, chip)
-        for chip in chips
+        _word_level_first_fail(
+            context.compiled, context.blocks, context.good, chip_id, faults
+        )
+        for chip_id, faults in zip(chip_ids, fault_lists)
     ]
 
 
@@ -179,6 +283,7 @@ class WaferTester:
         executor: ParallelExecutor | None = None,
         batch_circuit: BatchCompiledCircuit | None = None,
         compiled_circuit: CompiledCircuit | None = None,
+        payload_format: str = "soa",
     ):
         """``engine="batch"`` tests the lot chip-parallel; any other known
         engine name falls back to the serial chip-at-a-time word-level loop
@@ -191,11 +296,21 @@ class WaferTester:
         and reused by every subsequent ``test_lot``.  ``batch_circuit`` /
         ``compiled_circuit`` hand the tester circuits something else
         already compiled for this netlist (a session engine cache),
-        skipping re-levelization."""
+        skipping re-levelization.  ``payload_format`` selects what shard
+        tasks carry over the pool pipe: ``"soa"`` (default) ships chips
+        as packed ``(site index, polarity)`` arrays rehydrated in the
+        worker — bit-identical results, a fraction of the bytes;
+        ``"objects"`` ships pickled chip objects (the differential-test
+        baseline)."""
         if engine not in ("batch", "compiled", "event"):
             raise ValueError(
                 f"tester engine must be one of 'batch', 'compiled', "
                 f"'event', got {engine!r}"
+            )
+        if payload_format not in ("soa", "objects"):
+            raise ValueError(
+                f"payload_format must be 'soa' or 'objects', "
+                f"got {payload_format!r}"
             )
         for circuit in (batch_circuit, compiled_circuit):
             if circuit is not None and circuit.netlist is not program.netlist:
@@ -207,6 +322,7 @@ class WaferTester:
         self.engine = engine
         self.workers = workers
         self.executor = executor
+        self.payload_format = payload_format
         inputs = program.netlist.inputs
         # Pre-pack pattern blocks once.  Both compiled circuits and the
         # good-machine responses are lazy: the batched lot path carries the
@@ -240,7 +356,11 @@ class WaferTester:
     def test_chip(self, chip: FabricatedChip) -> ChipTestRecord:
         """Test one chip, stopping at its first failing pattern."""
         return _word_level_first_fail(
-            self._compiled, self._blocks, self._good_responses(), chip
+            self._compiled,
+            self._blocks,
+            self._good_responses(),
+            chip.chip_id,
+            chip.faults,
         )
 
     def test_lot(
@@ -273,24 +393,48 @@ class WaferTester:
         plan = ShardPlan.balanced(len(chips), num_workers)
         if plan.num_shards > 1:
             context = self._lot_shard_context()
+            tasks = self._shard_tasks(plan.split(chips))
             if use_injected:
                 return plan.merge(
                     self.executor.map_shards(
                         _test_lot_shard,
                         context,
-                        plan.split(chips),
+                        tasks,
                         token=self._context_token,
                     )
                 )
             with ParallelExecutor(num_workers) as executor:
                 return plan.merge(
-                    executor.map_shards(
-                        _test_lot_shard, context, plan.split(chips)
-                    )
+                    executor.map_shards(_test_lot_shard, context, tasks)
                 )
         if self.engine != "batch":
             return [self.test_chip(chip) for chip in chips]
-        return _batched_first_fail(self._batch_circuit, self._blocks, chips)
+        return _batched_first_fail(
+            self._batch_circuit,
+            self._blocks,
+            [chip.chip_id for chip in chips],
+            [chip.faults for chip in chips],
+        )
+
+    def _shard_tasks(self, chip_shards: list[list[FabricatedChip]]) -> list:
+        """Encode chip shards for the pool pipe per ``payload_format``.
+
+        ``"soa"`` packs every shard as a :class:`_SoAChipShard`; if any
+        chip's faults cannot be mapped into this program's fault
+        universe, the whole lot falls back to object shards so results
+        never depend on which chips were encodable.
+        """
+        if self.payload_format != "soa":
+            return chip_shards
+        netlist = self.program.netlist
+        lookup = fault_site_lookup(netlist)
+        packed = []
+        for shard in chip_shards:
+            soa = _pack_soa_shard(netlist, lookup, shard)
+            if soa is None:
+                return chip_shards
+            packed.append(soa)
+        return packed
 
     def _lot_shard_context(self) -> _LotShardContext:
         """The tester's shard context, built once and token-stable.

@@ -1,0 +1,118 @@
+"""Validate the ``payload_bytes`` section of a ``BENCH_parallel`` record.
+
+CI runs the IPC payload benchmark in quick mode and then this validator,
+so a wire-format regression (or a bench refactor that silently stops
+recording payload bytes) fails the PR instead of rotting quietly.
+
+Usage: ``python tools/check_ipc_bench.py benchmarks/BENCH_parallel.json``
+(add ``--quick`` when validating a ``BENCH_parallel_quick.json`` smoke
+record; without it, a quick-workload record is rejected so a smoke run
+can never masquerade as the committed full-workload snapshot).
+Exits 0 when the record is well-formed, 1 with a message otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_WORKLOAD_KEYS = {
+    "circuit",
+    "lot_chips",
+    "dies_per_wafer",
+    "sim_patterns",
+    "workers",
+}
+REQUIRED_STAGE_KEYS = {"stage", "object_bytes", "soa_bytes", "ratio"}
+
+# The PR-6 acceptance bar: lot-test shard payloads shipped as SoA arrays
+# must be an order of magnitude smaller than the pickled chip-object
+# baseline.  Quick smoke lots are too small to amortize fixed framing
+# overhead, so they get a relaxed bar.
+MIN_FULL_TEST_LOT_RATIO = 10.0
+MIN_QUICK_TEST_LOT_RATIO = 5.0
+
+
+def check(path: Path, expect_quick: bool = False) -> list[str]:
+    """Return a list of schema violations (empty = valid)."""
+    errors: list[str] = []
+    try:
+        record = json.loads(path.read_text())
+    except FileNotFoundError:
+        return [f"{path}: missing (did the benchmark run?)"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON ({exc})"]
+
+    section = record.get("payload_bytes")
+    if not isinstance(section, dict):
+        return [f"missing payload_bytes section (did the payload bench run?)"]
+
+    for key in ("quick", "workload", "stages"):
+        if key not in section:
+            errors.append(f"payload_bytes missing key {key!r}")
+    if errors:
+        return errors
+
+    if bool(section["quick"]) != expect_quick:
+        expected = "quick" if expect_quick else "full"
+        errors.append(
+            f"payload_bytes is not a {expected} record "
+            f"(quick={section['quick']!r})"
+        )
+    missing = REQUIRED_WORKLOAD_KEYS - set(section["workload"])
+    if missing:
+        errors.append(f"payload_bytes workload missing keys {sorted(missing)}")
+
+    stages = section["stages"]
+    if not isinstance(stages, list) or not stages:
+        return errors + ["payload_bytes stages must be a non-empty list"]
+    seen = []
+    for entry in stages:
+        if not isinstance(entry, dict) or REQUIRED_STAGE_KEYS - set(entry):
+            errors.append(
+                f"stage entry {entry!r} missing {sorted(REQUIRED_STAGE_KEYS)}"
+            )
+            continue
+        seen.append(entry["stage"])
+        for field in ("object_bytes", "soa_bytes", "ratio"):
+            value = entry[field]
+            if not isinstance(value, (int, float)) or value <= 0:
+                errors.append(f"stage {entry['stage']!r}: {field} must be > 0")
+    for required_stage in ("test_lot", "fault_sim"):
+        if required_stage not in seen:
+            errors.append(f"missing required stage {required_stage!r}")
+    min_ratio = (
+        MIN_QUICK_TEST_LOT_RATIO if expect_quick else MIN_FULL_TEST_LOT_RATIO
+    )
+    for entry in stages:
+        if entry.get("stage") == "test_lot" and isinstance(
+            entry.get("ratio"), (int, float)
+        ):
+            if entry["ratio"] < min_ratio:
+                errors.append(
+                    f"test_lot payload ratio {entry['ratio']:.2f}x below the "
+                    f"{min_ratio:.1f}x bar for a "
+                    f"{'quick' if expect_quick else 'full'} record — "
+                    f"wire-format regression"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    expect_quick = "--quick" in argv
+    argv = [arg for arg in argv if arg != "--quick"]
+    if len(argv) != 1:
+        print(__doc__)
+        return 2
+    errors = check(Path(argv[0]), expect_quick=expect_quick)
+    if errors:
+        for message in errors:
+            print(f"BENCH_parallel payload_bytes: {message}")
+        return 1
+    print(f"{argv[0]}: payload_bytes OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
