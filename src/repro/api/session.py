@@ -110,6 +110,12 @@ class Session:
         LRU-evicted.  The most recently used entry is never evicted, so
         a single context larger than the budget still works (and is
         evicted as soon as something else displaces it).
+    dispatch_timeout:
+        Watchdog deadline in seconds for each pool dispatch — the
+        defense against *hung* (not dead) workers; see
+        :class:`~repro.runtime.WorkerTimeoutError`.  ``None`` (default)
+        reads ``REPRO_DISPATCH_TIMEOUT``; unset/<=0 disables the
+        watchdog.
 
     Contracts
     ---------
@@ -137,6 +143,7 @@ class Session:
         workers: int | str = "auto",
         max_contexts: int | None = None,
         max_bytes: int | None = None,
+        dispatch_timeout: float | None = None,
     ):
         if engine not in ENGINES:
             raise ValueError(
@@ -151,7 +158,11 @@ class Session:
         self.num_workers = resolve_workers(workers)
         self.max_contexts = max_contexts
         self.max_bytes = max_bytes
-        self._executor = ParallelExecutor(self.num_workers, persistent=True)
+        self._executor = ParallelExecutor(
+            self.num_workers,
+            persistent=True,
+            dispatch_timeout=dispatch_timeout,
+        )
         # One LRU over both cache kinds: keys are ("engine", netlist)
         # and ("tester", id(program)); most recently used at the end.
         self._contexts: OrderedDict[tuple, _CacheEntry] = OrderedDict()
@@ -309,11 +320,27 @@ class Session:
             when ``max_bytes`` is set; 0 otherwise).
         ``worker_recoveries``
             Crashed-worker re-install/retry cycles the executor healed.
+        ``retries`` / ``timeouts`` / ``quarantined_shards``
+            Resilience counters: dispatches retried after a crash or
+            watchdog timeout, watchdog deadline expirations (hung
+            workers), and poison-shard fingerprints currently
+            quarantined (see
+            :class:`~repro.runtime.PoisonShardError`).
+        ``segments_reaped``
+            Orphaned worker shared-memory segments unlinked during
+            crash-recovery pool teardowns (results a failed dispatch
+            discarded before the coordinator could adopt them).
+        ``chaos_injections``
+            Faults the active :mod:`repro.chaos` schedule has fired
+            across every process (0 when no schedule is installed).
         ``ipc_bytes_out`` / ``ipc_bytes_in``
             Payload bytes the session's pool shipped to / received from
             its workers (wire-format frames: contexts, shard tasks,
             shard results).
         """
+        from repro import chaos
+
+        schedule = chaos.active_schedule()
         kinds = [entry.kind for entry in self._contexts.values()]
         return {
             "cached_netlists": kinds.count("engine"),
@@ -325,6 +352,13 @@ class Session:
             "evictions": self._evictions,
             "resident_bytes": self._resident_bytes,
             "worker_recoveries": self._executor.worker_recoveries,
+            "retries": self._executor.dispatch_retries,
+            "timeouts": self._executor.timeouts,
+            "quarantined_shards": self._executor.quarantined_shards,
+            "segments_reaped": self._executor.segments_reaped,
+            "chaos_injections": (
+                0 if schedule is None else schedule.total_injections()
+            ),
             "ipc_bytes_out": self._executor.ipc_bytes_out,
             "ipc_bytes_in": self._executor.ipc_bytes_in,
         }

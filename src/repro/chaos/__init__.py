@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the serving stack.
+
+See :mod:`repro.chaos.harness` for the model: named injection points
+threaded through executor/wire/server/client call :func:`fire`, and an
+installed :class:`ChaosSchedule` (object or ``REPRO_CHAOS`` env spec)
+decides deterministically which calls fail, hang, or die — with firing
+budgets that survive worker death via atomic marker files.
+"""
+
+from repro.chaos.harness import (
+    ACTIONS,
+    ENV_VAR,
+    POINTS,
+    ChaosSchedule,
+    Fault,
+    InjectedFault,
+    active,
+    active_schedule,
+    enabled,
+    fire,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "ACTIONS",
+    "ENV_VAR",
+    "POINTS",
+    "ChaosSchedule",
+    "Fault",
+    "InjectedFault",
+    "active",
+    "active_schedule",
+    "enabled",
+    "fire",
+    "install",
+    "uninstall",
+]

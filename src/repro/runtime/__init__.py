@@ -68,16 +68,22 @@ CPU count.
 
 from repro.runtime.executor import (
     ParallelExecutor,
+    PoisonShardError,
     WorkerCrashError,
+    WorkerTimeoutError,
     new_context_token,
     resolve_workers,
+    shard_fingerprint,
 )
 from repro.runtime.sharding import ShardPlan
 
 __all__ = [
     "ParallelExecutor",
+    "PoisonShardError",
     "ShardPlan",
     "WorkerCrashError",
+    "WorkerTimeoutError",
     "new_context_token",
     "resolve_workers",
+    "shard_fingerprint",
 ]

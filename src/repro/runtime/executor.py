@@ -59,18 +59,25 @@ rather than left to garbage collection.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import multiprocessing
 import os
+import pickle
+import time
 from typing import Any, Callable, Hashable, Iterable, TypeVar
 
+from repro import chaos
 from repro.runtime import wire
 
 __all__ = [
     "ParallelExecutor",
+    "PoisonShardError",
     "WorkerCrashError",
+    "WorkerTimeoutError",
     "new_context_token",
     "resolve_workers",
+    "shard_fingerprint",
 ]
 
 TaskT = TypeVar("TaskT")
@@ -106,6 +113,10 @@ _MAX_RECOVERIES_PER_CALL = 2
 # How often an in-flight persistent-pool dispatch checks worker liveness.
 _POOL_POLL_SECONDS = 0.5
 
+# Environment default for the per-dispatch watchdog deadline (seconds);
+# unset or <= 0 disables the watchdog (the historical behavior).
+_DISPATCH_TIMEOUT_ENV = "REPRO_DISPATCH_TIMEOUT"
+
 
 class WorkerCrashError(RuntimeError):
     """A pool worker died and its respawned replacement lacks a context.
@@ -132,6 +143,73 @@ class WorkerCrashError(RuntimeError):
     def __reduce__(self):
         # Keep token/shard_index across the worker->parent pickle hop.
         return (type(self), (self.args[0], self.token, self.shard_index))
+
+
+class WorkerTimeoutError(WorkerCrashError):
+    """A persistent-pool dispatch exceeded its watchdog deadline.
+
+    The liveness poll only catches *death*; a worker that is SIGSTOPped,
+    livelocked, or stuck in a syscall is alive-but-hung and would block
+    a dispatch forever.  With ``dispatch_timeout`` set (constructor
+    argument or ``REPRO_DISPATCH_TIMEOUT``), a dispatch that outlives
+    the deadline raises this instead; the executor force-rebuilds the
+    pool (a hung worker passes the pid liveness check, so the normal
+    heal would keep it) and retries.  Subclasses
+    :class:`WorkerCrashError` so existing recovery paths treat a hang
+    exactly like a crash.
+    """
+
+    def __init__(self, message: str, token=None, shard_index=None, timeout=None):
+        super().__init__(message, token=token, shard_index=shard_index)
+        self.timeout = timeout
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.token, self.shard_index, self.timeout),
+        )
+
+
+class PoisonShardError(RuntimeError):
+    """One specific shard payload reproducibly kills its worker.
+
+    When a :meth:`ParallelExecutor.map_shards` call exhausts its crash-
+    recovery budget, the executor re-dispatches the shards one at a time
+    to find the killer.  A shard that crashes its worker even in
+    isolation is *poison* — retrying it would burn the whole recovery
+    budget on every future call — so its payload fingerprint
+    (:func:`shard_fingerprint`) is quarantined: this error is raised
+    now, and again immediately (no dispatch, no crash) whenever a
+    quarantined fingerprint reappears in a task list.
+
+    ``fingerprint``
+        Hex digest of the poison shard's payload — stable across
+        processes, so logs from different runs identify the same shard.
+    ``token`` / ``shard_index``
+        Where in the failing call the shard sat.
+    """
+
+    def __init__(self, message: str, token=None, shard_index=None, fingerprint=None):
+        super().__init__(message)
+        self.token = token
+        self.shard_index = shard_index
+        self.fingerprint = fingerprint
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.token, self.shard_index, self.fingerprint),
+        )
+
+
+def shard_fingerprint(task: Any) -> str:
+    """A short, process-stable digest of one shard task's payload.
+
+    SHA-256 over the task's pickle (protocol 5, buffers in-band so the
+    array contents are covered), truncated for log friendliness.  This
+    is the identity under which poison shards are quarantined.
+    """
+    return hashlib.sha256(pickle.dumps(task, protocol=5)).hexdigest()[:16]
 
 
 def new_context_token() -> tuple[str, int]:
@@ -231,11 +309,21 @@ def _install_context(payload) -> None:
     the context exactly once per token.
     """
     token, fn, context = payload
-    if isinstance(context, wire.WirePayload):
-        _WORKER_IPC["bytes_in"] += context.nbytes
-        context, opened = wire.unpack_payload(context)
-        wire.abandon_segments(opened)
-    _WORKER_CONTEXTS[token] = (fn, context)  # type: ignore[index]
+    try:
+        if isinstance(context, wire.WirePayload):
+            _WORKER_IPC["bytes_in"] += context.nbytes
+            context, opened = wire.unpack_payload(context)
+            wire.abandon_segments(opened)
+        _WORKER_CONTEXTS[token] = (fn, context)  # type: ignore[index]
+    except BaseException as exc:
+        # The other workers are already heading for the barrier; bailing
+        # out before waiting would strand them there until the broadcast
+        # times out the hard way.  Wait first, then report the failure
+        # as a worker crash so the coordinator re-ships and retries.
+        _broadcast_barrier_wait()
+        if isinstance(exc, wire.ShmAttachError):
+            raise WorkerCrashError(str(exc), token=token) from exc
+        raise
     _broadcast_barrier_wait()
 
 
@@ -285,7 +373,7 @@ def _force_release(lock) -> None:
         pass
 
 
-def _destroy_pool(pool) -> None:
+def _destroy_pool(pool) -> int:
     """Tear down a (possibly crash-poisoned) persistent pool, guaranteed.
 
     ``Pool.terminate`` deadlocks if a worker was killed while holding a
@@ -293,7 +381,12 @@ def _destroy_pool(pool) -> None:
     task-queue read lock forever).  So: kill the workers first, force-
     release the queue locks a dead worker may have held, then run the
     normal teardown, which can now drain and join cleanly.
+
+    Once every worker is dead, any shared-memory segment still named
+    under a worker pid is an orphan (results of a failed dispatch the
+    coordinator never adopted) — reap them; returns the reap count.
     """
+    pids = [proc.pid for proc in pool._pool]
     for proc in pool._pool:
         if proc.is_alive():
             proc.terminate()
@@ -306,10 +399,15 @@ def _destroy_pool(pool) -> None:
     _force_release(pool._outqueue._wlock)
     pool.terminate()
     pool.join()
+    return wire.reap_worker_segments(pids)
 
 
 def _run_token_task(payload):
     token, index, task = payload
+    # The chaos hook for worker-side faults (kill/hang/fail at a given
+    # shard index).  Only the persistent token path is instrumented: a
+    # kill on the serial path would take down the coordinator itself.
+    chaos.fire("executor.shard", index=index)
     state = _WORKER_CONTEXTS.get(token)  # type: ignore[union-attr]
     if state is None:
         # Only reachable when multiprocessing silently respawned a
@@ -323,9 +421,15 @@ def _run_token_task(payload):
             shard_index=index,
         )
     fn, context = state
-    if isinstance(task, wire.WirePayload):
-        return _run_wire_task(fn, context, task)
-    return fn(context, task)
+    try:
+        if isinstance(task, wire.WirePayload):
+            return _run_wire_task(fn, context, task)
+        return fn(context, task)
+    except wire.ShmAttachError as exc:
+        # A task segment vanished before this worker mapped it (creator
+        # crash, or injected): the payload is unusable here but a repack
+        # will succeed, so surface it as a crash for the retry loop.
+        raise WorkerCrashError(str(exc), token=token, shard_index=index) from exc
 
 
 class ParallelExecutor:
@@ -361,9 +465,22 @@ class ParallelExecutor:
         workers: int | str | None = 1,
         persistent: bool = False,
         wire_format: bool = True,
+        dispatch_timeout: float | None = None,
     ):
         self.num_workers = resolve_workers(workers)
         self.persistent = bool(persistent)
+        # Watchdog deadline per persistent-pool dispatch (seconds); the
+        # defense against hung — not dead — workers.  Defaults from
+        # REPRO_DISPATCH_TIMEOUT; unset/<=0 disables the watchdog.
+        if dispatch_timeout is None:
+            env = os.environ.get(_DISPATCH_TIMEOUT_ENV)
+            if env:
+                dispatch_timeout = float(env)
+        self.dispatch_timeout = (
+            float(dispatch_timeout)
+            if dispatch_timeout is not None and dispatch_timeout > 0
+            else None
+        )
         # Wire-frame every parallel payload (tasks, results, context
         # broadcasts) through repro.runtime.wire: pickle-5 out-of-band
         # buffers, shared memory above SHM_MIN_BYTES, and byte
@@ -383,6 +500,10 @@ class ParallelExecutor:
         self._contexts_shipped = 0
         self._contexts_evicted = 0
         self._worker_recoveries = 0
+        self._dispatch_retries = 0
+        self._timeouts = 0
+        self._segments_reaped = 0
+        self._quarantined: dict[str, dict] = {}
         self._ipc_bytes_out = 0
         self._ipc_bytes_in = 0
         self._ipc_by_token: dict[Hashable, list[int]] = {}
@@ -416,6 +537,30 @@ class ParallelExecutor:
     def worker_recoveries(self) -> int:
         """How many crashed-worker re-install/retry cycles have run."""
         return self._worker_recoveries
+
+    @property
+    def dispatch_retries(self) -> int:
+        """How many dispatches were retried after a crash or timeout."""
+        return self._dispatch_retries
+
+    @property
+    def timeouts(self) -> int:
+        """How many dispatches hit the watchdog deadline (hung worker)."""
+        return self._timeouts
+
+    @property
+    def quarantined_shards(self) -> int:
+        """How many poison-shard fingerprints are currently quarantined."""
+        return len(self._quarantined)
+
+    @property
+    def segments_reaped(self) -> int:
+        """Orphaned worker shm segments unlinked during pool teardowns."""
+        return self._segments_reaped
+
+    def quarantine_info(self) -> dict:
+        """Fingerprint -> details for every quarantined poison shard."""
+        return {fp: dict(info) for fp, info in self._quarantined.items()}
 
     @property
     def installed_tokens(self) -> frozenset:
@@ -504,14 +649,23 @@ class ParallelExecutor:
             p.is_alive() and p.pid in self._pool_pids for p in workers
         ):
             return
-        _destroy_pool(pool)
+        self._segments_reaped += _destroy_pool(pool)
         self._pool = None
         self._pool_pids = frozenset()
         self._installed.clear()
         self._worker_recoveries += 1
 
+    def _force_rebuild(self) -> None:
+        """Tear the pool down unconditionally (hung workers pass the
+        pid liveness check, so :meth:`_heal_pool` would keep them)."""
+        if self._pool is not None:
+            self._segments_reaped += _destroy_pool(self._pool)
+            self._pool = None
+            self._pool_pids = frozenset()
+        self._installed.clear()
+
     def _pool_map(self, fn: Callable, payloads: list, chunksize=None) -> list:
-        """Dispatch on the persistent pool, watching worker liveness.
+        """Dispatch on the persistent pool, watching liveness *and* time.
 
         A plain ``pool.map`` blocks forever if a worker dies with a task
         (or mid-barrier), so dispatch is asynchronous and polled: every
@@ -519,15 +673,29 @@ class ParallelExecutor:
         worker processes against the pids it was built with, and a
         death or respawn raises :class:`WorkerCrashError` immediately —
         the recovery loop in :meth:`map_shards` then rebuilds the pool
-        and retries.
+        and retries.  With ``dispatch_timeout`` set, a dispatch that
+        outlives its deadline raises :class:`WorkerTimeoutError`: the
+        second failure mode the liveness poll cannot see is a worker
+        that is *hung* (SIGSTOPped, livelocked) rather than dead — it
+        keeps passing every pid check while the call never finishes.
         """
         pool = self._ensure_pool()
         kwargs = {} if chunksize is None else {"chunksize": chunksize}
+        deadline = None
+        if self.dispatch_timeout is not None:
+            deadline = time.monotonic() + self.dispatch_timeout
         result = pool.map_async(fn, payloads, **kwargs)
         while True:
             result.wait(_POOL_POLL_SECONDS)
             if result.ready():
                 return result.get()
+            if deadline is not None and time.monotonic() > deadline:
+                raise WorkerTimeoutError(
+                    f"pool dispatch exceeded its "
+                    f"{self.dispatch_timeout:g}s watchdog deadline "
+                    f"(a worker is hung, not dead)",
+                    timeout=self.dispatch_timeout,
+                )
             workers = list(pool._pool)
             if len(workers) != self.num_workers or any(
                 not p.is_alive() or p.pid not in self._pool_pids
@@ -574,6 +742,20 @@ class ParallelExecutor:
         tasks = list(tasks)
         if not tasks:
             return []
+        if self._quarantined:
+            # Fingerprinting costs a pickle per task, so the gate only
+            # runs once a poison shard actually exists.
+            for i, task in enumerate(tasks):
+                fingerprint = shard_fingerprint(task)
+                if fingerprint in self._quarantined:
+                    raise PoisonShardError(
+                        f"shard {i} matches quarantined poison fingerprint "
+                        f"{fingerprint} (first seen at "
+                        f"{self._quarantined[fingerprint]})",
+                        token=token,
+                        shard_index=i,
+                        fingerprint=fingerprint,
+                    )
         if min(self.num_workers, len(tasks)) == 1:
             return [fn(context, task) for task in tasks]
         if not self.persistent:
@@ -625,22 +807,118 @@ class ParallelExecutor:
                     payloads = [(token, i, task) for i, task in enumerate(tasks)]
                 raw = self._pool_map(_run_token_task, payloads)
                 return self._decode_results(token, raw)
-            except WorkerCrashError:
-                # A worker died in flight (coordinator liveness poll) or
-                # a respawn slipped past the pid check and lacked the
-                # context (worker-side signal); heal by rebuilding/
-                # re-broadcasting and retrying the whole (pure) call.
-                # Shipped bytes stay counted — they really traveled.
-                self._installed.discard(token)
+            except WorkerTimeoutError:
+                # A worker is hung, not dead: it passes every liveness
+                # check, so the pool must be torn down by force before
+                # the (pure) call is retried.
+                self._timeouts += 1
+                self._force_rebuild()
                 recoveries += 1
                 if recoveries > _MAX_RECOVERIES_PER_CALL:
                     raise
+                self._dispatch_retries += 1
+                self._worker_recoveries += 1
+            except WorkerCrashError:
+                # A worker died in flight (coordinator liveness poll) or
+                # raised the crash-equivalent signal while alive (missing
+                # context after a respawn, a vanished task segment);
+                # rebuild and retry the whole (pure) call.  The teardown
+                # is unconditional even when every worker looks alive:
+                # a failed dispatch can strand result segments from
+                # workers whose results the failed map discarded, and
+                # the teardown's orphan reap is only race-free once no
+                # worker is left running.  Shipped bytes stay counted —
+                # they really traveled.
+                self._force_rebuild()
+                recoveries += 1
+                if recoveries > _MAX_RECOVERIES_PER_CALL:
+                    # The recovery budget is spent on crashes that keep
+                    # recurring — the signature of one poison shard, not
+                    # of environmental flakiness.  Isolate: re-dispatch
+                    # the shards one at a time, quarantine the one that
+                    # reproducibly kills its worker (PoisonShardError),
+                    # or — if every shard survives isolation — return
+                    # the results that probing just computed.
+                    wire.release_segments(owned)
+                    owned = []
+                    return self._isolate_poison(fn, context, tasks, token)
+                self._dispatch_retries += 1
                 self._worker_recoveries += 1
             finally:
                 # Release this attempt's sender-owned segments: every
                 # receiver that matters has mapped them (success) or the
                 # pool is about to be rebuilt (crash retry repacks).
                 wire.release_segments(owned)
+
+    def _dispatch_probe(self, fn, context, task, token, index):
+        """Run exactly one shard on a freshly healed pool, no retries.
+
+        The isolation primitive: the task keeps its *original* shard
+        index so index-keyed behavior (including injected faults)
+        reproduces exactly.  A crash force-rebuilds the pool before
+        propagating, so the next probe starts clean.
+        """
+        self._heal_pool()
+        owned: list = []
+        try:
+            if token not in self._installed:
+                ctx_payload = context
+                if self.wire_format:
+                    ctx_payload, ctx_owned = wire.pack_payload(context)
+                    owned.extend(ctx_owned)
+                    self._count_ipc(token, out=ctx_payload.nbytes)
+                self._broadcast(_install_context, (token, fn, ctx_payload))
+                self._installed.add(token)
+                self._contexts_shipped += 1
+            if self.wire_format:
+                envelope, task_owned = wire.pack_payload(task)
+                owned.extend(task_owned)
+                self._count_ipc(token, out=envelope.nbytes)
+                payload = (token, index, envelope)
+            else:
+                payload = (token, index, task)
+            raw = self._pool_map(_run_token_task, [payload])
+            return self._decode_results(token, raw)[0]
+        except WorkerCrashError:
+            self._force_rebuild()
+            raise
+        finally:
+            wire.release_segments(owned)
+
+    def _isolate_poison(self, fn, context, tasks, token) -> list:
+        """Find which shard keeps killing workers; quarantine or recover.
+
+        Called when a call's recovery budget is exhausted.  Each shard
+        is probed alone: the one that still crashes its worker in
+        isolation is quarantined by payload fingerprint and reported as
+        :class:`PoisonShardError`.  If every shard survives isolation
+        (the crashes were environmental, not payload-bound), the probe
+        results themselves are the answer — the call degrades to
+        shard-at-a-time execution instead of failing.
+        """
+        results = []
+        for index, task in enumerate(tasks):
+            try:
+                results.append(
+                    self._dispatch_probe(fn, context, task, token, index)
+                )
+            except WorkerTimeoutError:
+                raise
+            except WorkerCrashError as exc:
+                fingerprint = shard_fingerprint(task)
+                self._quarantined[fingerprint] = {
+                    "token": repr(token),
+                    "shard_index": index,
+                }
+                raise PoisonShardError(
+                    f"shard {index} reproducibly kills its worker even in "
+                    f"isolation; quarantined under fingerprint "
+                    f"{fingerprint}",
+                    token=token,
+                    shard_index=index,
+                    fingerprint=fingerprint,
+                ) from exc
+        return results
 
     def evict(self, token: Hashable) -> bool:
         """Drop ``token``'s context from the coordinator *and* every worker.
@@ -692,7 +970,7 @@ class ParallelExecutor:
         """Tear down the pool and mark the executor unusable (idempotent)."""
         self._closed = True
         if self._pool is not None:
-            _destroy_pool(self._pool)
+            self._segments_reaped += _destroy_pool(self._pool)
             self._pool = None
             self._pool_pids = frozenset()
         self._installed.clear()

@@ -42,13 +42,17 @@ read-only, which every worker in this codebase does.
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
 from dataclasses import dataclass
 from typing import Any
 
+from repro import chaos
+
 __all__ = [
     "SHM_MIN_BYTES",
+    "ShmAttachError",
     "WirePayload",
     "pack_payload",
     "unpack_payload",
@@ -56,6 +60,7 @@ __all__ = [
     "release_segments",
     "adopt_segments",
     "abandon_segments",
+    "reap_worker_segments",
 ]
 
 # Buffers at or above this many bytes travel via shared memory; smaller
@@ -64,6 +69,20 @@ SHM_MIN_BYTES = int(os.environ.get("REPRO_WIRE_SHM_MIN_BYTES", 1 << 20))
 
 # Probed once: whether this platform can create shared-memory segments.
 _SHM_USABLE: bool | None = None
+
+# Serial for this process's segment names (see _create_segment).
+_SEGMENT_COUNTER = itertools.count()
+
+
+class ShmAttachError(RuntimeError):
+    """A shared-memory segment named in a payload could not be attached.
+
+    Raised by :func:`unpack_payload` when a referenced segment is gone
+    (its creator crashed between pack and dispatch, or the name was
+    reaped) or when the chaos harness injects an attach failure.  The
+    executor treats it exactly like a worker crash: the dispatch is
+    retried with a freshly packed payload.
+    """
 
 
 def _shm_usable() -> bool:
@@ -79,6 +98,28 @@ def _shm_usable() -> bool:
         except Exception:
             _SHM_USABLE = False
     return _SHM_USABLE
+
+
+def _create_segment(size: int):
+    """Create a fresh segment under this package's ``repro_*`` namespace.
+
+    Explicit names (pid + per-process serial + random suffix, retried on
+    the astronomically unlikely collision) instead of the stdlib's
+    ``psm_*`` defaults, so ``/dev/shm`` hygiene is auditable: anything
+    matching ``repro_*`` after a run is ours and is a leak — the
+    invariant the test suite's session fixture enforces.
+    """
+    from multiprocessing import shared_memory
+
+    while True:
+        name = (
+            f"repro_{os.getpid()}_{next(_SEGMENT_COUNTER)}_"
+            f"{os.urandom(4).hex()}"
+        )
+        try:
+            return shared_memory.SharedMemory(name=name, create=True, size=size)
+        except FileExistsError:
+            continue
 
 
 def _untrack(shm) -> None:
@@ -155,9 +196,7 @@ def pack_payload(obj: Any, shm_min_bytes: int | None = None):
         size = raw.nbytes
         total += size
         if use_shm and size >= threshold:
-            from multiprocessing import shared_memory
-
-            segment = shared_memory.SharedMemory(create=True, size=size)
+            segment = _create_segment(size)
             segment.buf[:size] = raw
             owned.append(segment)
             buffers.append(_SegmentRef(segment.name, size))
@@ -183,7 +222,14 @@ def unpack_payload(payload: WirePayload):
         if isinstance(entry, _SegmentRef):
             from multiprocessing import shared_memory
 
-            segment = shared_memory.SharedMemory(name=entry.name)
+            try:
+                chaos.fire("wire.shm_attach")
+                segment = shared_memory.SharedMemory(name=entry.name)
+            except (chaos.InjectedFault, FileNotFoundError) as exc:
+                raise ShmAttachError(
+                    f"cannot attach shared-memory segment {entry.name!r}: "
+                    f"{exc}"
+                ) from exc
             _untrack(segment)
             opened.append(segment)
             bufs.append(segment.buf[: entry.nbytes])
@@ -253,6 +299,53 @@ def adopt_segments(segments) -> None:
         except Exception:
             _untrack(segment)
     abandon_segments(segments)
+
+
+def reap_worker_segments(pids) -> int:
+    """Unlink orphaned ``repro_*`` segments created by dead pool workers.
+
+    A dispatch that fails after some workers already returned can strand
+    their *result* segments: the names ride inside result payloads the
+    failed ``pool.map`` discarded, so the coordinator never learns them
+    to adopt.  But segment names embed the creator's pid, so once a
+    pool's workers are dead (torn down before any retry), every segment
+    still named under their pids is such an orphan — reap it.  Only
+    callable on platforms with a listable shm directory (``/dev/shm``);
+    elsewhere the resource tracker still cleans up at process exit.
+
+    Returns the number of segments reaped.
+    """
+    pids = list(pids)
+    if not pids:
+        return 0
+    prefixes = tuple(f"repro_{pid}_" for pid in pids)
+    try:
+        names = os.listdir("/dev/shm")
+    except OSError:
+        return 0
+    reaped = 0
+    for name in names:
+        if not name.startswith(prefixes):
+            continue
+        from multiprocessing import shared_memory
+
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except Exception:
+            continue  # raced with the tracker, or vanished — already gone
+        try:
+            segment.close()
+        except Exception:
+            pass
+        try:
+            # unlink() also unregisters the name from the shared
+            # resource_tracker, retiring the dead creator's entry (the
+            # attach above re-registered it, so the books stay balanced).
+            segment.unlink()
+            reaped += 1
+        except Exception:
+            _untrack(segment)
+    return reaped
 
 
 def abandon_segments(segments) -> None:

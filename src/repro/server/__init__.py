@@ -28,6 +28,8 @@ policy.
 from repro.server.client import Client, parse_address
 from repro.server.protocol import (
     PROTOCOL_VERSION,
+    ConnectionLost,
+    FrameDecodeError,
     ProtocolError,
     RemoteError,
     netlist_fingerprint,
@@ -36,6 +38,8 @@ from repro.server.server import LotServer
 
 __all__ = [
     "Client",
+    "ConnectionLost",
+    "FrameDecodeError",
     "LotServer",
     "PROTOCOL_VERSION",
     "ProtocolError",

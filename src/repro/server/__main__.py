@@ -1,8 +1,10 @@
 """Console entry point: ``repro-server`` (or ``python -m repro.server``).
 
 Binds a :class:`~repro.server.server.LotServer` and serves until a
-client sends ``shutdown`` or the process receives SIGINT.  On startup
-it prints exactly one line::
+client sends ``shutdown`` or the process receives SIGINT/SIGTERM — both
+of which drain gracefully: stop accepting, finish in-flight requests up
+to ``--drain-timeout``, then exit 0 with a one-line summary.  On
+startup it prints exactly one line::
 
     repro-server listening on <host>:<port>
 
@@ -28,6 +30,16 @@ def _positive_int(value: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
     if number < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {number}")
+    return number
+
+
+def _positive_float(value: str) -> float:
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}") from None
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {number}")
     return number
 
 
@@ -85,6 +97,47 @@ def main(argv: list[str] | None = None) -> int:
         help="retained lot/program handles per kind (default: %(default)s)",
     )
     parser.add_argument(
+        "--max-queue-depth",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-netlist backpressure high-water mark: requests past N "
+            "pending answer 'overloaded' with a retry_after hint "
+            "(default: unbounded)"
+        ),
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-request server deadline; a request past it answers "
+            "'deadline-exceeded' (default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "graceful-shutdown window for in-flight requests "
+            "(default: $REPRO_DRAIN_TIMEOUT or 10)"
+        ),
+    )
+    parser.add_argument(
+        "--dispatch-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "pool watchdog deadline against hung workers "
+            "(default: $REPRO_DISPATCH_TIMEOUT or off)"
+        ),
+    )
+    parser.add_argument(
         "--debug",
         action="store_true",
         help="log every request (op, frame format, payload bytes in/out)",
@@ -106,11 +159,23 @@ def main(argv: list[str] | None = None) -> int:
         max_contexts=args.max_contexts,
         max_bytes=args.max_bytes,
         max_handles=args.max_handles,
+        max_queue_depth=args.max_queue_depth,
+        request_timeout=args.request_timeout,
+        drain_timeout=args.drain_timeout,
+        dispatch_timeout=args.dispatch_timeout,
     )
     try:
+        # SIGINT/SIGTERM are handled inside the event loop (graceful
+        # drain); the KeyboardInterrupt fallback only fires on platforms
+        # where the loop could not register signal handlers.
         server.run(verbose=True)
     except KeyboardInterrupt:
         pass
+    print(
+        f"repro-server: drained {server.drained_requests} in-flight "
+        f"request(s)",
+        flush=True,
+    )
     return 0
 
 

@@ -18,32 +18,65 @@ remembered by their server handle: passing them back to :meth:`test`
 sends the small handle, not the pickled object.  Objects the client
 built locally are uploaded transparently instead.
 
-Server-reported failures raise
-:class:`~repro.server.protocol.RemoteError` with the protocol error
-code; transport problems raise ``OSError`` /
-:class:`~repro.server.protocol.ProtocolError`.
+Failure handling
+----------------
+
+The client treats the connection as disposable and the *request* as the
+durable unit:
+
+* Every request carries a client id (``cid``) plus a request id that is
+  allocated **once** per logical call — a retry resends the same pair,
+  so the server's idempotent replay cache can answer a request whose
+  first reply died on the wire without re-running the pipeline work.
+* Any transport failure — reset, broken pipe, a reply that never
+  decodes, or a ``socket.timeout`` **mid-frame** (after which leftover
+  reply bytes would corrupt the next request: the socket is
+  desynchronized, not slow) — marks the connection dead and raises the
+  typed :class:`~repro.server.protocol.ConnectionLost`.  With
+  ``reconnect=True`` (default) the client transparently reconnects with
+  exponential backoff + jitter, re-handshakes, and replays the request;
+  callers see ``ConnectionLost`` only once the retry budget is spent.
+* ``ERR_OVERLOADED`` replies are retried after the server's
+  ``retry_after`` hint (jittered); every other server error raises
+  :class:`~repro.server.protocol.RemoteError` immediately.
+* After a *server restart*, cached netlist ids and handles are stale;
+  pipeline calls catch ``unknown-netlist`` / ``unknown-handle``, drop
+  the caches, re-register / re-upload from the local objects, and retry
+  once — so a bounced server is invisible to callers.
+
+Everything the resilience layer does is visible in
+:attr:`Client.counters` (``retries``, ``reconnects``, ``timeouts``,
+``overload_rejections``, ``connection_losses``).
 """
 
 from __future__ import annotations
 
+import random
 import socket
-from typing import Any, Mapping, Sequence
+import time
+import uuid
+from typing import Any, Callable, Mapping, Sequence
 
+from repro import chaos
 from repro.circuit.netlist import Netlist
 from repro.manufacturing.lot import FabricatedLot
 from repro.manufacturing.process import ProcessRecipe
 from repro.manufacturing.wafer import FabricatedChip
 from repro.server.protocol import (
+    ERR_OVERLOADED,
+    ERR_UNKNOWN_HANDLE,
+    ERR_UNKNOWN_NETLIST,
+    ConnectionLost,
     LotArrays,
     ProtocolError,
     RemoteError,
     WireObj,
+    encode_frame,
     lot_from_arrays,
     netlist_fingerprint,
     pack_lot,
     pack_obj,
     recv_frame,
-    send_frame,
     unpack_obj,
 )
 from repro.tester.program import TestProgram
@@ -85,20 +118,53 @@ class Client:
         Socket timeout in seconds for connect and each response
         (pipeline requests can be slow — fabricating a big lot *is* the
         request — so the default is generous).
+    retries:
+        How many times one logical request is retried after a
+        connection loss or an ``overloaded`` rejection before the error
+        propagates.  ``0`` disables retries.
+    backoff, backoff_max:
+        Exponential reconnect/retry backoff: the first retry waits
+        ~``backoff`` seconds, doubling per attempt up to
+        ``backoff_max``, with ±50% deterministic jitter (seeded by the
+        client id) so a herd of clients doesn't reconnect in lockstep.
+    reconnect:
+        Reconnect-and-replay on connection loss (default).  ``False``
+        turns any transport failure into an immediate
+        :class:`~repro.server.protocol.ConnectionLost`.
 
     Clients are context managers; they are not thread-safe (use one
     client per thread — the server multiplexes them).
     """
 
-    def __init__(self, address: str, timeout: float = 600.0):
-        kind, target = parse_address(address)
-        if kind == "unix":
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(target)
-        else:
-            self._sock = socket.create_connection(target, timeout=timeout)
+    def __init__(
+        self,
+        address: str,
+        timeout: float = 600.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+        reconnect: bool = True,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.address = address
+        self._timeout = timeout
+        self._retries = int(retries)
+        self._backoff = float(backoff)
+        self._backoff_max = float(backoff_max)
+        self._reconnect = bool(reconnect)
+        # The idempotency key: (cid, request id) names one logical
+        # request across however many sockets it takes to deliver it.
+        self._cid = uuid.uuid4().hex
+        self._rng = random.Random(self._cid)
+        self.counters = {
+            "retries": 0,
+            "reconnects": 0,
+            "timeouts": 0,
+            "overload_rejections": 0,
+            "connection_losses": 0,
+        }
+        self._sock: socket.socket | None = None
         self._next_id = 0
         self._closed = False
         # Local-object -> server-identity maps.  Values pin the objects
@@ -106,10 +172,8 @@ class Client:
         self._netlist_ids: dict[int, tuple[Netlist, str]] = {}
         self._netlists_by_fid: dict[str, Netlist] = {}
         self._handles: dict[int, tuple[Any, str]] = {}
-        # Handshake: a protocol-2 server gets binary frames (raw array
-        # payloads); anything older falls back to base64-in-JSON.
         self._binary = False
-        self._binary = self.ping().get("protocol", 1) >= 2
+        self._connect()
 
     # ----------------------------------------------------------- lifecycle
 
@@ -118,7 +182,7 @@ class Client:
             return
         self._closed = True
         try:
-            self._sock.close()
+            self._drop_socket()
         finally:
             self._netlist_ids.clear()
             self._handles.clear()
@@ -129,33 +193,186 @@ class Client:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # ------------------------------------------------------------- request
+    # ----------------------------------------------------------- transport
 
-    def request(self, op: str, **params) -> dict:
-        """Send one request and block for its response (low-level API)."""
-        if self._closed:
-            raise RuntimeError("client is closed")
+    def _drop_socket(self) -> None:
+        """Mark the connection dead; the next request must reconnect."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _connect(self) -> None:
+        """Open a fresh socket and run the format handshake."""
+        kind, target = parse_address(self.address)
+        if kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._timeout)
+            sock.connect(target)
+        else:
+            sock = socket.create_connection(target, timeout=self._timeout)
+        self._sock = sock
+        # Handshake: a protocol-2 server gets binary frames (raw array
+        # payloads); anything older falls back to base64-in-JSON.
+        self._binary = False
         self._next_id += 1
-        rid = self._next_id
-        send_frame(
-            self._sock,
-            {"id": rid, "op": op, "params": params},
+        pong = self._request_once(self._next_id, "ping", {})
+        self._binary = pong.get("protocol", 1) >= 2
+
+    def _sleep_backoff(self, attempt: int, hint: float | None = None) -> None:
+        """Wait before a retry: server hint or exponential, ±50% jitter."""
+        if hint is not None:
+            delay = hint
+        else:
+            delay = self._backoff * (2 ** max(0, attempt - 1))
+        delay = min(delay, self._backoff_max)
+        time.sleep(delay * (0.5 + self._rng.random()))
+
+    def _reestablish(self) -> None:
+        """Reconnect with exponential backoff; raises when exhausted.
+
+        A successful reconnect forgets the cached netlist ids (one cheap
+        idempotent ``register_netlist`` per circuit re-proves them on
+        whatever server is now answering); handles are kept — if the
+        server really restarted, the pipeline helpers fall back to
+        re-upload on ``unknown-handle``.
+        """
+        last: Exception | None = None
+        for attempt in range(self._retries + 1):
+            if attempt:
+                self._sleep_backoff(attempt)
+            try:
+                self._connect()
+            except (ConnectionLost, OSError) as exc:
+                last = exc
+                self._drop_socket()
+                continue
+            self.counters["reconnects"] += 1
+            self._netlist_ids.clear()
+            return
+        raise ConnectionLost(
+            f"could not reconnect to {self.address} after "
+            f"{self._retries + 1} attempts: {last}"
+        )
+
+    def _request_once(self, rid: int, op: str, params: dict) -> dict:
+        """One request/response round trip on the current socket.
+
+        Every transport failure — including a mid-frame timeout, after
+        which the stream is desynchronized (the next bytes belong to
+        the stale reply, not to any future request) — drops the socket
+        and raises :class:`ConnectionLost`; this socket is never reused.
+        """
+        sock = self._sock
+        assert sock is not None
+        payload = encode_frame(
+            {"id": rid, "cid": self._cid, "op": op, "params": params},
             binary=self._binary,
         )
-        response = recv_frame(self._sock)
+        try:
+            fault = chaos.fire("client.send")
+            if fault is not None and fault.action == "reset":
+                # Injected: ship a partial frame, then cut the line.
+                cut = (
+                    int(fault.value)
+                    if fault.value
+                    else max(1, len(payload) // 2)
+                )
+                sock.sendall(payload[:cut])
+                raise ConnectionLost("injected connection reset mid-request")
+            sock.sendall(payload)
+            response = recv_frame(sock)
+        except ConnectionLost:
+            self._drop_socket()
+            raise
+        except socket.timeout as exc:
+            self.counters["timeouts"] += 1
+            self._drop_socket()
+            raise ConnectionLost(
+                f"no reply within {self._timeout:g}s; dropping the "
+                f"desynchronized connection"
+            ) from exc
+        except ProtocolError as exc:
+            self._drop_socket()
+            raise ConnectionLost(f"undecodable reply: {exc}") from exc
+        except OSError as exc:
+            self._drop_socket()
+            raise ConnectionLost(str(exc)) from exc
         if response is None:
-            raise ProtocolError("server closed the connection")
+            self._drop_socket()
+            raise ConnectionLost("server closed the connection")
         if response.get("id") != rid:
-            raise ProtocolError(
-                f"response id {response.get('id')!r} does not match request id {rid}"
+            self._drop_socket()
+            raise ConnectionLost(
+                f"response id {response.get('id')!r} does not match request "
+                f"id {rid}; dropping the desynchronized connection"
             )
         if not response.get("ok"):
             error = response.get("error") or {}
             raise RemoteError(
-                error.get("code", "internal"), error.get("message", "unknown error")
+                error.get("code", "internal"),
+                error.get("message", "unknown error"),
+                retry_after=error.get("retry_after"),
             )
         result = response.get("result")
         return result if isinstance(result, dict) else {}
+
+    # ------------------------------------------------------------- request
+
+    def request(self, op: str, **params) -> dict:
+        """Send one request and block for its response (low-level API).
+
+        The request id is allocated once; connection losses reconnect
+        and *replay* it (the server's idempotent cache recognizes the
+        retry), and ``overloaded`` rejections back off per the server's
+        ``retry_after`` hint — up to the ``retries`` budget.
+        """
+        if self._closed:
+            raise RuntimeError("client is closed")
+        self._next_id += 1
+        rid = self._next_id
+        attempts = 0
+        while True:
+            if self._sock is None:
+                self._reestablish()
+            try:
+                return self._request_once(rid, op, params)
+            except ConnectionLost:
+                self.counters["connection_losses"] += 1
+                attempts += 1
+                if not self._reconnect or attempts > self._retries:
+                    raise
+                self.counters["retries"] += 1
+            except RemoteError as exc:
+                if exc.code != ERR_OVERLOADED:
+                    raise
+                self.counters["overload_rejections"] += 1
+                attempts += 1
+                if attempts > self._retries:
+                    raise
+                self.counters["retries"] += 1
+                self._sleep_backoff(attempts, hint=exc.retry_after)
+
+    def _pipeline_request(self, op: str, build_params: Callable[[], dict]) -> dict:
+        """A pipeline request that survives server-side state loss.
+
+        ``build_params`` is re-invoked on retry so the request is
+        rebuilt against *current* caches: if the server answers
+        ``unknown-netlist`` / ``unknown-handle`` (it restarted, or FIFO-
+        evicted our handles), the cached identities are dropped and the
+        same logical call re-registers / re-uploads from the local
+        objects — one extra round trip, identical results.
+        """
+        try:
+            return self.request(op, **build_params())
+        except RemoteError as exc:
+            if exc.code not in (ERR_UNKNOWN_NETLIST, ERR_UNKNOWN_HANDLE):
+                raise
+            self._netlist_ids.clear()
+            self._handles.clear()
+            return self.request(op, **build_params())
 
     def _pack(self, obj: Any) -> Any:
         """An object parameter in this connection's wire format."""
@@ -206,13 +423,15 @@ class Client:
         seed=None,
     ) -> FabricatedLot:
         """Fabricate a lot on the server; bit-identical to ``Session.fabricate``."""
-        result = self.request(
+        result = self._pipeline_request(
             "fabricate",
-            netlist_id=self.register(netlist),
-            recipe=self._pack(recipe),
-            num_chips=num_chips,
-            dies_per_wafer=dies_per_wafer,
-            seed=seed,
+            lambda: {
+                "netlist_id": self.register(netlist),
+                "recipe": self._pack(recipe),
+                "num_chips": num_chips,
+                "dies_per_wafer": dies_per_wafer,
+                "seed": seed,
+            },
         )
         lot = self._unpack(result["lot"])
         if isinstance(lot, LotArrays):
@@ -231,11 +450,13 @@ class Client:
         collapse: bool = True,
     ) -> TestProgram:
         """Build a test program on the server; bit-identical to ``Session``."""
-        result = self.request(
+        result = self._pipeline_request(
             "build_program",
-            netlist_id=self.register(netlist),
-            patterns=self._pack([dict(p) for p in patterns]),
-            collapse=collapse,
+            lambda: {
+                "netlist_id": self.register(netlist),
+                "patterns": self._pack([dict(p) for p in patterns]),
+                "collapse": collapse,
+            },
         )
         program = self._unpack(result["program"])
         self._remember(program, result["program_id"])
@@ -249,27 +470,35 @@ class Client:
         """First-fail test a lot against ``program`` on the server.
 
         Server-built lots and programs are referenced by handle (no
-        re-upload); locally built ones are pickled up transparently.
+        re-upload); locally built ones — and any whose handle the
+        server no longer recognizes — are pickled up transparently.
         """
-        params: dict[str, Any] = {}
-        program_handle = self._handle_for(program)
-        if program_handle is not None:
-            params["program_id"] = program_handle
-        else:
-            params["program"] = self._pack(program)
-        lot_handle = self._handle_for(lot)
-        if lot_handle is not None:
-            params["lot_id"] = lot_handle
-        else:
-            chips = lot if isinstance(lot, FabricatedLot) else tuple(lot)
-            upload: Any = None
-            if self._binary and isinstance(chips, FabricatedLot):
-                # Whole lots go up as SoA arrays keyed on the program's
-                # netlist (the server resolves the program — registering
-                # its netlist if uploaded — before the chips).
-                upload = pack_lot(program.netlist, chips)
-            params["chips"] = self._pack(upload if upload is not None else chips)
-        result = self.request("test_lot", **params)
+
+        def build_params() -> dict:
+            params: dict[str, Any] = {}
+            program_handle = self._handle_for(program)
+            if program_handle is not None:
+                params["program_id"] = program_handle
+            else:
+                params["program"] = self._pack(program)
+            lot_handle = self._handle_for(lot)
+            if lot_handle is not None:
+                params["lot_id"] = lot_handle
+            else:
+                chips = lot if isinstance(lot, FabricatedLot) else tuple(lot)
+                upload: Any = None
+                if self._binary and isinstance(chips, FabricatedLot):
+                    # Whole lots go up as SoA arrays keyed on the
+                    # program's netlist (the server resolves the program
+                    # — registering its netlist if uploaded — before
+                    # the chips).
+                    upload = pack_lot(program.netlist, chips)
+                params["chips"] = self._pack(
+                    upload if upload is not None else chips
+                )
+            return params
+
+        result = self._pipeline_request("test_lot", build_params)
         return self._unpack(result["result"])
 
     def run_experiment(self, name: str) -> str:

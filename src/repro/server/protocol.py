@@ -76,6 +76,8 @@ from repro.circuit.netlist import Netlist
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "ConnectionLost",
+    "FrameDecodeError",
     "ProtocolError",
     "RemoteError",
     "WireObj",
@@ -130,6 +132,10 @@ ERR_UNKNOWN_HANDLE = "unknown-handle"  # lot/program handle expired or bogus
 ERR_USER = "user-error"  # pipeline rejected the inputs (ValueError etc.)
 ERR_WORKER_CRASH = "worker-crash"  # pool worker crash recovery exhausted
 ERR_SHUTTING_DOWN = "shutting-down"  # request arrived after shutdown began
+ERR_OVERLOADED = "overloaded"  # per-netlist queue past its high-water mark
+ERR_DEADLINE = "deadline-exceeded"  # request outlived the server deadline
+ERR_BAD_FRAME = "bad-frame"  # frame read fully but undecodable
+ERR_POISON_SHARD = "poison-shard"  # a shard payload reproducibly kills workers
 ERR_INTERNAL = "internal"  # unexpected server-side failure
 
 
@@ -137,17 +143,44 @@ class ProtocolError(Exception):
     """A malformed frame or envelope (either direction)."""
 
 
+class FrameDecodeError(ProtocolError):
+    """A frame was read *in full* but its body is undecodable.
+
+    The distinction from a bare :class:`ProtocolError` is whether the
+    byte stream is still synchronized: a truncated read or hostile
+    length prefix leaves the receiver mid-frame (the connection must be
+    dropped), while a fully-read-but-garbage body leaves the next
+    frame boundary intact — so the server can answer ``ERR_BAD_FRAME``
+    and keep serving the connection.
+    """
+
+
+class ConnectionLost(OSError):
+    """The client's connection died or desynchronized mid-request.
+
+    Raised by :class:`repro.server.Client` whenever a request cannot
+    complete on the current socket — the peer reset it, a read timed
+    out mid-frame (the stream is desynchronized: leftover reply bytes
+    would corrupt the *next* request), or the reply was undecodable.
+    The socket is already marked dead when this propagates; with
+    retries enabled the client reconnects and replays transparently,
+    so callers only see this once the retry budget is spent.
+    """
+
+
 class RemoteError(Exception):
     """A server-reported failure, surfaced client-side.
 
     ``code`` is one of the ``ERR_*`` constants; ``message`` is the
-    human-readable server explanation.
+    human-readable server explanation.  ``retry_after`` is the server's
+    backoff hint in seconds (``ERR_OVERLOADED`` replies carry one).
     """
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str, retry_after: float | None = None):
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
+        self.retry_after = retry_after
 
 
 # ------------------------------------------------------------------ framing
@@ -323,6 +356,26 @@ def _decode_binary_body(body: bytes) -> dict:
     return _substitute_stubs(message, objects)
 
 
+def _decode_full_body(body: bytes, binary: bool) -> dict:
+    """Decode a fully-received frame body; failures are *recoverable*.
+
+    By this point the reader consumed exactly the advertised body, so
+    the stream is still frame-synchronized whatever the body contains —
+    every failure here (truncated inner header, header_len overrunning
+    the body, garbage ``__wire__`` stub, non-JSON bytes, a payload whose
+    unpickling explodes) is reported as :class:`FrameDecodeError` so a
+    server can answer ``ERR_BAD_FRAME`` instead of dropping the client.
+    """
+    try:
+        return _decode_binary_body(body) if binary else _decode_body(body)
+    except FrameDecodeError:
+        raise
+    except ProtocolError as exc:
+        raise FrameDecodeError(str(exc)) from exc
+    except Exception as exc:  # defensive: a hostile pickle can raise anything
+        raise FrameDecodeError(f"undecodable frame body: {exc}") from exc
+
+
 def _check_length(length: int) -> tuple[bool, int]:
     """Validate a raw length prefix; returns ``(binary, body_length)``."""
     binary = bool(length & _BINARY_FLAG)
@@ -351,7 +404,7 @@ async def read_frame_info(reader) -> FrameInfo | None:
         body = await reader.readexactly(body_len)
     except asyncio.IncompleteReadError as exc:
         raise ProtocolError("connection closed mid-frame") from exc
-    message = _decode_binary_body(body) if binary else _decode_body(body)
+    message = _decode_full_body(body, binary)
     return FrameInfo(message, binary, _HEADER.size + body_len)
 
 
@@ -385,7 +438,7 @@ def recv_frame_info(sock: socket.socket) -> FrameInfo | None:
     body = _recv_exactly(sock, body_len)
     if body is None:
         raise ProtocolError("connection closed mid-frame")
-    message = _decode_binary_body(body) if binary else _decode_body(body)
+    message = _decode_full_body(body, binary)
     return FrameInfo(message, binary, _HEADER.size + body_len)
 
 

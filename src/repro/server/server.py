@@ -38,20 +38,27 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import logging
+import os
+import signal
 import sys
 import threading
 import traceback
 from collections import Counter, OrderedDict
 from typing import Any, Awaitable, Callable
 
+from repro import chaos
 from repro.api import Session
 from repro.circuit.netlist import Netlist
 from repro.manufacturing.lot import FabricatedLot
 from repro.manufacturing.process import ProcessRecipe
-from repro.runtime import WorkerCrashError
+from repro.runtime import PoisonShardError, WorkerCrashError
 from repro.server.protocol import (
+    ERR_BAD_FRAME,
     ERR_BAD_REQUEST,
+    ERR_DEADLINE,
     ERR_INTERNAL,
+    ERR_OVERLOADED,
+    ERR_POISON_SHARD,
     ERR_SHUTTING_DOWN,
     ERR_UNKNOWN_HANDLE,
     ERR_UNKNOWN_NETLIST,
@@ -59,6 +66,7 @@ from repro.server.protocol import (
     ERR_USER,
     ERR_WORKER_CRASH,
     PROTOCOL_VERSION,
+    FrameDecodeError,
     LotArrays,
     ProtocolError,
     WireObj,
@@ -80,15 +88,31 @@ _log = logging.getLogger("repro.server")
 # named paper experiments build their own circuits internally).
 _EXPERIMENT_QUEUE = "__experiments__"
 
+# Environment default for the graceful-drain window (seconds): how long
+# SIGTERM/SIGINT waits for in-flight requests before closing anyway.
+_DRAIN_TIMEOUT_ENV = "REPRO_DRAIN_TIMEOUT"
+_DEFAULT_DRAIN_TIMEOUT = 10.0
+
+# Replay cache bounds: successful pipeline responses retained per client
+# id, and client ids retained, both FIFO.  Small on purpose — the cache
+# only needs to cover the retry window of a reconnecting client.
+_REPLAY_PER_CLIENT = 8
+_REPLAY_CLIENTS = 64
+
 _MISSING = object()
 
 
 class _RequestError(Exception):
-    """An error with a protocol code, raised by request handlers."""
+    """An error with a protocol code, raised by request handlers.
 
-    def __init__(self, code: str, message: str):
+    ``retry_after`` (seconds) rides into the error payload when set —
+    the backoff hint ``ERR_OVERLOADED`` replies carry.
+    """
+
+    def __init__(self, code: str, message: str, retry_after: float | None = None):
         super().__init__(message)
         self.code = code
+        self.retry_after = retry_after
 
 
 def _param(params: dict, name: str, kinds, default=_MISSING):
@@ -129,6 +153,24 @@ class LotServer:
         Upper bound on server-retained lot and program handles (each
         kind separately, FIFO-evicted).  Evicted handles answer
         ``unknown-handle``; clients can always re-upload.
+    max_queue_depth:
+        High-water mark per netlist queue (queued + in flight).  A
+        pipeline request arriving past it is rejected immediately with
+        ``ERR_OVERLOADED`` and a ``retry_after`` hint instead of
+        queueing unboundedly.  ``None`` (default) keeps the historical
+        unbounded behavior.
+    request_timeout:
+        Per-request deadline in seconds.  A request that outlives it is
+        answered ``ERR_DEADLINE``; the reply slot is freed even though
+        the underlying pipeline job (uninterruptible on its thread) may
+        still run to completion.  ``None`` disables deadlines.
+    drain_timeout:
+        How long graceful shutdown (SIGTERM/SIGINT or the ``shutdown``
+        op) waits for in-flight requests to finish before closing
+        anyway.  Defaults from ``REPRO_DRAIN_TIMEOUT``, else 10 s.
+    dispatch_timeout:
+        Forwarded to the shared session's executor — the pool-level
+        watchdog against hung workers (``REPRO_DISPATCH_TIMEOUT``).
 
     Run it blocking with :meth:`run` (the ``repro-server`` CLI does), or
     in a thread via :func:`repro.server.testing.running_server`.
@@ -144,20 +186,35 @@ class LotServer:
         max_contexts: int | None = None,
         max_bytes: int | None = None,
         max_handles: int = 256,
+        max_queue_depth: int | None = None,
+        request_timeout: float | None = None,
+        drain_timeout: float | None = None,
+        dispatch_timeout: float | None = None,
     ):
         if socket_path is not None and port:
             raise ValueError("pass either port or socket_path, not both")
         if max_handles < 1:
             raise ValueError(f"max_handles must be >= 1, got {max_handles}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1 or None, got {max_queue_depth}"
+            )
+        if drain_timeout is None:
+            env = os.environ.get(_DRAIN_TIMEOUT_ENV)
+            drain_timeout = float(env) if env else _DEFAULT_DRAIN_TIMEOUT
         self._host = host
         self._port = port
         self._socket_path = socket_path
         self._max_handles = max_handles
+        self._max_queue_depth = max_queue_depth
+        self._request_timeout = request_timeout
+        self._drain_timeout = max(0.0, float(drain_timeout))
         self._session = Session(
             engine=engine,
             workers=workers,
             max_contexts=max_contexts,
             max_bytes=max_bytes,
+            dispatch_timeout=dispatch_timeout,
         )
         self._netlists: dict[str, Netlist] = {}
         self._lots: OrderedDict[str, FabricatedLot] = OrderedDict()
@@ -169,8 +226,23 @@ class LotServer:
         self._consumers: dict[str, asyncio.Task] = {}
         self._conn_tasks: set[asyncio.Task] = set()
         self._counters: Counter[str] = Counter()
+        # Queued + in-flight requests per queue key — the backpressure
+        # observable.  (A queue's qsize() is 0 while its consumer holds
+        # the one dequeued job, so qsize alone undercounts by one.)
+        self._pending: Counter[str] = Counter()
+        # cid -> (rid -> successful response): lets a reconnecting
+        # client replay an idempotent request id without re-running the
+        # pipeline work (or minting a second handle for the same call).
+        self._replay: OrderedDict[str, OrderedDict[int, dict]] = OrderedDict()
+        self._replay_hits = 0
+        self._overload_rejections = 0
+        self._bad_frames = 0
+        self._deadline_expirations = 0
         self._connections_open = 0
         self._connections_total = 0
+        # Requests that were in flight when shutdown began and finished
+        # inside the drain window (the CLI's exit message).
+        self.drained_requests = 0
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop_event: asyncio.Event | None = None
         self._stopping = False
@@ -216,6 +288,16 @@ class LotServer:
         self._stop_event = asyncio.Event()
         if self._stopping:  # shutdown requested before startup
             self._stop_event.set()
+        # Ctrl-C / SIGTERM trigger the same graceful drain as the
+        # shutdown op.  Registration fails off the main thread (the
+        # running_server test helper) and on exotic loops — both fall
+        # back to the default handlers, which is exactly the old
+        # behavior.
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._loop.add_signal_handler(signum, self._stop_event.set)
+            except (ValueError, NotImplementedError, OSError, RuntimeError):
+                pass
         self._exec = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-server-exec"
         )
@@ -237,11 +319,25 @@ class LotServer:
             await self._stop_event.wait()
             self._stopping = True
         finally:
-            # Stop accepting, then cancel live connection handlers
-            # explicitly: since Python 3.12.1 ``wait_closed`` blocks
-            # until every handler coroutine finishes, so an idle client
-            # that never disconnects would otherwise hang shutdown.
+            # Graceful drain: stop accepting, let requests that were in
+            # flight at shutdown finish (their connection handlers are
+            # still alive to deliver the replies), then close.  New
+            # requests arriving meanwhile answer ERR_SHUTTING_DOWN.
+            self._stopping = True
             server.close()
+            in_flight = sum(self._pending.values())
+            if in_flight and self._drain_timeout > 0:
+                deadline = self._loop.time() + self._drain_timeout
+                while (
+                    sum(self._pending.values())
+                    and self._loop.time() < deadline
+                ):
+                    await asyncio.sleep(0.05)
+            self.drained_requests = in_flight - sum(self._pending.values())
+            # Cancel live connection handlers explicitly: since Python
+            # 3.12.1 ``wait_closed`` blocks until every handler
+            # coroutine finishes, so an idle client that never
+            # disconnects would otherwise hang shutdown.
             for task in list(self._conn_tasks):
                 task.cancel()
             if self._conn_tasks:
@@ -282,8 +378,21 @@ class LotServer:
             while True:
                 try:
                     frame = await read_frame_info(reader)
+                except FrameDecodeError as exc:
+                    # The body was read in full, so the stream is still
+                    # frame-synchronized: report the bad frame and keep
+                    # serving this connection.  (No request id — the
+                    # body never decoded far enough to have one.)
+                    self._bad_frames += 1
+                    writer.write(
+                        encode_frame(
+                            self._error_response(None, ERR_BAD_FRAME, str(exc))
+                        )
+                    )
+                    await writer.drain()
+                    continue
                 except ProtocolError:
-                    break  # peer sent garbage; drop the connection
+                    break  # stream desynchronized; drop the connection
                 if frame is None:
                     break
                 # Answer in the format the request arrived in, so one
@@ -300,6 +409,17 @@ class LotServer:
                         "binary" if frame.binary else "json",
                         frame.nbytes,
                         len(reply),
+                    )
+                fault = chaos.fire("server.reply", defer=("delay",))
+                if fault is not None and fault.action == "reset":
+                    break  # injected: connection dies with the reply unsent
+                if fault is not None and fault.action == "truncate":
+                    writer.write(reply[: max(1, len(reply) // 2)])
+                    await writer.drain()
+                    break  # injected: half a frame, then a dead socket
+                if fault is not None and fault.action == "delay":
+                    await asyncio.sleep(
+                        fault.value if fault.value is not None else 0.1
                     )
                 writer.write(reply)
                 await writer.drain()
@@ -326,6 +446,17 @@ class LotServer:
             return self._error_response(None, ERR_BAD_REQUEST, "request id must be an integer"), False
         op = request.get("op")
         params = request.get("params", {})
+        cid = request.get("cid")
+        # Idempotent replay: a client that reconnected mid-request
+        # retries the same (cid, id); if the first attempt already
+        # succeeded (its reply died on the wire), answer from the cache
+        # instead of running the pipeline work — and its handles —
+        # twice.
+        replayable = isinstance(cid, str) and op in self._REPLAY_OPS
+        if replayable:
+            cached = self._replay_lookup(cid, rid)
+            if cached is not None:
+                return cached, False
         try:
             if not isinstance(op, str):
                 raise _RequestError(ERR_BAD_REQUEST, "request op must be a string")
@@ -340,10 +471,38 @@ class LotServer:
                     f"unknown op {op!r}; choose from {sorted(self._OPS)}",
                 )
             self._counters[op] += 1
-            result = await handler(self, params, binary)
-            return {"id": rid, "ok": True, "result": result}, op == "shutdown"
+            coro = handler(self, params, binary)
+            if self._request_timeout is not None and op != "shutdown":
+                try:
+                    result = await asyncio.wait_for(coro, self._request_timeout)
+                except asyncio.TimeoutError:
+                    # The reply slot is freed now; the pipeline job
+                    # itself is uninterruptible on its thread and may
+                    # still finish (harmlessly) behind the deadline.
+                    self._deadline_expirations += 1
+                    raise _RequestError(
+                        ERR_DEADLINE,
+                        f"request exceeded the {self._request_timeout:g}s "
+                        f"server deadline",
+                    ) from None
+            else:
+                result = await coro
+            response = {"id": rid, "ok": True, "result": result}
+            if replayable:
+                self._replay_store(cid, rid, response)
+            return response, op == "shutdown"
         except _RequestError as exc:
-            return self._error_response(rid, exc.code, str(exc)), False
+            return self._error_response(rid, exc.code, str(exc), exc.retry_after), False
+        except asyncio.CancelledError:
+            raise
+        except PoisonShardError as exc:
+            return self._error_response(
+                rid,
+                ERR_POISON_SHARD,
+                f"quarantined poison shard: {exc} "
+                f"(fingerprint={exc.fingerprint!r}, "
+                f"shard_index={exc.shard_index!r})",
+            ), False
         except WorkerCrashError as exc:
             return self._error_response(
                 rid,
@@ -360,23 +519,75 @@ class LotServer:
             return self._error_response(rid, ERR_INTERNAL, f"{type(exc).__name__}: {exc}"), False
 
     @staticmethod
-    def _error_response(rid, code: str, message: str) -> dict:
-        return {"id": rid, "ok": False, "error": {"code": code, "message": message}}
+    def _error_response(
+        rid, code: str, message: str, retry_after: float | None = None
+    ) -> dict:
+        error: dict = {"code": code, "message": message}
+        if retry_after is not None:
+            error["retry_after"] = retry_after
+        return {"id": rid, "ok": False, "error": error}
+
+    def _replay_lookup(self, cid: str, rid) -> dict | None:
+        conn = self._replay.get(cid)
+        if conn is None:
+            return None
+        cached = conn.get(rid)
+        if cached is not None:
+            self._replay.move_to_end(cid)
+            self._replay_hits += 1
+        return cached
+
+    def _replay_store(self, cid: str, rid, response: dict) -> None:
+        conn = self._replay.setdefault(cid, OrderedDict())
+        conn[rid] = response
+        while len(conn) > _REPLAY_PER_CLIENT:
+            conn.popitem(last=False)
+        self._replay.move_to_end(cid)
+        while len(self._replay) > _REPLAY_CLIENTS:
+            self._replay.popitem(last=False)
 
     # ------------------------------------------------------ queued execution
 
     async def _run_queued(self, key: str, fn: Callable[[], Any]) -> Any:
-        """Enqueue ``fn`` on the per-netlist queue and await its result."""
+        """Enqueue ``fn`` on the per-netlist queue and await its result.
+
+        Backpressure lives here: with ``max_queue_depth`` set, a request
+        arriving while ``pending(key)`` (queued + in flight — a queue's
+        ``qsize`` misses the job its consumer holds) is at the high-water
+        mark is rejected *immediately* with ``ERR_OVERLOADED`` and a
+        ``retry_after`` hint scaled to the backlog, so overload costs the
+        client one round-trip instead of an unbounded queue wait.
+        """
+        pending = self._pending[key]
+        if (
+            self._max_queue_depth is not None
+            and pending >= self._max_queue_depth
+        ):
+            self._overload_rejections += 1
+            raise _RequestError(
+                ERR_OVERLOADED,
+                f"queue {key!r} is at its high-water mark "
+                f"({pending} pending >= {self._max_queue_depth})",
+                retry_after=round(0.05 * max(1, pending), 3),
+            )
         queue = self._queues.get(key)
         if queue is None:
             queue = asyncio.Queue()
             self._queues[key] = queue
-            self._consumers[key] = asyncio.ensure_future(self._consume(queue))
+            self._consumers[key] = asyncio.ensure_future(
+                self._consume(key, queue)
+            )
         future = self._loop.create_future()  # type: ignore[union-attr]
+        self._pending[key] += 1
         await queue.put((fn, future))
         return await future
 
-    async def _consume(self, queue: asyncio.Queue) -> None:
+    def _run_job(self, fn: Callable[[], Any]) -> Any:
+        """Run one pipeline job on the exec thread (chaos-instrumented)."""
+        chaos.fire("server.job")  # delay faults sleep here, off the loop
+        return fn()
+
+    async def _consume(self, key: str, queue: asyncio.Queue) -> None:
         """Drain one netlist queue, one request at a time, FIFO.
 
         All consumers submit to the same single-thread executor, whose
@@ -386,7 +597,9 @@ class LotServer:
         while True:
             fn, future = await queue.get()
             try:
-                result = await self._loop.run_in_executor(self._exec, fn)  # type: ignore[union-attr]
+                result = await self._loop.run_in_executor(  # type: ignore[union-attr]
+                    self._exec, self._run_job, fn
+                )
             except Exception as exc:
                 if not future.cancelled():
                     future.set_exception(exc)
@@ -394,6 +607,7 @@ class LotServer:
                 if not future.cancelled():
                     future.set_result(result)
             finally:
+                self._pending[key] -= 1
                 queue.task_done()
 
     def _new_handle(self, prefix: str) -> str:
@@ -618,11 +832,26 @@ class LotServer:
             "queue_depths": {
                 key: queue.qsize() for key, queue in self._queues.items()
             },
+            "pending_by_queue": {
+                key: count for key, count in self._pending.items() if count
+            },
+            "overload_rejections": self._overload_rejections,
+            "bad_frames": self._bad_frames,
+            "deadline_expirations": self._deadline_expirations,
+            "replay_hits": self._replay_hits,
+            "draining": self._stopping,
         }
         return stats
 
     async def _op_shutdown(self, params: dict, binary: bool) -> dict:
         return {"stopping": True}
+
+    # Ops whose successful responses enter the idempotent replay cache.
+    # ping/stats/shutdown are cheap or stateful-by-design and always
+    # re-execute.
+    _REPLAY_OPS = frozenset(
+        {"register_netlist", "fabricate", "build_program", "test_lot", "run_experiment"}
+    )
 
     _OPS: dict[str, Callable[["LotServer", dict, bool], Awaitable[dict]]] = {
         "ping": _op_ping,

@@ -1,0 +1,52 @@
+"""Suite-wide fixtures: the /dev/shm hygiene invariant.
+
+Every shared-memory segment this codebase creates is named ``repro_*``
+(see ``repro.runtime.wire._create_segment``), precisely so that leaks
+are auditable: any ``repro_*`` name present after the suite that was
+not present before it is a segment somebody created and nobody
+released — a real bug (the ownership discipline in
+:mod:`repro.runtime.wire` exists to make that impossible).  This
+session fixture turns that audit into a standing invariant instead of
+a per-PR manual check.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+import pytest
+
+_SHM_DIR = "/dev/shm"
+
+
+def _repro_segments() -> set[str]:
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:
+        return set()
+    return {name for name in names if name.startswith("repro_")}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shm_hygiene():
+    """Fail the session if the suite leaks ``repro_*`` shm segments."""
+    if not os.path.isdir(_SHM_DIR):
+        yield  # platform without POSIX shm — nothing to audit
+        return
+    before = _repro_segments()
+    yield
+    # Segment lifetime is tied to decoded arrays (abandoned mappings
+    # unlink on last reference), so collect before judging; give the
+    # multiprocessing resource_tracker a beat to reap crash leftovers.
+    gc.collect()
+    leaked = _repro_segments() - before
+    if leaked:
+        time.sleep(1.0)
+        gc.collect()
+        leaked = _repro_segments() - before
+    assert not leaked, (
+        f"test suite leaked {len(leaked)} /dev/shm segment(s): "
+        f"{sorted(leaked)}"
+    )

@@ -1,0 +1,469 @@
+"""Seeded chaos schedules against the full stack: degraded, never wrong.
+
+The resilience contract under test: with a deterministic
+:class:`repro.chaos.ChaosSchedule` installed — workers SIGKILLed or hung
+at a chosen shard, shm attaches failing, connections reset mid-request,
+replies truncated mid-frame, queues overloaded — every pipeline call
+still returns **bit-identical** results to an uninjected run, and every
+absorbed fault is visible in the counters (client ``counters``, server
+``stats``, executor properties, ``ChaosSchedule.injection_counts``).
+
+Three layers:
+
+* **Spec/harness units** — the ``REPRO_CHAOS`` grammar round-trips, the
+  cross-process firing budget is durable, index matching and deferred
+  actions behave.
+* **Executor** — kill-heal, hung-worker watchdog, poison-shard
+  quarantine (including the fingerprint gate), shm-attach recovery.
+* **Client/server end-to-end** — reconnect-and-replay over resets and
+  truncated replies, backpressure honored, deadlines enforced, and a
+  combined multi-fault storm that must still match the clean reference.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import chaos
+from repro.api import Session
+from repro.atpg.random_gen import random_patterns
+from repro.chaos import ChaosSchedule, Fault, InjectedFault
+from repro.circuit.generators import c17
+from repro.manufacturing.process import ProcessRecipe
+from repro.runtime import wire
+from repro.runtime.executor import (
+    ParallelExecutor,
+    PoisonShardError,
+    shard_fingerprint,
+)
+from repro.server import Client, RemoteError
+from repro.server.testing import running_server
+
+
+@pytest.fixture(autouse=True)
+def _no_schedule_leaks():
+    """No test may leave a chaos schedule active for its successors."""
+    yield
+    chaos.uninstall()
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return c17()
+
+
+@pytest.fixture(scope="module")
+def recipe():
+    return ProcessRecipe(defect_density=3.0, clustering=0.5, mean_defect_radius=0.15)
+
+
+@pytest.fixture(scope="module")
+def patterns(chip):
+    return random_patterns(chip, 24, seed=11)
+
+
+# Module-level worker functions: pool workers unpickle them by name.
+
+
+def _scale_shard(context, task):
+    return [context * value for value in task]
+
+
+def _double_array(context, task):
+    return np.asarray(task) * context
+
+
+# ------------------------------------------------------------ spec/harness
+
+
+class TestSpec:
+    def test_fault_spec_round_trips(self):
+        for fault in (
+            Fault("executor.shard", "kill", index=2),
+            Fault("executor.shard", "kill", index=2, times=-1),
+            Fault("server.job", "delay", times=3, value=0.25),
+            Fault("executor.shard", "hang", value=9.5),
+            Fault("client.send", "reset"),
+            Fault("server.reply", "truncate", times=4),
+        ):
+            assert Fault.from_spec(fault.to_spec()) == fault
+
+    def test_schedule_spec_round_trips(self, tmp_path):
+        schedule = ChaosSchedule(
+            [
+                Fault("executor.shard", "kill", index=1),
+                Fault("server.job", "delay", value=0.5, times=2),
+            ],
+            seed=7,
+            state_dir=str(tmp_path / "chaos"),
+        )
+        parsed = ChaosSchedule.from_spec(schedule.spec())
+        assert parsed.faults == schedule.faults
+        assert parsed.seed == schedule.seed
+        assert parsed.state_dir == schedule.state_dir
+
+    def test_rejects_malformed_specs(self):
+        for bad in ("warp@executor.shard", "kill@nowhere", "kill", "kill@"):
+            with pytest.raises(ValueError):
+                Fault.from_spec(bad)
+        with pytest.raises(ValueError):
+            Fault("executor.shard", "kill", times=0)
+
+    def test_install_exports_env(self, tmp_path):
+        import os
+
+        schedule = ChaosSchedule(
+            [Fault("server.job", "delay")], state_dir=str(tmp_path / "chaos")
+        )
+        assert not chaos.enabled()
+        with chaos.active(schedule):
+            assert chaos.enabled()
+            assert os.environ[chaos.ENV_VAR] == schedule.spec()
+            assert chaos.active_schedule() is schedule
+        assert not chaos.enabled()
+        assert chaos.ENV_VAR not in os.environ
+
+    def test_budget_is_durable_across_schedules(self, tmp_path):
+        # The marker files in state_dir are the budget: a second
+        # schedule parsed from the same spec (what a respawned worker
+        # does) finds the firings already spent.
+        schedule = ChaosSchedule(
+            [Fault("wire.shm_attach", "fail", times=2)],
+            state_dir=str(tmp_path / "chaos"),
+        )
+        with chaos.active(schedule):
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    chaos.fire("wire.shm_attach")
+            assert chaos.fire("wire.shm_attach") is None
+        assert schedule.total_injections() == 2
+        resumed = ChaosSchedule.from_spec(schedule.spec())
+        with chaos.active(resumed):
+            assert chaos.fire("wire.shm_attach") is None
+        assert resumed.total_injections() == 2
+
+    def test_index_matching_is_exact(self, tmp_path):
+        schedule = ChaosSchedule(
+            [Fault("executor.shard", "fail", index=2)],
+            state_dir=str(tmp_path / "chaos"),
+        )
+        with chaos.active(schedule):
+            assert chaos.fire("executor.shard", index=1) is None
+            assert chaos.fire("executor.shard", index=None) is None
+            with pytest.raises(InjectedFault):
+                chaos.fire("executor.shard", index=2)
+
+    def test_call_site_and_deferred_actions_are_returned(self, tmp_path):
+        schedule = ChaosSchedule(
+            [
+                Fault("server.reply", "truncate"),
+                Fault("server.reply", "delay", value=30.0),
+                Fault("client.send", "reset"),
+            ],
+            state_dir=str(tmp_path / "chaos"),
+        )
+        with chaos.active(schedule):
+            fault = chaos.fire("server.reply")
+            assert fault is not None and fault.action == "truncate"
+            # Deferred: the async call site awaits instead of blocking
+            # the loop — fire() must hand the delay back, not sleep 30s.
+            start = time.monotonic()
+            fault = chaos.fire("server.reply", defer=("delay",))
+            assert time.monotonic() - start < 5
+            assert fault is not None and fault.action == "delay"
+            fault = chaos.fire("client.send")
+            assert fault is not None and fault.action == "reset"
+
+    def test_unknown_keys_ignored_in_counts(self, tmp_path):
+        schedule = ChaosSchedule(
+            [Fault("client.send", "reset")], state_dir=str(tmp_path / "chaos")
+        )
+        assert schedule.total_injections() == 0
+        assert schedule.injection_counts() == {}
+
+
+# ----------------------------------------------------------------- executor
+
+
+class TestExecutorChaos:
+    def test_killed_worker_heals_bit_identically(self, tmp_path):
+        tasks = [[1, 2], [3, 4], [5, 6], [7, 8]]
+        schedule = ChaosSchedule(
+            [Fault("executor.shard", "kill", index=1, times=1)],
+            state_dir=str(tmp_path / "chaos"),
+        )
+        executor = ParallelExecutor(2, persistent=True)
+        try:
+            with chaos.active(schedule):
+                results = executor.map_shards(_scale_shard, 3, tasks, token="t")
+            assert results == [[3 * v for v in t] for t in tasks]
+            assert executor.dispatch_retries >= 1
+            assert executor.worker_recoveries >= 1
+            assert schedule.total_injections() == 1
+        finally:
+            executor.close()
+
+    def test_hung_worker_hits_watchdog_then_recovers(self, tmp_path):
+        # A SIGSTOPped/livelocked worker passes every pid liveness
+        # check; only the dispatch watchdog can see it.  The hang value
+        # is far past the deadline so a pass proves the watchdog fired.
+        tasks = [[1], [2], [3]]
+        schedule = ChaosSchedule(
+            [Fault("executor.shard", "hang", index=0, times=1, value=60.0)],
+            state_dir=str(tmp_path / "chaos"),
+        )
+        executor = ParallelExecutor(2, persistent=True, dispatch_timeout=1.0)
+        try:
+            start = time.monotonic()
+            with chaos.active(schedule):
+                results = executor.map_shards(_scale_shard, 2, tasks, token="t")
+            elapsed = time.monotonic() - start
+            assert results == [[2], [4], [6]]
+            assert executor.timeouts >= 1
+            assert executor.dispatch_retries >= 1
+            assert elapsed < 30  # the 60s hang was cut short
+        finally:
+            executor.close()
+
+    def test_poison_shard_is_quarantined_by_fingerprint(self, tmp_path):
+        tasks = [[1], [2], [3], [4]]
+        schedule = ChaosSchedule(
+            [Fault("executor.shard", "kill", index=2, times=-1)],
+            state_dir=str(tmp_path / "chaos"),
+        )
+        executor = ParallelExecutor(2, persistent=True)
+        try:
+            with chaos.active(schedule):
+                with pytest.raises(PoisonShardError) as err:
+                    executor.map_shards(_scale_shard, 3, tasks, token="t")
+                assert err.value.shard_index == 2
+                assert err.value.fingerprint == shard_fingerprint(tasks[2])
+                assert executor.quarantined_shards == 1
+                assert err.value.fingerprint in executor.quarantine_info()
+                # The gate: the same payload is rejected instantly by
+                # fingerprint — no dispatch, no further worker deaths.
+                with pytest.raises(PoisonShardError) as gated:
+                    executor.map_shards(_scale_shard, 3, tasks, token="t")
+                assert gated.value.fingerprint == err.value.fingerprint
+            # Dropping the poison shard restores normal service.
+            healthy = executor.map_shards(_scale_shard, 3, tasks[:2], token="t")
+            assert healthy == [[3], [6]]
+        finally:
+            executor.close()
+
+    @pytest.mark.skipif(
+        not wire._shm_usable(), reason="POSIX shared memory unavailable"
+    )
+    def test_reap_worker_segments_unlinks_orphans(self):
+        import os
+
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no listable shm directory")
+        segment = wire._create_segment(64)
+        name = segment.name
+        segment.close()
+        assert os.path.exists(f"/dev/shm/{name}")
+        assert wire.reap_worker_segments([os.getpid()]) == 1
+        assert not os.path.exists(f"/dev/shm/{name}")
+        assert wire.reap_worker_segments([os.getpid()]) == 0
+
+    @pytest.mark.skipif(
+        not wire._shm_usable(), reason="POSIX shared memory unavailable"
+    )
+    def test_shm_attach_failure_is_retried(self, tmp_path, monkeypatch):
+        # Force every task buffer through shared memory, then make the
+        # first worker-side attach fail: the executor must classify it
+        # as a crash, repack, and retry to the identical answer.
+        monkeypatch.setattr(wire, "SHM_MIN_BYTES", 1)
+        tasks = [np.arange(256, dtype=np.int64) + i for i in range(3)]
+        schedule = ChaosSchedule(
+            [Fault("wire.shm_attach", "fail", times=1)],
+            state_dir=str(tmp_path / "chaos"),
+        )
+        executor = ParallelExecutor(2, persistent=True)
+        try:
+            with chaos.active(schedule):
+                results = executor.map_shards(_double_array, 2, tasks, token="t")
+            assert len(results) == len(tasks)
+            for task, result in zip(tasks, results):
+                np.testing.assert_array_equal(result, task * 2)
+            assert executor.dispatch_retries >= 1
+            assert schedule.total_injections() == 1
+        finally:
+            executor.close()
+        # The failed dispatch may have stranded result segments from the
+        # worker whose results the failed map discarded; the recovery
+        # teardown must have reaped every one (the suite-level /dev/shm
+        # hygiene fixture enforces the same invariant globally).
+        import os
+
+        if os.path.isdir("/dev/shm"):
+            assert not [
+                n for n in os.listdir("/dev/shm") if n.startswith("repro_")
+            ]
+
+
+# ------------------------------------------------------- client/server e2e
+
+
+class TestServerChaos:
+    def test_reconnect_after_connection_reset(self, chip, recipe, patterns):
+        with running_server(workers=1) as server:
+            with Client(server.address, timeout=30, backoff=0.01) as client:
+                lot = client.fabricate(chip, recipe, 8, dies_per_wafer=4, seed=5)
+                program = client.build_program(chip, patterns)
+                baseline = client.test(lot, program)
+                schedule = ChaosSchedule(
+                    [Fault("client.send", "reset", times=1)]
+                )
+                with chaos.active(schedule):
+                    injected = client.test(lot, program)
+                assert injected.records == baseline.records
+                assert client.counters["connection_losses"] >= 1
+                assert client.counters["reconnects"] >= 1
+                assert client.counters["retries"] >= 1
+                assert schedule.total_injections() == 1
+
+    def test_truncated_reply_answered_from_replay_cache(
+        self, chip, recipe, patterns
+    ):
+        with running_server(workers=1) as server:
+            with Client(server.address, timeout=30, backoff=0.01) as client:
+                lot = client.fabricate(chip, recipe, 8, dies_per_wafer=4, seed=5)
+                program = client.build_program(chip, patterns)
+                baseline = client.test(lot, program)
+                schedule = ChaosSchedule(
+                    [Fault("server.reply", "truncate", times=1)]
+                )
+                with chaos.active(schedule):
+                    injected = client.test(lot, program)
+                # The op ran once; the reply died on the wire; the retry
+                # was answered from the idempotent replay cache.
+                assert injected.records == baseline.records
+                assert client.counters["reconnects"] >= 1
+                assert client.stats()["server"]["replay_hits"] >= 1
+
+    def test_overload_rejection_is_retried_and_bit_identical(
+        self, chip, patterns
+    ):
+        with running_server(workers=1, max_queue_depth=1) as server:
+            with Client(server.address, timeout=30) as slow, Client(
+                server.address, timeout=30, retries=40, backoff=0.02
+            ) as fast:
+                # Registration is un-queued (no server.job firing), so
+                # pre-registering keeps the schedule for the two builds.
+                slow.register(chip)
+                fast.register(chip)
+                schedule = ChaosSchedule(
+                    [Fault("server.job", "delay", times=2, value=0.4)]
+                )
+                curves = {}
+                errors = []
+
+                def build(client, key):
+                    try:
+                        program = client.build_program(chip, patterns)
+                        curves[key] = tuple(program.coverage_curve)
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+
+                with chaos.active(schedule):
+                    thread = threading.Thread(target=build, args=(slow, "slow"))
+                    thread.start()
+                    time.sleep(0.15)  # the slow job now owns the queue slot
+                    build(fast, "fast")
+                    thread.join(30)
+                assert not errors
+                assert curves["slow"] == curves["fast"]
+                assert fast.counters["overload_rejections"] >= 1
+                assert fast.counters["retries"] >= 1
+                stats = fast.stats()["server"]
+                assert stats["overload_rejections"] >= 1
+
+    def test_request_deadline_answers_deadline_exceeded(self, chip, patterns):
+        with running_server(workers=1, request_timeout=0.25) as server:
+            with Client(server.address, timeout=30) as client:
+                client.register(chip)
+                schedule = ChaosSchedule(
+                    [Fault("server.job", "delay", times=1, value=1.0)]
+                )
+                with chaos.active(schedule):
+                    with pytest.raises(RemoteError) as err:
+                        client.build_program(chip, patterns)
+                assert err.value.code == "deadline-exceeded"
+                # The uninterruptible job drains behind the deadline;
+                # once it does, the same request succeeds normally.
+                time.sleep(1.5)
+                program = client.build_program(chip, patterns)
+                assert len(program) == len(patterns)
+                assert client.stats()["server"]["deadline_expirations"] >= 1
+
+    def test_combined_storm_stays_bit_identical(self, chip, recipe, patterns):
+        """One schedule, every tier: reset + truncate + kill + delay."""
+        with Session(workers=1) as session:
+            ref_lot = session.fabricate(chip, recipe, 12, dies_per_wafer=4, seed=7)
+            ref_program = session.build_program(chip, patterns)
+            ref_result = session.test(ref_lot, ref_program)
+        schedule = ChaosSchedule(
+            [
+                Fault("client.send", "reset", times=1),
+                Fault("server.reply", "truncate", times=1),
+                Fault("executor.shard", "kill", index=1, times=1),
+                Fault("server.job", "delay", times=1, value=0.05),
+            ]
+        )
+        with running_server(workers=2) as server:
+            # The client connects (handshake) before the faults arm; the
+            # server's pool forks lazily on the first pipeline call, so
+            # the workers inherit the armed schedule.
+            with Client(server.address, timeout=60, backoff=0.01) as client:
+                with chaos.active(schedule):
+                    lot = client.fabricate(
+                        chip, recipe, 12, dies_per_wafer=4, seed=7
+                    )
+                    program = client.build_program(chip, patterns)
+                    result = client.test(lot, program)
+                    stats = client.stats()
+                assert lot.chips == ref_lot.chips
+                np.testing.assert_array_equal(
+                    program.coverage_curve, ref_program.coverage_curve
+                )
+                assert result.records == ref_result.records
+                assert schedule.total_injections() == 4
+                assert client.counters["connection_losses"] >= 1
+                session_stats = stats["session"]
+                assert session_stats["retries"] >= 1
+                assert session_stats["chaos_injections"] == 4
+
+    def test_session_stats_expose_chaos_counters(self):
+        with Session(workers=1) as session:
+            stats = session.stats()
+        for key in (
+            "retries",
+            "timeouts",
+            "quarantined_shards",
+            "segments_reaped",
+            "chaos_injections",
+        ):
+            assert stats[key] == 0
+
+
+# ------------------------------------------------------------ env spec path
+
+
+class TestEnvSpec:
+    def test_env_spec_drives_injection(self, tmp_path, monkeypatch):
+        # The REPRO_CHAOS path used by the CLI/CI: no install() call in
+        # this process, only the env var — fire() parses it lazily.
+        schedule = ChaosSchedule(
+            [Fault("wire.shm_attach", "fail", times=1)],
+            state_dir=str(tmp_path / "chaos"),
+        )
+        chaos.uninstall()
+        monkeypatch.setenv(chaos.ENV_VAR, schedule.spec())
+        with pytest.raises(InjectedFault):
+            chaos.fire("wire.shm_attach")
+        assert chaos.fire("wire.shm_attach") is None
+        assert schedule.total_injections() == 1

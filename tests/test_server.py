@@ -14,8 +14,13 @@
   netlist fingerprints, clean shutdown.
 """
 
+import json
 import os
 import signal
+import socket
+import struct
+import subprocess
+import sys
 import threading
 
 import numpy as np
@@ -26,6 +31,7 @@ from repro.atpg.random_gen import random_patterns
 from repro.circuit.generators import c17, simple_alu
 from repro.manufacturing.process import ProcessRecipe
 from repro.server import Client, RemoteError, netlist_fingerprint, parse_address
+from repro.server.protocol import encode_frame, recv_frame
 from repro.server.testing import running_server
 
 
@@ -276,3 +282,112 @@ class TestProtocol:
             assert main(["fig1", "--server", server.address]) == 0
         out = capsys.readouterr().out
         assert "=== fig1" in out and "Fig. 1" in out
+
+
+# --------------------------------------------- malformed frames + drain
+
+_BINARY_FLAG = 0x80000000  # MSB of the length prefix (protocol 2)
+
+
+def _raw_connection(server) -> socket.socket:
+    """A plain socket to the server, bypassing the Client's resilience."""
+    kind, target = parse_address(server.address)
+    assert kind == "tcp"
+    sock = socket.create_connection(target, timeout=30)
+    sock.settimeout(30)
+    return sock
+
+
+class TestBadFrames:
+    """A hostile or buggy peer must never take the reader down.
+
+    A frame whose body arrives *in full* but does not decode is
+    answered with ``ERR_BAD_FRAME`` on a still-synchronized stream; a
+    frame truncated mid-read leaves the stream desynchronized, so that
+    connection is dropped — but the server keeps serving new ones.
+    """
+
+    def _assert_bad_frame_then_recovers(self, server, frame: bytes):
+        with _raw_connection(server) as sock:
+            sock.sendall(frame)
+            reply = recv_frame(sock)
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == "bad-frame"
+            # Same socket, next frame: the stream stayed synchronized.
+            sock.sendall(encode_frame({"id": 1, "op": "ping", "params": {}}))
+            reply = recv_frame(sock)
+            assert reply["ok"] is True
+            assert reply["result"]["pong"] is True
+
+    def test_non_json_body_answers_bad_frame(self):
+        body = b"this is not json at all"
+        frame = struct.pack(">I", len(body)) + body
+        with running_server(workers=1) as server:
+            self._assert_bad_frame_then_recovers(server, frame)
+
+    def test_binary_header_overrun_answers_bad_frame(self):
+        # A protocol-2 body whose inner header_len overruns the body.
+        body = struct.pack(">I", 999) + b"ab"
+        frame = struct.pack(">I", _BINARY_FLAG | len(body)) + body
+        with running_server(workers=1) as server:
+            self._assert_bad_frame_then_recovers(server, frame)
+
+    def test_garbage_wire_stub_answers_bad_frame(self):
+        # A well-formed binary header whose __wire__ stub points past
+        # the (empty) buffer index.
+        header = json.dumps(
+            {"id": 3, "op": "ping", "params": {"x": {"__wire__": 7}}, "_wire": []}
+        ).encode("ascii")
+        body = struct.pack(">I", len(header)) + header
+        frame = struct.pack(">I", _BINARY_FLAG | len(body)) + body
+        with running_server(workers=1) as server:
+            self._assert_bad_frame_then_recovers(server, frame)
+
+    def test_truncated_length_prefix_drops_only_that_connection(self):
+        with running_server(workers=1) as server:
+            with _raw_connection(server) as sock:
+                sock.sendall(b"\x00\x00")  # half a length prefix, then EOF
+            with Client(server.address) as client:
+                assert client.ping()["pong"] is True
+
+    def test_truncated_body_drops_only_that_connection(self):
+        with running_server(workers=1) as server:
+            with _raw_connection(server) as sock:
+                sock.sendall(struct.pack(">I", 100) + b"short")
+            with Client(server.address) as client:
+                assert client.ping()["pong"] is True
+
+
+class TestGracefulDrain:
+    def test_cli_sigint_exits_zero_with_drain_summary(self):
+        # The repro-server process must treat Ctrl-C as graceful drain:
+        # no KeyboardInterrupt traceback, exit code 0, and the one-line
+        # drain summary on stdout.
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.server", "--port", "0", "--workers", "1"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            assert banner.startswith("repro-server listening on ")
+            address = banner.rpartition(" ")[2]
+            with Client(address, timeout=30) as client:
+                assert client.ping()["pong"] is True
+                proc.send_signal(signal.SIGINT)
+                out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, err
+        assert "drained 0 in-flight request(s)" in out
+        assert "KeyboardInterrupt" not in err
+        assert "Traceback" not in err
