@@ -2,19 +2,21 @@
 
 Kept as a plain ``setup.py`` (no build isolation, no wheel requirement)
 so offline machines can still ``pip install -e . --no-build-isolation``
-with nothing but setuptools.  Installs two console scripts:
+with nothing but setuptools.  Installs three console scripts:
 
 * ``repro-experiments`` — regenerate the paper's tables and figures
   (optionally against a remote server via ``--server``);
 * ``repro-server`` — the multi-client lot-testing server
-  (see ``docs/server.md``).
+  (see ``docs/server.md``);
+* ``repro-gateway`` — the HTTP/JSON gateway with per-netlist-group
+  sessions and Prometheus ``/metrics`` (see ``docs/server.md``).
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro-dac81-fault-coverage",
-    version="0.4.0",
+    version="0.5.0",
     description=(
         "Reproduction of Agrawal, Seth & Agrawal, 'LSI Product Quality "
         "and Fault Coverage' (DAC 1981): analytic reject-rate model plus "
@@ -28,6 +30,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-experiments=repro.experiments.runner:main",
+            "repro-gateway=repro.gateway.__main__:main",
             "repro-server=repro.server.__main__:main",
         ]
     },

@@ -22,6 +22,6 @@ worker setting — the session changes *where* the work runs, never what
 it computes.
 """
 
-from repro.api.session import Session, resolve_session
+from repro.api.session import Session, aggregate_stats, resolve_session
 
-__all__ = ["Session", "resolve_session"]
+__all__ = ["Session", "aggregate_stats", "resolve_session"]

@@ -42,7 +42,7 @@ import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterator, Mapping, Sequence
+from typing import Any, Hashable, Iterable, Iterator, Mapping, Sequence
 
 from repro.circuit.netlist import Netlist
 from repro.faults.fault_sim import engine_context_token
@@ -59,7 +59,23 @@ from repro.tester.program import TestProgram
 from repro.tester.results import LotTestResult
 from repro.tester.tester import WaferTester
 
-__all__ = ["Session", "resolve_session"]
+__all__ = ["Session", "aggregate_stats", "resolve_session"]
+
+
+def aggregate_stats(stats_dicts: Iterable[dict[str, int]]) -> dict[str, int]:
+    """Key-wise sum of :meth:`Session.stats` dicts across many sessions.
+
+    Every ``Session.stats()`` value is a summable integer counter or
+    gauge, so a fleet of sessions (the gateway's scheduler, a test
+    harness pool) aggregates by plain addition — including sessions that
+    have since closed, whose final stats were snapshotted.  Keys absent
+    from some dicts (older snapshots) simply contribute nothing.
+    """
+    total: dict[str, int] = {}
+    for stats in stats_dicts:
+        for key, value in stats.items():
+            total[key] = total.get(key, 0) + value
+    return total
 
 
 def _payload_nbytes(obj: Any) -> int:
@@ -337,6 +353,11 @@ class Session:
             Payload bytes the session's pool shipped to / received from
             its workers (wire-format frames: contexts, shard tasks,
             shard results).
+        ``dispatches`` / ``pool_workers``
+            Non-empty shard dispatches the session's executor served,
+            and its configured worker count — the per-session pool
+            accounting :func:`aggregate_stats` sums across a scheduler
+            fleet.
         """
         from repro import chaos
 
@@ -361,6 +382,8 @@ class Session:
             ),
             "ipc_bytes_out": self._executor.ipc_bytes_out,
             "ipc_bytes_in": self._executor.ipc_bytes_in,
+            "dispatches": self._executor.dispatches,
+            "pool_workers": self._executor.num_workers,
         }
 
     # ------------------------------------------------------------- pipeline

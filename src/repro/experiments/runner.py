@@ -9,13 +9,15 @@ Installed as the ``repro-experiments`` console script::
     repro-experiments --engine compiled      # pre-batching fault-sim engine
     repro-experiments --workers auto         # process-sharded Monte Carlo
     repro-experiments --server 127.0.0.1:7642  # run on a repro-server
+    repro-experiments --server http://127.0.0.1:8642  # on a repro-gateway
 
 One :class:`repro.api.Session` carries the selected engine and worker
 pool across every experiment of an invocation: each ``run(session=...)``
 draws on the same persistent pool and compiled-circuit caches, so the
 CLI is also the smallest demonstration of the session API.  With
 ``--server ADDR`` the experiments run on a remote
-:class:`repro.server.LotServer` instead (which owns execution policy,
+:class:`repro.server.LotServer` — or, with an ``http(s)://`` address, a
+:class:`repro.gateway.Gateway` — instead (which owns execution policy,
 so ``--engine`` / ``--workers`` cannot be combined with it); reports
 are bit-identical either way.  Unknown experiment names are rejected up
 front (exit code 2, valid choices listed) before anything runs.
@@ -142,9 +144,10 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help=(
             "run the experiments on a repro-server at ADDR "
-            "('host:port' or 'unix:/path') instead of in-process; the "
-            "server owns engine/workers policy, so this flag excludes "
-            "--engine and --workers"
+            "('host:port', 'unix:/path', or an 'http://'/'https://' URL "
+            "for a repro-gateway) instead of in-process; the server owns "
+            "engine/workers policy, so this flag excludes --engine and "
+            "--workers"
         ),
     )
     args = parser.parse_args(argv)
@@ -184,8 +187,13 @@ def main(argv: list[str] | None = None) -> int:
                 (args.output_dir / f"{name}.txt").write_text(report + "\n")
 
     if args.server is not None:
-        # Imported lazily so the in-process path never pays for it.
-        from repro.server import Client
+        # Imported lazily so the in-process path never pays for it.  An
+        # http(s):// address targets the HTTP/JSON gateway; anything else
+        # keeps the original TCP/unix framed protocol.
+        if args.server.startswith(("http://", "https://")):
+            from repro.gateway import GatewayClient as Client
+        else:
+            from repro.server import Client
 
         with Client(args.server) as client:
             report_all(client.run_experiment)

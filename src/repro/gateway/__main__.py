@@ -1,0 +1,193 @@
+"""Console entry point: ``repro-gateway`` (or ``python -m repro.gateway``).
+
+Binds a :class:`~repro.gateway.Gateway` and serves until a client POSTs
+``/v1/shutdown`` or the process receives SIGINT/SIGTERM — both drain
+gracefully: stop accepting, finish in-flight requests up to
+``--drain-timeout``, then exit 0 with a one-line summary.  On startup
+it prints exactly one line::
+
+    repro-gateway listening on http://<host>:<port>
+
+(``https://`` with ``--tls-cert/--tls-key``), which wrapper scripts
+parse to discover an ephemeral ``--port 0`` binding — the gateway smoke
+test does exactly that.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.runner import _parse_workers
+from repro.gateway.gateway import Gateway
+from repro.server.__main__ import _positive_float, _positive_int
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse CLI flags, run the gateway, return the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gateway",
+        description=(
+            "HTTP/JSON gateway for the lot-testing pipeline: REST "
+            "resources over safe JSON payloads, one session per netlist "
+            "group, Prometheus /metrics (see docs/server.md)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind host (default: %(default)s)")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port; 0 binds an ephemeral port (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("batch", "compiled", "event"),
+        default="batch",
+        help="fault-simulation engine of every session (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=1,
+        help="pool processes per session: an integer or 'auto' (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=_positive_int,
+        default=4,
+        help=(
+            "concurrently open sessions (one per netlist group, LRU-idle "
+            "evicted) (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--max-contexts",
+        type=_positive_int,
+        default=None,
+        help="per-session LRU bound on resident compiled contexts (default: unbounded)",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=_positive_int,
+        default=None,
+        help="per-session LRU bound on resident context bytes (default: unbounded)",
+    )
+    parser.add_argument(
+        "--max-handles",
+        type=_positive_int,
+        default=256,
+        help="retained lot/program handles per kind (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-queue-depth",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-netlist backpressure high-water mark: requests past N "
+            "pending answer 429 with a Retry-After hint (default: unbounded)"
+        ),
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline; a request past it answers 504 (default: none)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "graceful-shutdown window for in-flight requests "
+            "(default: $REPRO_DRAIN_TIMEOUT or 10)"
+        ),
+    )
+    parser.add_argument(
+        "--dispatch-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "pool watchdog deadline against hung workers "
+            "(default: $REPRO_DISPATCH_TIMEOUT or off)"
+        ),
+    )
+    parser.add_argument(
+        "--tls-cert",
+        default=None,
+        metavar="PEM",
+        help="TLS certificate chain (enables https; requires --tls-key)",
+    )
+    parser.add_argument(
+        "--tls-key",
+        default=None,
+        metavar="PEM",
+        help="TLS private key (requires --tls-cert)",
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        metavar="SECRET",
+        help=(
+            "bearer token required on every route except /healthz "
+            "(mandatory for non-loopback binds unless --insecure)"
+        ),
+    )
+    parser.add_argument(
+        "--insecure",
+        action="store_true",
+        help="allow binding a non-loopback host without --token",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="log every request (method, path, status, payload bytes)",
+    )
+    args = parser.parse_args(argv)
+    if args.debug:
+        import logging
+
+        logging.basicConfig(
+            level=logging.DEBUG,
+            format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        )
+    try:
+        gateway = Gateway(
+            host=args.host,
+            port=args.port,
+            engine=args.engine,
+            workers=args.workers,
+            max_sessions=args.max_sessions,
+            max_contexts=args.max_contexts,
+            max_bytes=args.max_bytes,
+            max_handles=args.max_handles,
+            max_queue_depth=args.max_queue_depth,
+            request_timeout=args.request_timeout,
+            drain_timeout=args.drain_timeout,
+            dispatch_timeout=args.dispatch_timeout,
+            tls_cert=args.tls_cert,
+            tls_key=args.tls_key,
+            auth_token=args.token,
+            allow_insecure=args.insecure,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    try:
+        gateway.run(verbose=True)
+    except KeyboardInterrupt:
+        pass
+    print(
+        f"repro-gateway: drained {gateway.drained_requests} in-flight "
+        f"request(s)",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,723 @@
+"""The HTTP/JSON front door: :class:`Gateway`.
+
+An asyncio HTTP/1.1 server (stdlib only) exposing the lot-testing op
+surface as REST resources over safe JSON payloads — the front end for
+clients that cannot (or should not) speak the framed-pickle TCP
+protocol:
+
+========  ============================  =====================================
+Method    Path                          Meaning
+========  ============================  =====================================
+POST      ``/v1/netlists``              register a netlist (dedup by
+                                        structural fingerprint)
+POST      ``/v1/lots``                  fabricate a lot (``recipe``) or
+                                        upload one (``lot``)
+POST      ``/v1/programs``              build a test program (``patterns``)
+                                        or upload one (``program``)
+POST      ``/v1/lots/{id}/test``        first-fail test a lot by handle
+POST      ``/v1/experiments/{name}``    run a named paper experiment
+GET       ``/healthz``                  liveness (never auth-gated)
+GET       ``/metrics``                  Prometheus text exposition
+GET       ``/v1/stats``                 scheduler + HTTP stats as JSON
+POST      ``/v1/shutdown``              graceful drain and exit
+========  ============================  =====================================
+
+Requests that touch the pipeline are queued per netlist and executed by
+the :class:`~repro.gateway.scheduler.SessionScheduler` — one session
+per netlist group, so distinct netlists genuinely overlap in wall-clock
+where the TCP server's single shared session serializes them.
+
+Responses on one connection are written in **request order** while the
+handlers themselves run concurrently — that is what makes client-side
+pipelining sound.  Replay headers (``X-Repro-Client-Id`` /
+``X-Repro-Request-Id``) feed the same idempotent replay cache the TCP
+server uses, so a client retrying a request whose first reply died on
+the wire never re-runs pipeline work.
+
+Security: JSON only (no pickle off the wire), optional TLS
+(``tls_cert``/``tls_key``), and bearer-token auth.  Binding a
+non-loopback interface without a token is refused unless
+``allow_insecure=True``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hmac
+import json
+import logging
+import os
+import re
+import signal
+import ssl
+import sys
+import threading
+import traceback
+from collections import Counter
+from typing import Any, Awaitable, Callable
+
+from repro.api import Session
+from repro.circuit.netlist import Netlist
+from repro.gateway import codec, http
+from repro.gateway.metrics import render_metrics
+from repro.gateway.scheduler import SessionScheduler
+from repro.runtime import PoisonShardError, WorkerCrashError
+from repro.server.core import (
+    HandleRegistry,
+    ReplayCache,
+    RequestError,
+    param,
+)
+from repro.server.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_DEADLINE,
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
+    ERR_POISON_SHARD,
+    ERR_SHUTTING_DOWN,
+    ERR_UNKNOWN_HANDLE,
+    ERR_UNKNOWN_NETLIST,
+    ERR_UNKNOWN_OP,
+    ERR_USER,
+    ERR_WORKER_CRASH,
+    netlist_fingerprint,
+)
+
+__all__ = ["Gateway"]
+
+_log = logging.getLogger("repro.gateway")
+
+# Queue key for experiment runs (they build their own circuits).
+_EXPERIMENT_QUEUE = "__experiments__"
+
+# Gateway-specific error code: the protocol vocabulary has no auth
+# concept (the TCP server trusts its network); HTTP does.
+ERR_UNAUTHORIZED = "unauthorized"
+
+_DRAIN_TIMEOUT_ENV = "REPRO_DRAIN_TIMEOUT"
+_DEFAULT_DRAIN_TIMEOUT = 10.0
+
+# In-order responses awaiting their turn on one connection.  Bounds how
+# far ahead a pipelining client can run before reads stop draining.
+_MAX_PIPELINE = 64
+
+_LOOPBACK_HOSTS = frozenset({"127.0.0.1", "::1", "localhost"})
+
+# Protocol error code -> HTTP status.
+_STATUS_BY_CODE = {
+    ERR_BAD_REQUEST: 400,
+    ERR_USER: 400,
+    ERR_UNAUTHORIZED: 401,
+    ERR_UNKNOWN_OP: 404,
+    ERR_UNKNOWN_NETLIST: 404,
+    ERR_UNKNOWN_HANDLE: 404,
+    ERR_OVERLOADED: 429,
+    ERR_SHUTTING_DOWN: 503,
+    ERR_DEADLINE: 504,
+    ERR_WORKER_CRASH: 500,
+    ERR_POISON_SHARD: 500,
+    ERR_INTERNAL: 500,
+}
+
+
+class _Route:
+    __slots__ = ("method", "pattern", "handler", "name", "auth_exempt", "replayable")
+
+    def __init__(self, method, pattern, handler, name, auth_exempt=False, replayable=False):
+        self.method = method
+        self.pattern = re.compile(pattern)
+        self.handler = handler
+        self.name = name
+        self.auth_exempt = auth_exempt
+        self.replayable = replayable
+
+
+class Gateway:
+    """Serve the lot-testing pipeline over HTTP/JSON.
+
+    Parameters
+    ----------
+    host, port:
+        TCP endpoint; ``port=0`` binds an ephemeral port (read
+        :attr:`address` after startup).
+    engine, workers, max_contexts, max_bytes, dispatch_timeout:
+        Forwarded to every scheduler session.
+    max_sessions:
+        Upper bound on concurrently open sessions (one per netlist
+        group, LRU-idle evicted) — the gateway's concurrency knob.
+    max_handles:
+        Bound on retained lot/program handles (FIFO per kind).
+    max_queue_depth:
+        Per-netlist high-water mark; past it requests answer 429 with a
+        ``Retry-After`` hint.
+    request_timeout:
+        Per-request deadline in seconds (504 past it); ``None`` disables.
+    drain_timeout:
+        Graceful-shutdown wait for in-flight requests
+        (``REPRO_DRAIN_TIMEOUT``, default 10 s).
+    tls_cert, tls_key:
+        PEM paths; both set enables TLS (the address becomes https).
+    auth_token:
+        Bearer token required on every route except ``/healthz``.
+    allow_insecure:
+        Permit binding a non-loopback host without ``auth_token``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        engine: str = "batch",
+        workers: int | str = 1,
+        max_sessions: int = 4,
+        max_contexts: int | None = None,
+        max_bytes: int | None = None,
+        max_handles: int = 256,
+        max_queue_depth: int | None = None,
+        request_timeout: float | None = None,
+        drain_timeout: float | None = None,
+        dispatch_timeout: float | None = None,
+        tls_cert: str | None = None,
+        tls_key: str | None = None,
+        auth_token: str | None = None,
+        allow_insecure: bool = False,
+    ):
+        if (tls_cert is None) != (tls_key is None):
+            raise ValueError("pass both tls_cert and tls_key, or neither")
+        if host not in _LOOPBACK_HOSTS and not auth_token and not allow_insecure:
+            raise ValueError(
+                f"refusing to bind non-loopback host {host!r} without "
+                f"auth_token (pass allow_insecure=True to override)"
+            )
+        if drain_timeout is None:
+            env = os.environ.get(_DRAIN_TIMEOUT_ENV)
+            drain_timeout = float(env) if env else _DEFAULT_DRAIN_TIMEOUT
+        self._host = host
+        self._port = port
+        self._tls_cert = tls_cert
+        self._tls_key = tls_key
+        self._auth_token = auth_token
+        self._request_timeout = request_timeout
+        self._drain_timeout = max(0.0, float(drain_timeout))
+        self._scheduler = SessionScheduler(
+            max_sessions=max_sessions,
+            max_queue_depth=max_queue_depth,
+            engine=engine,
+            workers=workers,
+            max_contexts=max_contexts,
+            max_bytes=max_bytes,
+            dispatch_timeout=dispatch_timeout,
+        )
+        self._netlists: dict[str, Netlist] = {}
+        handle_counter = [0]
+        self._lots = HandleRegistry("lot", max_handles, handle_counter)
+        self._programs = HandleRegistry("prog", max_handles, handle_counter)
+        self._replay = ReplayCache()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._requests_by_route: Counter[str] = Counter()
+        self._connections_open = 0
+        self._connections_total = 0
+        self._requests_total = 0
+        self._auth_failures = 0
+        self._bad_requests = 0
+        self._deadline_expirations = 0
+        self.drained_requests = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._stopping = False
+        self._started = threading.Event()
+        self._finished = threading.Event()
+        self.address: str | None = None
+        self._routes = [
+            _Route("GET", r"^/healthz$", self._r_healthz, "healthz", auth_exempt=True),
+            _Route("GET", r"^/metrics$", self._r_metrics, "metrics"),
+            _Route("GET", r"^/v1/stats$", self._r_stats, "stats"),
+            _Route("POST", r"^/v1/netlists$", self._r_netlists, "netlists",
+                   replayable=True),
+            _Route("POST", r"^/v1/lots$", self._r_lots, "lots", replayable=True),
+            _Route("POST", r"^/v1/programs$", self._r_programs, "programs",
+                   replayable=True),
+            _Route("POST", r"^/v1/lots/([^/]+)/test$", self._r_test, "test",
+                   replayable=True),
+            _Route("POST", r"^/v1/experiments/([^/]+)$", self._r_experiment,
+                   "experiments", replayable=True),
+            _Route("POST", r"^/v1/shutdown$", self._r_shutdown, "shutdown"),
+        ]
+
+    # ----------------------------------------------------------- lifecycle
+
+    def run(self, verbose: bool = False) -> None:
+        """Bind, announce (``verbose``), and serve until shutdown (blocking)."""
+        try:
+            asyncio.run(self._main(verbose))
+        finally:
+            self._finished.set()
+            self._started.set()  # unblock waiters even on startup failure
+
+    def wait_started(self, timeout: float = 30.0) -> None:
+        """Block until the gateway is listening (for run-in-a-thread users)."""
+        if not self._started.wait(timeout):
+            raise TimeoutError("gateway did not start listening in time")
+        if self.address is None:
+            raise RuntimeError("gateway failed during startup")
+
+    def request_shutdown(self) -> None:
+        """Ask the gateway to stop, from any thread (idempotent)."""
+        loop, stop = self._loop, self._stop_event
+        if loop is None or stop is None:
+            self._stopping = True
+            return
+        try:
+            loop.call_soon_threadsafe(stop.set)
+        except RuntimeError:
+            pass  # loop already closed — the gateway is already down
+
+    def _ssl_context(self) -> ssl.SSLContext | None:
+        if self._tls_cert is None:
+            return None
+        context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+        context.load_cert_chain(self._tls_cert, self._tls_key)
+        return context
+
+    async def _main(self, verbose: bool) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        if self._stopping:  # shutdown requested before startup
+            self._stop_event.set()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._loop.add_signal_handler(signum, self._stop_event.set)
+            except (ValueError, NotImplementedError, OSError, RuntimeError):
+                pass
+        server = await asyncio.start_server(
+            self._handle_connection,
+            host=self._host,
+            port=self._port,
+            ssl=self._ssl_context(),
+        )
+        bound = server.sockets[0].getsockname()
+        scheme = "https" if self._tls_cert is not None else "http"
+        self.address = f"{scheme}://{bound[0]}:{bound[1]}"
+        if verbose:
+            print(f"repro-gateway listening on {self.address}", flush=True)
+        self._started.set()
+        try:
+            await self._stop_event.wait()
+            self._stopping = True
+        finally:
+            # Graceful drain, mirroring the TCP server: stop accepting,
+            # let in-flight requests finish, then close everything.
+            self._stopping = True
+            server.close()
+            in_flight = self._scheduler.total_pending()
+            if in_flight and self._drain_timeout > 0:
+                deadline = self._loop.time() + self._drain_timeout
+                while (
+                    self._scheduler.total_pending()
+                    and self._loop.time() < deadline
+                ):
+                    await asyncio.sleep(0.05)
+            self.drained_requests = in_flight - self._scheduler.total_pending()
+            # Give the just-finished responses one tick to flush, then
+            # cancel live connection handlers (wait_closed would block
+            # on idle keep-alive clients since Python 3.12.1).
+            await asyncio.sleep(0.05)
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+            try:
+                await server.wait_closed()
+            except Exception:
+                pass
+            await self._scheduler.aclose()
+
+    # --------------------------------------------------------- connections
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._connections_open += 1
+        self._connections_total += 1
+        # Responses are queued (as tasks) in request order; the writer
+        # coroutine drains them in that order while handlers overlap.
+        queue: asyncio.Queue = asyncio.Queue(maxsize=_MAX_PIPELINE)
+        writer_task = asyncio.ensure_future(self._write_responses(queue, writer))
+        try:
+            while True:
+                try:
+                    request = await http.read_request(reader)
+                except http.HttpError as exc:
+                    # Framing failure: the stream may be desynchronized —
+                    # answer once and close.
+                    self._bad_requests += 1
+                    payload = self._error_body(ERR_BAD_REQUEST, str(exc))
+                    response = http.encode_response(
+                        exc.status, payload, keep_alive=False
+                    )
+                    future = self._loop.create_future()  # type: ignore[union-attr]
+                    future.set_result((response, True, False))
+                    await queue.put(future)
+                    break
+                if request is None:
+                    break
+                await queue.put(asyncio.ensure_future(self._respond(request)))
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            if not writer_task.done():
+                try:
+                    queue.put_nowait(None)
+                except asyncio.QueueFull:
+                    writer_task.cancel()
+            try:
+                await writer_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._connections_open -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _write_responses(self, queue: asyncio.Queue, writer) -> None:
+        """Drain queued responses strictly in request order."""
+        try:
+            while True:
+                item = await queue.get()
+                if item is None:
+                    return
+                payload, close, stop_after = await item
+                writer.write(payload)
+                await writer.drain()
+                if stop_after and self._stop_event is not None:
+                    self._stop_event.set()
+                if close:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            # Drop responses still in flight for this dead connection.
+            while True:
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is not None:
+                    item.cancel()
+
+    # ------------------------------------------------------------ dispatch
+
+    def _error_body(
+        self, code: str, message: str, retry_after: float | None = None
+    ) -> bytes:
+        error: dict[str, Any] = {"code": code, "message": message}
+        if retry_after is not None:
+            error["retry_after"] = retry_after
+        return json.dumps({"ok": False, "error": error}).encode()
+
+    def _authorized(self, request: http.HttpRequest) -> bool:
+        if self._auth_token is None:
+            return True
+        header = request.headers.get("authorization", "")
+        scheme, _, token = header.partition(" ")
+        return scheme.lower() == "bearer" and hmac.compare_digest(
+            token.strip(), self._auth_token
+        )
+
+    async def _respond(self, request: http.HttpRequest) -> tuple[bytes, bool, bool]:
+        """One request -> ``(response bytes, close after, stop after)``."""
+        self._requests_total += 1
+        status, payload, stop_after = await self._dispatch(request)
+        headers: dict[str, str] = {}
+        rid = request.headers.get("x-repro-request-id")
+        if rid is not None:
+            headers["x-repro-request-id"] = rid
+        if isinstance(payload, dict):
+            error = payload.get("error") or {}
+            if error.get("retry_after") is not None:
+                headers["retry-after"] = f"{error['retry_after']:g}"
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
+        else:  # /metrics text exposition
+            body = payload
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        response = http.encode_response(
+            status,
+            body,
+            content_type=content_type,
+            headers=headers,
+            keep_alive=request.keep_alive,
+        )
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "%s %s -> %d bytes_in=%d bytes_out=%d",
+                request.method, request.path, status,
+                len(request.body), len(response),
+            )
+        return response, not request.keep_alive, stop_after
+
+    async def _dispatch(self, request: http.HttpRequest):
+        """Route + auth + replay + deadline + error mapping."""
+        route = None
+        path_known = False
+        for candidate in self._routes:
+            if candidate.pattern.match(request.path):
+                path_known = True
+                if candidate.method == request.method:
+                    route = candidate
+                    break
+        name = route.name if route is not None else "unmatched"
+        self._requests_by_route[name] += 1
+        if route is None:
+            if path_known:
+                return 405, {"ok": False, "error": {
+                    "code": ERR_BAD_REQUEST,
+                    "message": f"method {request.method} not allowed on {request.path}",
+                }}, False
+            return 404, {"ok": False, "error": {
+                "code": ERR_UNKNOWN_OP,
+                "message": f"no route for {request.method} {request.path}",
+            }}, False
+        if not route.auth_exempt and not self._authorized(request):
+            self._auth_failures += 1
+            return 401, {"ok": False, "error": {
+                "code": ERR_UNAUTHORIZED,
+                "message": "missing or invalid bearer token",
+            }}, False
+        cid = request.headers.get("x-repro-client-id")
+        rid = request.headers.get("x-repro-request-id")
+        replayable = route.replayable and cid is not None and rid is not None
+        if replayable:
+            cached = self._replay.lookup(cid, rid)
+            if cached is not None:
+                status, payload = cached
+                return status, payload, False
+        args = route.pattern.match(request.path).groups()
+        try:
+            if self._stopping:
+                raise RequestError(ERR_SHUTTING_DOWN, "gateway is shutting down")
+            params = self._json_params(request)
+            coro = route.handler(params, *args)
+            if self._request_timeout is not None and route.name != "shutdown":
+                try:
+                    result = await asyncio.wait_for(coro, self._request_timeout)
+                except asyncio.TimeoutError:
+                    self._deadline_expirations += 1
+                    raise RequestError(
+                        ERR_DEADLINE,
+                        f"request exceeded the {self._request_timeout:g}s "
+                        f"gateway deadline",
+                    ) from None
+            else:
+                result = await coro
+            if isinstance(result, (bytes, str)):
+                return 200, result if isinstance(result, bytes) else result.encode(), False
+            payload = {"ok": True, "result": result}
+            if replayable:
+                self._replay.store(cid, rid, (200, payload))
+            return 200, payload, route.name == "shutdown"
+        except RequestError as exc:
+            status = _STATUS_BY_CODE.get(exc.code, 500)
+            error: dict[str, Any] = {"code": exc.code, "message": str(exc)}
+            if exc.retry_after is not None:
+                error["retry_after"] = exc.retry_after
+            return status, {"ok": False, "error": error}, False
+        except asyncio.CancelledError:
+            raise
+        except PoisonShardError as exc:
+            return 500, {"ok": False, "error": {
+                "code": ERR_POISON_SHARD,
+                "message": f"quarantined poison shard: {exc} "
+                           f"(fingerprint={exc.fingerprint!r}, "
+                           f"shard_index={exc.shard_index!r})",
+            }}, False
+        except WorkerCrashError as exc:
+            return 500, {"ok": False, "error": {
+                "code": ERR_WORKER_CRASH,
+                "message": f"pool worker crash recovery exhausted: {exc} "
+                           f"(token={exc.token!r}, shard_index={exc.shard_index!r})",
+            }}, False
+        except (ValueError, KeyError, IndexError, TypeError) as exc:
+            return 400, {"ok": False, "error": {
+                "code": ERR_USER, "message": f"{type(exc).__name__}: {exc}",
+            }}, False
+        except Exception as exc:  # pragma: no cover - defensive
+            traceback.print_exc(file=sys.stderr)
+            return 500, {"ok": False, "error": {
+                "code": ERR_INTERNAL, "message": f"{type(exc).__name__}: {exc}",
+            }}, False
+
+    @staticmethod
+    def _json_params(request: http.HttpRequest) -> dict:
+        if not request.body:
+            return {}
+        try:
+            params = json.loads(request.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(ERR_BAD_REQUEST, f"body is not valid JSON: {exc}")
+        if not isinstance(params, dict):
+            raise RequestError(ERR_BAD_REQUEST, "body must be a JSON object")
+        return params
+
+    # ---------------------------------------------------------------- ops
+
+    def _netlist_for(self, params: dict) -> tuple[str, Netlist]:
+        netlist_id = param(params, "netlist_id", str)
+        netlist = self._netlists.get(netlist_id)
+        if netlist is None:
+            raise RequestError(
+                ERR_UNKNOWN_NETLIST,
+                f"netlist {netlist_id!r} is not registered; "
+                f"POST /v1/netlists first",
+            )
+        return netlist_id, netlist
+
+    async def _r_healthz(self, params: dict) -> dict:
+        return {
+            "status": "draining" if self._stopping else "ok",
+            "server": "repro-gateway",
+        }
+
+    async def _r_metrics(self, params: dict) -> str:
+        return render_metrics(
+            self._scheduler.stats(),
+            self._http_stats(),
+            dict(self._requests_by_route),
+        )
+
+    def _http_stats(self) -> dict:
+        return {
+            "connections_open": self._connections_open,
+            "connections_total": self._connections_total,
+            "requests_total": self._requests_total,
+            "auth_failures": self._auth_failures,
+            "bad_requests": self._bad_requests,
+            "replay_hits": self._replay.hits,
+            "deadline_expirations": self._deadline_expirations,
+            "registered_netlists": len(self._netlists),
+            "lots_retained": len(self._lots),
+            "programs_retained": len(self._programs),
+            "requests_by_route": dict(self._requests_by_route),
+            "draining": self._stopping,
+        }
+
+    async def _r_stats(self, params: dict) -> dict:
+        return {"scheduler": self._scheduler.stats(), "http": self._http_stats()}
+
+    async def _r_netlists(self, params: dict) -> dict:
+        netlist = codec.netlist_from_json(param(params, "netlist", dict))
+        fingerprint = netlist_fingerprint(netlist)
+        known = fingerprint in self._netlists
+        if not known:
+            self._netlists[fingerprint] = netlist
+        return {"netlist_id": fingerprint, "known": known}
+
+    async def _r_lots(self, params: dict) -> dict:
+        netlist_id, netlist = self._netlist_for(params)
+        if "lot" in params:
+            # Upload: register a client-built lot under a handle.
+            lot = codec.lot_from_json(netlist, param(params, "lot", dict))
+            handle = self._lots.add((netlist_id, lot))
+            return {
+                "lot_id": handle,
+                "num_chips": len(lot),
+                "empirical_yield": lot.empirical_yield(),
+            }
+        recipe = codec.recipe_from_json(param(params, "recipe", dict))
+        num_chips = param(params, "num_chips", int)
+        dies_per_wafer = param(params, "dies_per_wafer", int, default=100)
+        seed = param(params, "seed", (int, str, type(None)), default=None)
+        return_lot = param(params, "return_lot", bool, default=True)
+
+        def job(session: Session) -> dict:
+            lot = session.fabricate(
+                netlist, recipe, num_chips,
+                dies_per_wafer=dies_per_wafer, seed=seed,
+            )
+            handle = self._lots.add((netlist_id, lot))
+            result = {
+                "lot_id": handle,
+                "num_chips": len(lot),
+                "empirical_yield": lot.empirical_yield(),
+            }
+            if return_lot:
+                result["lot"] = codec.lot_to_json(netlist, lot)
+            return result
+
+        return await self._scheduler.submit(netlist_id, job)
+
+    async def _r_programs(self, params: dict) -> dict:
+        netlist_id, netlist = self._netlist_for(params)
+        if "program" in params:
+            # Upload: register a client-built program under a handle.
+            program = codec.program_from_json(
+                netlist, param(params, "program", dict)
+            )
+            handle = self._programs.add((netlist_id, program))
+            return {
+                "program_id": handle,
+                "num_patterns": len(program),
+                "final_coverage": program.final_coverage,
+            }
+        patterns = codec.patterns_from_json(param(params, "patterns", list))
+        collapse = param(params, "collapse", bool, default=True)
+        return_program = param(params, "return_program", bool, default=True)
+
+        def job(session: Session) -> dict:
+            program = session.build_program(netlist, patterns, collapse=collapse)
+            handle = self._programs.add((netlist_id, program))
+            result = {
+                "program_id": handle,
+                "num_patterns": len(program),
+                "final_coverage": program.final_coverage,
+            }
+            if return_program:
+                result["program"] = codec.program_to_json(program)
+            return result
+
+        return await self._scheduler.submit(netlist_id, job)
+
+    async def _r_test(self, params: dict, lot_id: str) -> dict:
+        entry = self._lots.get(lot_id)
+        if entry is None:
+            raise RequestError(
+                ERR_UNKNOWN_HANDLE, f"unknown or expired lot handle {lot_id!r}"
+            )
+        _lot_netlist_id, lot = entry
+        handle = param(params, "program_id", str)
+        program_entry = self._programs.get(handle)
+        if program_entry is None:
+            raise RequestError(
+                ERR_UNKNOWN_HANDLE, f"unknown or expired program handle {handle!r}"
+            )
+        netlist_id, program = program_entry
+
+        def job(session: Session) -> dict:
+            result = session.test(lot, program)
+            return codec.result_to_json(result)
+
+        return await self._scheduler.submit(netlist_id, job)
+
+    async def _r_experiment(self, params: dict, name: str) -> dict:
+        from repro.experiments.runner import EXPERIMENTS
+
+        if name not in EXPERIMENTS:
+            raise RequestError(
+                ERR_USER,
+                f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}",
+            )
+
+        def job(session: Session) -> dict:
+            return {"report": session.run_experiment(name)}
+
+        return await self._scheduler.submit(_EXPERIMENT_QUEUE, job)
+
+    async def _r_shutdown(self, params: dict) -> dict:
+        return {"stopping": True}

@@ -1,0 +1,214 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+Just enough of RFC 9112 for the gateway and its pipelined client:
+request/response lines, headers, ``Content-Length`` bodies, and
+keep-alive semantics.  No chunked transfer, no trailers, no upgrades —
+both ends of this wire are under our control, and every message carries
+an explicit ``Content-Length``.
+
+Responses on one connection are written **in request order** (that is
+what makes client-side pipelining by correlation-order sound); the
+server enforces that, this module only frames bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "read_request",
+    "read_response",
+    "encode_request",
+    "encode_response",
+]
+
+# Framing bounds: a start line or one header line, the header block
+# line count, and the body.  Large lot uploads ride the body, so that
+# bound is generous; the line bounds just keep garbage from buffering.
+MAX_LINE_BYTES = 16 * 1024
+MAX_HEADER_LINES = 100
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A framing-level error with the HTTP status it should answer."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+    keep_alive: bool
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes | None:
+    """One CRLF-terminated line, or ``None`` on clean EOF at a boundary."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "connection closed mid-line") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "header line too long") from None
+    if len(line) > MAX_LINE_BYTES:
+        raise HttpError(431, "header line too long")
+    return line.rstrip(b"\r\n")
+
+
+async def _read_headers(reader: asyncio.StreamReader) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADER_LINES):
+        line = await _read_line(reader)
+        if line is None:
+            raise HttpError(400, "connection closed inside headers")
+        if not line:
+            return headers
+        name, sep, value = line.partition(b":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line[:80]!r}")
+        try:
+            headers[name.decode("ascii").strip().lower()] = value.decode(
+                "latin-1"
+            ).strip()
+        except UnicodeDecodeError:
+            raise HttpError(400, "non-ASCII header name") from None
+    raise HttpError(431, "too many header lines")
+
+
+async def _read_body(reader: asyncio.StreamReader, headers: dict[str, str]) -> bytes:
+    if "transfer-encoding" in headers:
+        raise HttpError(400, "chunked transfer encoding is not supported")
+    raw = headers.get("content-length", "0")
+    try:
+        length = int(raw)
+    except ValueError:
+        raise HttpError(400, f"bad content-length {raw!r}") from None
+    if length < 0:
+        raise HttpError(400, f"bad content-length {raw!r}")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"body of {length} bytes exceeds {MAX_BODY_BYTES}")
+    if not length:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise HttpError(400, "connection closed mid-body") from None
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request; ``None`` on clean EOF between requests.
+
+    Raises :class:`HttpError` on malformed input — the stream may be
+    desynchronized afterwards, so the caller answers once and closes.
+    """
+    line = await _read_line(reader)
+    if line is None:
+        return None
+    try:
+        method, target, version = line.decode("ascii").split(" ", 2)
+    except (UnicodeDecodeError, ValueError):
+        raise HttpError(400, f"malformed request line {line[:80]!r}") from None
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+    headers = await _read_headers(reader)
+    body = await _read_body(reader, headers)
+    parts = urlsplit(target)
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.0":
+        keep_alive = connection == "keep-alive"
+    else:
+        keep_alive = connection != "close"
+    return HttpRequest(
+        method=method.upper(),
+        path=unquote(parts.path),
+        query={k: v for k, v in parse_qsl(parts.query)},
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+async def read_response(reader: asyncio.StreamReader) -> HttpResponse:
+    """Parse one response (client side).  EOF raises :class:`HttpError`."""
+    line = await _read_line(reader)
+    if line is None:
+        raise HttpError(400, "server closed the connection")
+    try:
+        _version, status, _reason = line.decode("ascii").split(" ", 2)
+        status_code = int(status)
+    except (UnicodeDecodeError, ValueError):
+        raise HttpError(400, f"malformed status line {line[:80]!r}") from None
+    headers = await _read_headers(reader)
+    body = await _read_body(reader, headers)
+    return HttpResponse(status=status_code, headers=headers, body=body)
+
+
+def encode_request(
+    method: str,
+    path: str,
+    body: bytes = b"",
+    headers: dict[str, str] | None = None,
+    host: str = "localhost",
+) -> bytes:
+    lines = [
+        f"{method} {path} HTTP/1.1",
+        f"host: {host}",
+        f"content-length: {len(body)}",
+    ]
+    if body:
+        lines.append("content-type: application/json")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def encode_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"content-type: {content_type}",
+        f"content-length: {len(body)}",
+        f"connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -1,0 +1,259 @@
+"""Multi-session scheduling for the gateway: :class:`SessionScheduler`.
+
+The framed-TCP :class:`~repro.server.LotServer` drains every netlist
+queue onto **one** exec thread over one shared
+:class:`~repro.api.Session` — correct, but two clients hammering
+*different* netlists serialize needlessly.  The scheduler keeps the
+same per-key FIFO queues (:class:`~repro.server.core.JobQueues`) and
+fans the keys out across a bounded fleet of sessions instead:
+
+* Each distinct key (netlist fingerprint, or the experiments group)
+  gets its own **lane** — a ``Session`` plus a dedicated
+  single-thread executor — up to ``max_sessions`` lanes.
+* At capacity, the least-recently-used **idle** lane is evicted through
+  the ordinary ``Session.close()`` machinery (its final stats are
+  folded into the retired totals first).  If every lane is busy, the
+  new key shares the least-loaded existing lane — bounded resources,
+  never an error.
+* Jobs for one key still run strictly FIFO (JobQueues guarantees it);
+  jobs for different keys on different lanes genuinely overlap in
+  wall-clock, which is the concurrency the gateway exists to provide.
+
+Results are bit-identical to the single-session path: a ``Session``
+computes the same bytes regardless of which process or lane hosts it.
+
+``stats()`` aggregates every lane's ``Session.stats()`` (live and
+retired) with :func:`repro.api.aggregate_stats`, and labels queue
+depths ``"{group}/{key}"`` so ``/metrics`` can tell lanes apart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro import chaos
+from repro.api import Session, aggregate_stats
+from repro.server.core import JobQueues
+
+__all__ = ["SessionScheduler"]
+
+# Scheduler-owned stats keys that must not be key-wise summed across
+# lanes: the chaos schedule is process-global, so every lane reports the
+# same total and summing would multiply it by the lane count.
+_GLOBAL_KEYS = ("chaos_injections",)
+
+
+class _Lane:
+    """One session plus the single thread that owns it."""
+
+    __slots__ = ("group", "session", "exec", "pending", "last_used", "keys")
+
+    def __init__(self, group: str, session: Session):
+        self.group = group
+        self.session = session
+        self.exec = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-gw-{group}"
+        )
+        self.pending = 0
+        self.last_used = time.monotonic()
+        self.keys: set[str] = set()
+
+
+class SessionScheduler:
+    """Route per-key jobs onto a bounded fleet of sessions.
+
+    Parameters
+    ----------
+    max_sessions:
+        Upper bound on concurrently open sessions (lanes).
+    max_queue_depth:
+        Per-key high-water mark forwarded to :class:`JobQueues`
+        (queued + in flight); past it submissions fail ``overloaded``.
+    engine, workers, max_contexts, max_bytes, dispatch_timeout:
+        Forwarded to every lane's :class:`~repro.api.Session`.
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = 4,
+        max_queue_depth: int | None = None,
+        engine: str = "batch",
+        workers: int | str = 1,
+        max_contexts: int | None = None,
+        max_bytes: int | None = None,
+        dispatch_timeout: float | None = None,
+    ):
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        self._max_sessions = max_sessions
+        self._session_kwargs = dict(
+            engine=engine,
+            workers=workers,
+            max_contexts=max_contexts,
+            max_bytes=max_bytes,
+            dispatch_timeout=dispatch_timeout,
+        )
+        # lane.group is unique; _lanes preserves LRU order (move_to_end
+        # on every routing decision).
+        self._lanes: OrderedDict[str, _Lane] = OrderedDict()
+        self._routes: dict[str, _Lane] = {}
+        self._jobs = JobQueues(self._run, max_queue_depth)
+        self._group_counter = 0
+        self._sessions_opened = 0
+        self._sessions_evicted = 0
+        self._retired_stats: dict[str, int] = {}
+        self._closed = False
+
+    # -------------------------------------------------------------- routing
+
+    def _lane_idle(self, lane: _Lane) -> bool:
+        return lane.pending == 0
+
+    def _evict_lru_idle(self) -> bool:
+        """Close the least-recently-used idle lane; False if all busy."""
+        for group, lane in self._lanes.items():
+            if self._lane_idle(lane):
+                self._retire(lane)
+                del self._lanes[group]
+                self._routes = {
+                    key: ln for key, ln in self._routes.items() if ln is not lane
+                }
+                self._sessions_evicted += 1
+                return True
+        return False
+
+    def _retire(self, lane: _Lane) -> None:
+        """Fold a lane's final stats into the retired totals and close it."""
+        stats = lane.session.stats()
+        for key in _GLOBAL_KEYS:
+            stats.pop(key, None)
+        self._retired_stats = aggregate_stats([self._retired_stats, stats])
+        lane.exec.shutdown(wait=True)
+        lane.session.close()
+
+    def _route(self, key: str) -> _Lane:
+        """The lane serving ``key``, creating or evicting as needed."""
+        lane = self._routes.get(key)
+        if lane is None:
+            if len(self._lanes) >= self._max_sessions:
+                self._evict_lru_idle()
+            if len(self._lanes) < self._max_sessions:
+                self._group_counter += 1
+                group = f"s{self._group_counter}"
+                lane = _Lane(group, Session(**self._session_kwargs))
+                self._lanes[group] = lane
+                self._sessions_opened += 1
+            else:
+                # Every lane is busy: share the least-loaded one rather
+                # than fail.  The alias sticks (so the lane's compiled
+                # caches keep paying off) until that lane is evicted.
+                lane = min(self._lanes.values(), key=lambda ln: ln.pending)
+            self._routes[key] = lane
+            lane.keys.add(key)
+        self._lanes.move_to_end(lane.group)
+        lane.last_used = time.monotonic()
+        return lane
+
+    # ------------------------------------------------------------ execution
+
+    async def submit(self, key: str, fn: Callable[[Session], Any]) -> Any:
+        """Queue ``fn(session)`` under ``key`` and await its result.
+
+        FIFO per key; concurrent across keys routed to different lanes.
+        """
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        lane = self._route(key)
+        lane.pending += 1
+        try:
+            return await self._jobs.submit(key, fn)
+        finally:
+            lane.pending -= 1
+            lane.last_used = time.monotonic()
+
+    async def _run(self, key: str, fn: Callable[[Session], Any]) -> Any:
+        lane = self._routes[key]
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(lane.exec, self._run_job, lane, fn)
+
+    @staticmethod
+    def _run_job(lane: _Lane, fn: Callable[[Session], Any]) -> Any:
+        # Same chaos seam as the TCP server's exec thread: delay faults
+        # sleep here, fail faults raise, both off the event loop.
+        chaos.fire("server.job")
+        return fn(lane.session)
+
+    # ---------------------------------------------------------- observation
+
+    def total_pending(self) -> int:
+        return self._jobs.total_pending()
+
+    @property
+    def overload_rejections(self) -> int:
+        return self._jobs.overload_rejections
+
+    def _group_for(self, key: str) -> str:
+        lane = self._routes.get(key)
+        return lane.group if lane is not None else "unrouted"
+
+    def pending_by_queue(self) -> dict[str, int]:
+        """Queued+in-flight per key, labelled ``"{group}/{key}"``."""
+        return {
+            f"{self._group_for(key)}/{key}": count
+            for key, count in self._jobs.pending_by_queue().items()
+        }
+
+    def queue_depths(self) -> dict[str, int]:
+        return {
+            f"{self._group_for(key)}/{key}": depth
+            for key, depth in self._jobs.queue_depths().items()
+        }
+
+    def session_stats(self) -> dict[str, int]:
+        """Key-wise sum of every lane's ``Session.stats()`` ever opened."""
+        per_lane = []
+        chaos_total = 0
+        for lane in self._lanes.values():
+            stats = lane.session.stats()
+            chaos_total = stats.get("chaos_injections", 0)  # process-global
+            for key in _GLOBAL_KEYS:
+                stats.pop(key, None)
+            per_lane.append(stats)
+        total = aggregate_stats([self._retired_stats, *per_lane])
+        total["chaos_injections"] = chaos_total
+        return total
+
+    def stats(self) -> dict:
+        return {
+            "sessions_open": len(self._lanes),
+            "sessions_opened": self._sessions_opened,
+            "sessions_evicted": self._sessions_evicted,
+            "session_groups": {
+                lane.group: {
+                    "keys": sorted(lane.keys),
+                    "pending": lane.pending,
+                }
+                for lane in self._lanes.values()
+            },
+            "pending_by_queue": self.pending_by_queue(),
+            "queue_depths": self.queue_depths(),
+            "overload_rejections": self.overload_rejections,
+            "session": self.session_stats(),
+        }
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def aclose(self) -> None:
+        """Cancel the queues and close every lane (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        await self._jobs.aclose()
+        for lane in self._lanes.values():
+            self._retire(lane)
+        self._lanes.clear()
+        self._routes.clear()

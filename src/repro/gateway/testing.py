@@ -1,0 +1,32 @@
+"""Test/doc helper: run a :class:`Gateway` in a background thread."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from threading import Thread
+from typing import Iterator
+
+from repro.gateway.gateway import Gateway
+
+__all__ = ["running_gateway"]
+
+
+@contextmanager
+def running_gateway(timeout: float = 60.0, **gateway_kwargs) -> Iterator[Gateway]:
+    """A listening :class:`Gateway` on its own thread; stops on exit.
+
+    Yields the gateway after it is accepting connections — read
+    ``gateway.address`` (an ``http://`` or ``https://`` URL) to
+    connect.  Keyword arguments go to the :class:`Gateway` constructor.
+    """
+    gateway = Gateway(**gateway_kwargs)
+    thread = Thread(target=gateway.run, name="repro-gateway", daemon=True)
+    thread.start()
+    try:
+        gateway.wait_started(timeout)
+        yield gateway
+    finally:
+        gateway.request_shutdown()
+        thread.join(timeout)
+        if thread.is_alive():  # pragma: no cover - diagnostics
+            raise RuntimeError("gateway thread did not stop in time")

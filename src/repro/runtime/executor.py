@@ -499,6 +499,7 @@ class ParallelExecutor:
         self._installed: set[Hashable] = set()
         self._contexts_shipped = 0
         self._contexts_evicted = 0
+        self._dispatches = 0
         self._worker_recoveries = 0
         self._dispatch_retries = 0
         self._timeouts = 0
@@ -566,6 +567,29 @@ class ParallelExecutor:
     def installed_tokens(self) -> frozenset:
         """Coordinator-side view of tokens currently installed in the pool."""
         return frozenset(self._installed)
+
+    @property
+    def dispatches(self) -> int:
+        """Non-empty :meth:`map_shards` calls served (serial or pooled)."""
+        return self._dispatches
+
+    def pool_stats(self) -> dict:
+        """Per-executor pool accounting, cheap enough for any caller.
+
+        Unlike :meth:`worker_stats` this never talks to the pool — it is
+        safe to read from a thread that does not own the dispatch path
+        (the gateway scrapes it per scheduler session on ``/metrics``).
+        """
+        return {
+            "workers": self.num_workers,
+            "pool_live": self._pool is not None,
+            "dispatches": self._dispatches,
+            "contexts_shipped": self._contexts_shipped,
+            "contexts_evicted": self._contexts_evicted,
+            "installed_tokens": len(self._installed),
+            "ipc_bytes_out": self._ipc_bytes_out,
+            "ipc_bytes_in": self._ipc_bytes_in,
+        }
 
     @property
     def ipc_bytes_out(self) -> int:
@@ -742,6 +766,7 @@ class ParallelExecutor:
         tasks = list(tasks)
         if not tasks:
             return []
+        self._dispatches += 1
         if self._quarantined:
             # Fingerprinting costs a pickle per task, so the gate only
             # runs once a poison shard actually exists.

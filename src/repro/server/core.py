@@ -1,0 +1,246 @@
+"""Transport-agnostic serving plumbing shared by the front ends.
+
+Both network front ends — the framed-TCP :class:`~repro.server.LotServer`
+and the HTTP/JSON :class:`~repro.gateway.Gateway` — need the same four
+pieces, independent of how bytes arrive:
+
+:class:`RequestError`
+    A handler error carrying a protocol error code (and an optional
+    ``retry_after`` backoff hint for ``overloaded`` rejections).
+:func:`param`
+    Type-checked request-parameter extraction with the bool/int
+    distinction JSON blurs.
+:class:`HandleRegistry`
+    Bounded FIFO registry of server-retained objects (lots, programs)
+    addressed by opaque string handles.
+:class:`ReplayCache`
+    The idempotent-replay store keyed by ``(client id, request id)``
+    that lets a reconnecting client resend a request whose first reply
+    died on the wire without re-running pipeline work.
+:class:`JobQueues`
+    Per-key FIFO request queues with queued+in-flight accounting and
+    immediate ``overloaded`` rejection past a high-water mark.  *How* a
+    dequeued job runs is injected (``runner``): the TCP server drains
+    every queue onto one shared-session thread, the gateway's
+    :class:`~repro.gateway.SessionScheduler` fans keys out across a
+    bounded fleet of sessions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter, OrderedDict
+from typing import Any, Awaitable, Callable
+
+from repro.server.protocol import ERR_BAD_REQUEST, ERR_OVERLOADED
+
+__all__ = [
+    "MISSING",
+    "RequestError",
+    "param",
+    "HandleRegistry",
+    "ReplayCache",
+    "JobQueues",
+]
+
+MISSING = object()
+
+
+class RequestError(Exception):
+    """An error with a protocol code, raised by request handlers.
+
+    ``retry_after`` (seconds) rides into the error payload when set —
+    the backoff hint ``ERR_OVERLOADED`` replies carry.
+    """
+
+    def __init__(self, code: str, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.code = code
+        self.retry_after = retry_after
+
+
+def param(params: dict, name: str, kinds, default=MISSING):
+    """Fetch and type-check one request parameter."""
+    value = params.get(name, MISSING)
+    if value is MISSING:
+        if default is MISSING:
+            raise RequestError(ERR_BAD_REQUEST, f"missing parameter {name!r}")
+        return default
+    if kinds is not None:
+        allowed = kinds if isinstance(kinds, tuple) else (kinds,)
+        ok = isinstance(value, allowed)
+        if isinstance(value, bool) and bool not in allowed:
+            ok = False  # bool is an int subclass; reject it for int params
+        if not ok:
+            raise RequestError(
+                ERR_BAD_REQUEST,
+                f"parameter {name!r} has the wrong type ({type(value).__name__})",
+            )
+    return value
+
+
+class HandleRegistry:
+    """Bounded FIFO store of server-built objects behind string handles.
+
+    Handles are ``"{prefix}-{n}"`` with a monotonically increasing
+    counter (optionally shared between registries, so lot and program
+    handles never collide even if a client mixes them up).  Past
+    ``max_handles`` entries the oldest is dropped; an evicted handle
+    answers ``unknown-handle`` and the client re-uploads.
+    """
+
+    def __init__(self, prefix: str, max_handles: int, counter: list[int] | None = None):
+        if max_handles < 1:
+            raise ValueError(f"max_handles must be >= 1, got {max_handles}")
+        self._prefix = prefix
+        self._max = max_handles
+        # The counter is a one-cell list so several registries can share it.
+        self._counter = counter if counter is not None else [0]
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+
+    def add(self, obj: Any) -> str:
+        self._counter[0] += 1
+        handle = f"{self._prefix}-{self._counter[0]}"
+        self._entries[handle] = obj
+        while len(self._entries) > self._max:
+            self._entries.popitem(last=False)
+        return handle
+
+    def get(self, handle: str) -> Any | None:
+        return self._entries.get(handle)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ReplayCache:
+    """Idempotent-replay store: ``(cid, rid) -> successful response``.
+
+    Bounds are small on purpose — the cache only needs to cover the
+    retry window of a reconnecting client: ``per_client`` responses per
+    client id and ``clients`` client ids, both FIFO-evicted.
+    """
+
+    def __init__(self, per_client: int = 8, clients: int = 64):
+        self._per_client = per_client
+        self._clients = clients
+        self._store: OrderedDict[str, OrderedDict[Any, Any]] = OrderedDict()
+        self.hits = 0
+
+    def lookup(self, cid: str, rid) -> Any | None:
+        conn = self._store.get(cid)
+        if conn is None:
+            return None
+        cached = conn.get(rid)
+        if cached is not None:
+            self._store.move_to_end(cid)
+            self.hits += 1
+        return cached
+
+    def store(self, cid: str, rid, response: Any) -> None:
+        conn = self._store.setdefault(cid, OrderedDict())
+        conn[rid] = response
+        while len(conn) > self._per_client:
+            conn.popitem(last=False)
+        self._store.move_to_end(cid)
+        while len(self._store) > self._clients:
+            self._store.popitem(last=False)
+
+
+class JobQueues:
+    """Per-key FIFO job queues with backpressure, draining onto ``runner``.
+
+    ``runner(key, fn)`` is the injected execution policy: it is awaited
+    once per dequeued job, exactly one at a time *per key* (each key has
+    its own consumer task), and its result/exception resolves the
+    submitter's future.  Fairness across keys is the runner's problem —
+    the TCP server funnels every key onto one session thread's FIFO,
+    the gateway scheduler routes keys to per-group session lanes.
+
+    ``pending(key)`` counts queued **plus in-flight** jobs (a queue's
+    ``qsize()`` is 0 while its consumer holds the one dequeued job, so
+    qsize alone undercounts by one).  With ``max_queue_depth`` set, a
+    submission finding ``pending(key)`` at the high-water mark is
+    rejected immediately with ``ERR_OVERLOADED`` and a ``retry_after``
+    hint scaled to the backlog.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[str, Callable[[], Any]], Awaitable[Any]],
+        max_queue_depth: int | None = None,
+    ):
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1 or None, got {max_queue_depth}"
+            )
+        self._runner = runner
+        self._max_queue_depth = max_queue_depth
+        self._queues: dict[str, asyncio.Queue] = {}
+        self._consumers: dict[str, asyncio.Task] = {}
+        self._pending: Counter[str] = Counter()
+        self.overload_rejections = 0
+
+    # ------------------------------------------------------------- metrics
+
+    def pending(self, key: str) -> int:
+        return self._pending[key]
+
+    def total_pending(self) -> int:
+        return sum(self._pending.values())
+
+    def pending_by_queue(self) -> dict[str, int]:
+        return {key: count for key, count in self._pending.items() if count}
+
+    def queue_depths(self) -> dict[str, int]:
+        return {key: queue.qsize() for key, queue in self._queues.items()}
+
+    # ----------------------------------------------------------- execution
+
+    async def submit(self, key: str, fn: Callable[[], Any]) -> Any:
+        """Enqueue ``fn`` on ``key``'s queue and await its result."""
+        pending = self._pending[key]
+        if self._max_queue_depth is not None and pending >= self._max_queue_depth:
+            self.overload_rejections += 1
+            raise RequestError(
+                ERR_OVERLOADED,
+                f"queue {key!r} is at its high-water mark "
+                f"({pending} pending >= {self._max_queue_depth})",
+                retry_after=round(0.05 * max(1, pending), 3),
+            )
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._queues[key] = queue
+            self._consumers[key] = asyncio.ensure_future(self._consume(key, queue))
+        future = asyncio.get_running_loop().create_future()
+        self._pending[key] += 1
+        await queue.put((fn, future))
+        return await future
+
+    async def _consume(self, key: str, queue: asyncio.Queue) -> None:
+        while True:
+            fn, future = await queue.get()
+            try:
+                result = await self._runner(key, fn)
+            except Exception as exc:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            else:
+                if not future.cancelled():
+                    future.set_result(result)
+            finally:
+                self._pending[key] -= 1
+                queue.task_done()
+
+    async def aclose(self) -> None:
+        """Cancel every consumer task (queued jobs never resolve)."""
+        for task in self._consumers.values():
+            task.cancel()
+        for task in self._consumers.values():
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._consumers.clear()
+        self._queues.clear()

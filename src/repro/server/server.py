@@ -43,7 +43,7 @@ import signal
 import sys
 import threading
 import traceback
-from collections import Counter, OrderedDict
+from collections import Counter
 from typing import Any, Awaitable, Callable
 
 from repro import chaos
@@ -52,12 +52,19 @@ from repro.circuit.netlist import Netlist
 from repro.manufacturing.lot import FabricatedLot
 from repro.manufacturing.process import ProcessRecipe
 from repro.runtime import PoisonShardError, WorkerCrashError
+from repro.server.core import (
+    MISSING,
+    HandleRegistry,
+    JobQueues,
+    ReplayCache,
+    RequestError,
+    param,
+)
 from repro.server.protocol import (
     ERR_BAD_FRAME,
     ERR_BAD_REQUEST,
     ERR_DEADLINE,
     ERR_INTERNAL,
-    ERR_OVERLOADED,
     ERR_POISON_SHARD,
     ERR_SHUTTING_DOWN,
     ERR_UNKNOWN_HANDLE,
@@ -99,40 +106,15 @@ _DEFAULT_DRAIN_TIMEOUT = 10.0
 _REPLAY_PER_CLIENT = 8
 _REPLAY_CLIENTS = 64
 
-_MISSING = object()
+# The session-group label prefixed onto queue keys in stats: the TCP
+# server runs every queue against its one shared session.
+_SESSION_GROUP = "shared"
 
-
-class _RequestError(Exception):
-    """An error with a protocol code, raised by request handlers.
-
-    ``retry_after`` (seconds) rides into the error payload when set —
-    the backoff hint ``ERR_OVERLOADED`` replies carry.
-    """
-
-    def __init__(self, code: str, message: str, retry_after: float | None = None):
-        super().__init__(message)
-        self.code = code
-        self.retry_after = retry_after
-
-
-def _param(params: dict, name: str, kinds, default=_MISSING):
-    """Fetch and type-check one request parameter."""
-    value = params.get(name, _MISSING)
-    if value is _MISSING:
-        if default is _MISSING:
-            raise _RequestError(ERR_BAD_REQUEST, f"missing parameter {name!r}")
-        return default
-    if kinds is not None:
-        allowed = kinds if isinstance(kinds, tuple) else (kinds,)
-        ok = isinstance(value, allowed)
-        if isinstance(value, bool) and bool not in allowed:
-            ok = False  # bool is an int subclass; reject it for int params
-        if not ok:
-            raise _RequestError(
-                ERR_BAD_REQUEST,
-                f"parameter {name!r} has the wrong type ({type(value).__name__})",
-            )
-    return value
+# The request-handler plumbing lives in repro.server.core (shared with
+# the HTTP gateway); the old private names stay importable.
+_MISSING = MISSING
+_RequestError = RequestError
+_param = param
 
 
 class LotServer:
@@ -217,25 +199,22 @@ class LotServer:
             dispatch_timeout=dispatch_timeout,
         )
         self._netlists: dict[str, Netlist] = {}
-        self._lots: OrderedDict[str, FabricatedLot] = OrderedDict()
+        # Lot and program handles share one counter (preserves the
+        # historical numbering where handles never collide across kinds).
+        handle_counter = [0]
+        self._lots = HandleRegistry("lot", max_handles, handle_counter)
         # handle -> (netlist fingerprint, program); the fingerprint is
         # stored so test_lot-by-handle never re-hashes the netlist.
-        self._programs: OrderedDict[str, tuple[str, TestProgram]] = OrderedDict()
-        self._handle_counter = 0
-        self._queues: dict[str, asyncio.Queue] = {}
-        self._consumers: dict[str, asyncio.Task] = {}
+        self._programs = HandleRegistry("prog", max_handles, handle_counter)
+        # Per-netlist FIFO queues with backpressure; every queue drains
+        # onto the one exec thread via _exec_runner.
+        self._jobs = JobQueues(self._exec_runner, max_queue_depth)
         self._conn_tasks: set[asyncio.Task] = set()
         self._counters: Counter[str] = Counter()
-        # Queued + in-flight requests per queue key — the backpressure
-        # observable.  (A queue's qsize() is 0 while its consumer holds
-        # the one dequeued job, so qsize alone undercounts by one.)
-        self._pending: Counter[str] = Counter()
-        # cid -> (rid -> successful response): lets a reconnecting
-        # client replay an idempotent request id without re-running the
+        # (cid, rid) -> successful response: lets a reconnecting client
+        # replay an idempotent request id without re-running the
         # pipeline work (or minting a second handle for the same call).
-        self._replay: OrderedDict[str, OrderedDict[int, dict]] = OrderedDict()
-        self._replay_hits = 0
-        self._overload_rejections = 0
+        self._replay = ReplayCache(_REPLAY_PER_CLIENT, _REPLAY_CLIENTS)
         self._bad_frames = 0
         self._deadline_expirations = 0
         self._connections_open = 0
@@ -325,15 +304,12 @@ class LotServer:
             # requests arriving meanwhile answer ERR_SHUTTING_DOWN.
             self._stopping = True
             server.close()
-            in_flight = sum(self._pending.values())
+            in_flight = self._jobs.total_pending()
             if in_flight and self._drain_timeout > 0:
                 deadline = self._loop.time() + self._drain_timeout
-                while (
-                    sum(self._pending.values())
-                    and self._loop.time() < deadline
-                ):
+                while self._jobs.total_pending() and self._loop.time() < deadline:
                     await asyncio.sleep(0.05)
-            self.drained_requests = in_flight - sum(self._pending.values())
+            self.drained_requests = in_flight - self._jobs.total_pending()
             # Cancel live connection handlers explicitly: since Python
             # 3.12.1 ``wait_closed`` blocks until every handler
             # coroutine finishes, so an idle client that never
@@ -348,13 +324,7 @@ class LotServer:
                 await server.wait_closed()
             except Exception:
                 pass
-            for task in self._consumers.values():
-                task.cancel()
-            for task in self._consumers.values():
-                try:
-                    await task
-                except (asyncio.CancelledError, Exception):
-                    pass
+            await self._jobs.aclose()
             # Let an in-flight pipeline call finish, then release the pool.
             self._exec.shutdown(wait=True)
             self._session.close()
@@ -454,7 +424,7 @@ class LotServer:
         # twice.
         replayable = isinstance(cid, str) and op in self._REPLAY_OPS
         if replayable:
-            cached = self._replay_lookup(cid, rid)
+            cached = self._replay.lookup(cid, rid)
             if cached is not None:
                 return cached, False
         try:
@@ -489,7 +459,7 @@ class LotServer:
                 result = await coro
             response = {"id": rid, "ok": True, "result": result}
             if replayable:
-                self._replay_store(cid, rid, response)
+                self._replay.store(cid, rid, response)
             return response, op == "shutdown"
         except _RequestError as exc:
             return self._error_response(rid, exc.code, str(exc), exc.retry_after), False
@@ -527,97 +497,35 @@ class LotServer:
             error["retry_after"] = retry_after
         return {"id": rid, "ok": False, "error": error}
 
-    def _replay_lookup(self, cid: str, rid) -> dict | None:
-        conn = self._replay.get(cid)
-        if conn is None:
-            return None
-        cached = conn.get(rid)
-        if cached is not None:
-            self._replay.move_to_end(cid)
-            self._replay_hits += 1
-        return cached
-
-    def _replay_store(self, cid: str, rid, response: dict) -> None:
-        conn = self._replay.setdefault(cid, OrderedDict())
-        conn[rid] = response
-        while len(conn) > _REPLAY_PER_CLIENT:
-            conn.popitem(last=False)
-        self._replay.move_to_end(cid)
-        while len(self._replay) > _REPLAY_CLIENTS:
-            self._replay.popitem(last=False)
-
     # ------------------------------------------------------ queued execution
 
     async def _run_queued(self, key: str, fn: Callable[[], Any]) -> Any:
         """Enqueue ``fn`` on the per-netlist queue and await its result.
 
-        Backpressure lives here: with ``max_queue_depth`` set, a request
-        arriving while ``pending(key)`` (queued + in flight — a queue's
-        ``qsize`` misses the job its consumer holds) is at the high-water
-        mark is rejected *immediately* with ``ERR_OVERLOADED`` and a
-        ``retry_after`` hint scaled to the backlog, so overload costs the
-        client one round-trip instead of an unbounded queue wait.
+        Backpressure lives in :class:`~repro.server.core.JobQueues`:
+        with ``max_queue_depth`` set, a request arriving while the key's
+        queued+in-flight count is at the high-water mark is rejected
+        *immediately* with ``ERR_OVERLOADED`` and a ``retry_after`` hint
+        scaled to the backlog, so overload costs the client one
+        round-trip instead of an unbounded queue wait.
         """
-        pending = self._pending[key]
-        if (
-            self._max_queue_depth is not None
-            and pending >= self._max_queue_depth
-        ):
-            self._overload_rejections += 1
-            raise _RequestError(
-                ERR_OVERLOADED,
-                f"queue {key!r} is at its high-water mark "
-                f"({pending} pending >= {self._max_queue_depth})",
-                retry_after=round(0.05 * max(1, pending), 3),
-            )
-        queue = self._queues.get(key)
-        if queue is None:
-            queue = asyncio.Queue()
-            self._queues[key] = queue
-            self._consumers[key] = asyncio.ensure_future(
-                self._consume(key, queue)
-            )
-        future = self._loop.create_future()  # type: ignore[union-attr]
-        self._pending[key] += 1
-        await queue.put((fn, future))
-        return await future
+        return await self._jobs.submit(key, fn)
+
+    async def _exec_runner(self, key: str, fn: Callable[[], Any]) -> Any:
+        """Run one dequeued job on the single exec thread.
+
+        All queue consumers submit to the same single-thread executor,
+        whose FIFO run queue interleaves ready requests from different
+        netlists fairly while keeping the shared session single-threaded.
+        """
+        return await self._loop.run_in_executor(  # type: ignore[union-attr]
+            self._exec, self._run_job, fn
+        )
 
     def _run_job(self, fn: Callable[[], Any]) -> Any:
         """Run one pipeline job on the exec thread (chaos-instrumented)."""
         chaos.fire("server.job")  # delay faults sleep here, off the loop
         return fn()
-
-    async def _consume(self, key: str, queue: asyncio.Queue) -> None:
-        """Drain one netlist queue, one request at a time, FIFO.
-
-        All consumers submit to the same single-thread executor, whose
-        FIFO run queue interleaves ready requests from different
-        netlists fairly while keeping the shared session single-threaded.
-        """
-        while True:
-            fn, future = await queue.get()
-            try:
-                result = await self._loop.run_in_executor(  # type: ignore[union-attr]
-                    self._exec, self._run_job, fn
-                )
-            except Exception as exc:
-                if not future.cancelled():
-                    future.set_exception(exc)
-            else:
-                if not future.cancelled():
-                    future.set_result(result)
-            finally:
-                self._pending[key] -= 1
-                queue.task_done()
-
-    def _new_handle(self, prefix: str) -> str:
-        self._handle_counter += 1
-        return f"{prefix}-{self._handle_counter}"
-
-    def _retain(self, registry: OrderedDict, handle: str, obj: Any) -> None:
-        registry[handle] = obj
-        while len(registry) > self._max_handles:
-            registry.popitem(last=False)
 
     def _netlist_for(self, params: dict) -> tuple[str, Netlist]:
         netlist_id = _param(params, "netlist_id", str)
@@ -686,8 +594,7 @@ class LotServer:
                 dies_per_wafer=dies_per_wafer,
                 seed=seed,
             )
-            handle = self._new_handle("lot")
-            self._retain(self._lots, handle, lot)
+            handle = self._lots.add(lot)
             result = {
                 "lot_id": handle,
                 "num_chips": len(lot),
@@ -712,8 +619,7 @@ class LotServer:
 
         def job() -> dict:
             program = self._session.build_program(netlist, patterns, collapse=collapse)
-            handle = self._new_handle("prog")
-            self._retain(self._programs, handle, (netlist_id, program))
+            handle = self._programs.add((netlist_id, program))
             result = {
                 "program_id": handle,
                 "num_patterns": len(program),
@@ -829,16 +735,21 @@ class LotServer:
             "registered_netlists": len(self._netlists),
             "lots_retained": len(self._lots),
             "programs_retained": len(self._programs),
+            # Queue keys carry the session-group prefix ("shared/" —
+            # the TCP server has exactly one session group), so the
+            # labels line up with the gateway's multi-group metrics.
             "queue_depths": {
-                key: queue.qsize() for key, queue in self._queues.items()
+                f"{_SESSION_GROUP}/{key}": depth
+                for key, depth in self._jobs.queue_depths().items()
             },
             "pending_by_queue": {
-                key: count for key, count in self._pending.items() if count
+                f"{_SESSION_GROUP}/{key}": count
+                for key, count in self._jobs.pending_by_queue().items()
             },
-            "overload_rejections": self._overload_rejections,
+            "overload_rejections": self._jobs.overload_rejections,
             "bad_frames": self._bad_frames,
             "deadline_expirations": self._deadline_expirations,
-            "replay_hits": self._replay_hits,
+            "replay_hits": self._replay.hits,
             "draining": self._stopping,
         }
         return stats

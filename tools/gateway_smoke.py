@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the ``repro-gateway`` console entry point.
+
+What the CI gateway job runs: spawn the real gateway as a subprocess
+(ephemeral port), discover the URL from its announce line, then — with
+nothing but :mod:`urllib` (no repro client code on the wire path) —
+drive a register → fabricate → build-program → test round trip from
+**two** distinct clients, check the result is bit-identical to a direct
+in-process ``Session``, assert the circuit compiled exactly once across
+both clients, scrape ``/metrics`` for the advertised Prometheus series,
+and verify clean shutdown (exit 0).
+
+Usage::
+
+    PYTHONPATH=src python tools/gateway_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+sys.path.insert(0, SRC)
+
+
+def _call(url: str, method: str, payload: dict | None, client_id: str, rid: int):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        method=method,
+        headers={
+            "Content-Type": "application/json",
+            "X-Repro-Client-Id": client_id,
+            "X-Repro-Request-Id": str(rid),
+        },
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        envelope = json.loads(response.read())
+    assert envelope.get("ok") is True, envelope
+    return envelope["result"]
+
+
+def main() -> int:
+    from repro.api import Session
+    from repro.atpg.random_gen import random_patterns
+    from repro.circuit.generators import c17
+    from repro.gateway import codec
+    from repro.manufacturing.process import ProcessRecipe
+
+    chip = c17()
+    recipe = ProcessRecipe(
+        defect_density=3.0, clustering=0.5, mean_defect_radius=0.15
+    )
+    patterns = random_patterns(chip, 24, seed=3)
+
+    with Session(workers=1) as session:
+        lot = session.fabricate(chip, recipe, 12, dies_per_wafer=4, seed=7)
+        program = session.build_program(chip, patterns)
+        expected = session.test(lot, program)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.gateway", "--port", "0"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        announce = proc.stdout.readline().strip()
+        print(announce)
+        assert announce.startswith("repro-gateway listening on "), announce
+        base = announce.rsplit(" ", 1)[-1]
+
+        with urllib.request.urlopen(base + "/healthz", timeout=30) as response:
+            health = json.loads(response.read())
+        assert health["result"]["status"] == "ok", health
+
+        # Two clients, same circuit: structural dedup means one compile.
+        netlist_json = codec.netlist_to_json(chip)
+        for client_id in ("smoke-a", "smoke-b"):
+            counter = [0]  # fresh request ids per client
+
+            def call(path, payload, method="POST"):
+                counter[0] += 1
+                return _call(
+                    base + path, method, payload, client_id, counter[0]
+                )
+
+            registered = call("/v1/netlists", {"netlist": netlist_json})
+            netlist_id = registered["netlist_id"]
+            fabricated = call(
+                "/v1/lots",
+                {
+                    "netlist_id": netlist_id,
+                    "recipe": codec.recipe_to_json(recipe),
+                    "num_chips": 12,
+                    "dies_per_wafer": 4,
+                    "seed": 7,
+                },
+            )
+            built = call(
+                "/v1/programs",
+                {
+                    "netlist_id": netlist_id,
+                    "patterns": codec.patterns_to_json(patterns),
+                },
+            )
+            tested = call(
+                f"/v1/lots/{fabricated['lot_id']}/test",
+                {"program_id": built["program_id"]},
+            )
+            gateway_lot = codec.lot_from_json(chip, fabricated["lot"])
+            assert gateway_lot.chips == lot.chips, "fabricated lots differ"
+            result = codec.result_from_json(program, tested)
+            assert result.records == expected.records, "test records differ"
+
+        stats = _call(base + "/v1/stats", "GET", None, "smoke-a", 99)
+        compiles = stats["scheduler"]["session"]["engine_compiles"]
+        assert compiles == 1, f"expected one compile across two clients, got {compiles}"
+        assert stats["scheduler"]["sessions_open"] == 1, stats["scheduler"]
+
+        with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
+            metrics = response.read().decode()
+        for series in (
+            "repro_engine_compiles_total 1",
+            "repro_resident_bytes",
+            "repro_sessions 1",
+            "repro_queue_depth",
+            "repro_http_requests_total",
+        ):
+            assert series in metrics, f"missing metrics series: {series!r}"
+
+        _call(base + "/v1/shutdown", "POST", {}, "smoke-a", 100)
+        code = proc.wait(timeout=60)
+        assert code == 0, f"gateway exited {code}"
+    except BaseException:
+        proc.kill()
+        raise
+    print(
+        "gateway smoke: two-client round trip bit-identical, one compile, "
+        "metrics scraped, clean shutdown (exit 0)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
