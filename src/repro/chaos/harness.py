@@ -46,6 +46,10 @@ point              where it fires                          typical actions
 ``server.reply``   server event loop, about to write a     ``truncate``,
                    reply frame                             ``reset``, ``delay``
 ``client.send``    client, about to send a request frame   ``reset``
+``router.forward`` router, about to forward a request to   ``reset``, ``fail``,
+                   backend ``index``                       ``delay``
+``router.backend`` backend exec thread (``backend_id`` =   ``kill``, ``hang``,
+                   ``index``), about to run a routed job   ``fail``
 =================  ======================================  =================
 
 ``kill`` / ``hang`` / ``fail`` / ``delay`` are performed by the harness
@@ -98,6 +102,8 @@ POINTS = frozenset(
         "server.job",
         "server.reply",
         "client.send",
+        "router.forward",
+        "router.backend",
     }
 )
 

@@ -9,6 +9,7 @@ Installed as the ``repro-experiments`` console script::
     repro-experiments --engine compiled      # pre-batching fault-sim engine
     repro-experiments --workers auto         # process-sharded Monte Carlo
     repro-experiments --server 127.0.0.1:7642  # run on a repro-server
+    repro-experiments --server 127.0.0.1:7641  # on a repro-router federation
     repro-experiments --server http://127.0.0.1:8642  # on a repro-gateway
 
 One :class:`repro.api.Session` carries the selected engine and worker
@@ -16,7 +17,9 @@ pool across every experiment of an invocation: each ``run(session=...)``
 draws on the same persistent pool and compiled-circuit caches, so the
 CLI is also the smallest demonstration of the session API.  With
 ``--server ADDR`` the experiments run on a remote
-:class:`repro.server.LotServer` — or, with an ``http(s)://`` address, a
+:class:`repro.server.LotServer` — or a :class:`repro.router.Router`
+federation of them (same protocol; experiments shard across backends by
+name), or, with an ``http(s)://`` address, a
 :class:`repro.gateway.Gateway` — instead (which owns execution policy,
 so ``--engine`` / ``--workers`` cannot be combined with it); reports
 are bit-identical either way.  Unknown experiment names are rejected up
@@ -143,9 +146,10 @@ def main(argv: list[str] | None = None) -> int:
         metavar="ADDR",
         default=None,
         help=(
-            "run the experiments on a repro-server at ADDR "
-            "('host:port', 'unix:/path', or an 'http://'/'https://' URL "
-            "for a repro-gateway) instead of in-process; the server owns "
+            "run the experiments on a repro-server or repro-router at "
+            "ADDR ('host:port', 'unix:/path', a comma-separated "
+            "failover list, or an 'http://'/'https://' URL for a "
+            "repro-gateway) instead of in-process; the server owns "
             "engine/workers policy, so this flag excludes --engine and "
             "--workers"
         ),

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 from contextlib import contextmanager
-from threading import Thread
 from typing import Iterator
 
 from repro.gateway.gateway import Gateway
+from repro.testing import running_app
 
 __all__ = ["running_gateway"]
 
@@ -19,14 +19,7 @@ def running_gateway(timeout: float = 60.0, **gateway_kwargs) -> Iterator[Gateway
     ``gateway.address`` (an ``http://`` or ``https://`` URL) to
     connect.  Keyword arguments go to the :class:`Gateway` constructor.
     """
-    gateway = Gateway(**gateway_kwargs)
-    thread = Thread(target=gateway.run, name="repro-gateway", daemon=True)
-    thread.start()
-    try:
-        gateway.wait_started(timeout)
+    with running_app(
+        Gateway(**gateway_kwargs), name="repro-gateway", timeout=timeout
+    ) as gateway:
         yield gateway
-    finally:
-        gateway.request_shutdown()
-        thread.join(timeout)
-        if thread.is_alive():  # pragma: no cover - diagnostics
-            raise RuntimeError("gateway thread did not stop in time")

@@ -1,0 +1,22 @@
+"""Multi-node federation: a consistent-hash router over N backends.
+
+One :class:`~repro.server.LotServer` tops out at one machine.  The
+router tier turns scale-out into *adding nodes*: a thin
+:class:`Router` front end speaks the same framed TCP protocol as the
+server (old clients connect unchanged), consistent-hashes netlist
+fingerprints onto N backends via a bounded-load :class:`HashRing` —
+so each backend keeps its compiled-engine and tester caches warm for
+its shard of netlists — health-checks the fleet, and generalizes the
+pool-worker crash recovery one level up: a backend dying mid-request
+is retried on the ring's next node, with netlists lazily re-uploaded
+to the new owner and the ``(cid, rid)`` idempotent replay keys
+guaranteeing at-most-once execution per backend.
+
+See ``docs/federation.md`` for the full semantics.
+"""
+
+from repro.router.ring import HashRing, bounded_choice
+from repro.router.router import Router
+from repro.router.testing import running_router
+
+__all__ = ["HashRing", "Router", "bounded_choice", "running_router"]

@@ -1,0 +1,175 @@
+"""Consistent hashing with bounded loads: the federation's shard map.
+
+The ring answers one question — *which backend owns this netlist
+fingerprint?* — with the two properties federation needs:
+
+* **Stability.**  Keys spread near-uniformly across nodes (each node
+  takes ``replicas`` pseudo-random arcs of the hash circle), and
+  adding or removing one of N nodes remaps only ~1/N of the keys: a
+  key whose arc did not change keeps its owner, so every surviving
+  backend keeps its compiled-engine and tester caches warm.
+  ``tests/test_router_ring.py`` pins both properties with hypothesis.
+* **Determinism.**  Placement is a pure function of (node names,
+  replicas, key) via SHA-256 — no RNG, no process state — so the
+  router, the tests, and an operator's laptop all compute the same
+  shard map.
+
+:func:`HashRing.preference` returns *all* nodes in ring order from a
+key's position; the router walks it for failover (next node on backend
+death) and :func:`bounded_choice` applies the "consistent hashing with
+bounded loads" rule on top: skip preferred nodes whose in-flight load
+is already past ``factor`` times the fair share, so one hot fingerprint
+cannot starve the fleet.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["HashRing", "bounded_choice"]
+
+DEFAULT_REPLICAS = 96
+
+
+def _hash64(data: str) -> int:
+    """A stable 64-bit ring position (SHA-256 prefix, endian-fixed)."""
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring of named nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node names (any strings; the router uses backend
+        addresses).
+    replicas:
+        Virtual nodes per real node.  More replicas → smoother spread
+        (relative std of the per-node share ~ ``1/sqrt(replicas)``) at
+        the cost of a longer sorted ring; 96 keeps a 10-node ring under
+        a thousand points.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), replicas: int = DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._nodes: set[str] = set()
+        self._points: list[int] = []  # sorted vnode positions
+        self._owners: list[str] = []  # _owners[i] owns _points[i]
+        for node in nodes:
+            self.add(node)
+
+    # ---------------------------------------------------------- membership
+
+    def add(self, node: str) -> None:
+        """Add ``node``; idempotent."""
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for position, owner in self._vnodes(node):
+            index = bisect.bisect(self._points, position)
+            self._points.insert(index, position)
+            self._owners.insert(index, owner)
+
+    def remove(self, node: str) -> None:
+        """Remove ``node``; idempotent."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [
+            (position, owner)
+            for position, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [position for position, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def _vnodes(self, node: str) -> list[tuple[int, str]]:
+        return [(_hash64(f"{node}#{i}"), node) for i in range(self.replicas)]
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Current membership, sorted (not ring order)."""
+        return tuple(sorted(self._nodes))
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------- lookup
+
+    def owner(self, key: str) -> str | None:
+        """The node owning ``key`` — first vnode clockwise of its hash."""
+        if not self._points:
+            return None
+        index = bisect.bisect(self._points, _hash64(key))
+        if index == len(self._points):
+            index = 0  # wrap past 2**64
+        return self._owners[index]
+
+    def preference(self, key: str) -> list[str]:
+        """Every node, in ring order from ``key``'s position.
+
+        ``preference(k)[0]`` is :func:`owner`; the tail is the failover
+        order — the router retries a dead backend's request on
+        ``preference(k)[1]``, and so on.  Distinct nodes only (the
+        first vnode of each node encountered clockwise decides its
+        rank).
+        """
+        if not self._points:
+            return []
+        start = bisect.bisect(self._points, _hash64(key))
+        seen: list[str] = []
+        remaining = len(self._nodes)
+        for step in range(len(self._points)):
+            owner = self._owners[(start + step) % len(self._points)]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == remaining:
+                    break
+        return seen
+
+    def spread(self, keys: Iterable[str]) -> dict[str, int]:
+        """Keys per owner — the shard-balance observable tests assert on."""
+        counts: dict[str, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            node = self.owner(key)
+            if node is not None:
+                counts[node] += 1
+        return counts
+
+
+def bounded_choice(
+    preference: Sequence[str],
+    loads: Mapping[str, int],
+    factor: float = 1.25,
+) -> str | None:
+    """Pick the first preferred node within the bounded-load cap.
+
+    The "consistent hashing with bounded loads" rule: a node may hold at
+    most ``ceil(factor * (total_load + 1) / num_nodes)`` in-flight
+    requests; walking ``preference`` (ring order) and skipping nodes at
+    the cap keeps placement as consistent as possible *subject to* no
+    node taking more than ``factor`` times its fair share.  When every
+    node is at the cap (all equally overloaded) the ring owner wins —
+    the cap bounds *skew*, it never rejects work.
+    """
+    if not preference:
+        return None
+    if factor <= 0:
+        raise ValueError(f"factor must be > 0, got {factor}")
+    total = sum(loads.get(node, 0) for node in preference)
+    cap = factor * (total + 1) / len(preference)
+    for node in preference:
+        if loads.get(node, 0) < cap:
+            return node
+    return preference[0]

@@ -138,6 +138,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--backend-id",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "identify this server as backend N of a repro-router "
+            "federation (rides ping/stats; arms the router.backend "
+            "chaos seam)"
+        ),
+    )
+    parser.add_argument(
         "--debug",
         action="store_true",
         help="log every request (op, frame format, payload bytes in/out)",
@@ -163,6 +174,7 @@ def main(argv: list[str] | None = None) -> int:
         request_timeout=args.request_timeout,
         drain_timeout=args.drain_timeout,
         dispatch_timeout=args.dispatch_timeout,
+        backend_id=args.backend_id,
     )
     try:
         # SIGINT/SIGTERM are handled inside the event loop (graceful

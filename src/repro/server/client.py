@@ -114,6 +114,11 @@ class Client:
     ----------
     address:
         ``"host:port"`` or ``"unix:/path"`` (see :func:`parse_address`).
+        A comma-separated list (``"host:port,host:port"``) names
+        failover endpoints — typically several ``repro-router``
+        front ends over one federation: the client connects to the
+        first that answers and rotates to the next on every reconnect
+        attempt, so one dead front end costs a retry, not the run.
     timeout:
         Socket timeout in seconds for connect and each response
         (pipeline requests can be slow — fabricating a big lot *is* the
@@ -148,6 +153,14 @@ class Client:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         self.address = address
+        self._addresses = [
+            part.strip() for part in address.split(",") if part.strip()
+        ]
+        if not self._addresses:
+            raise ValueError("address must name at least one endpoint")
+        for endpoint in self._addresses:
+            parse_address(endpoint)  # validate the whole list up front
+        self._address_index = 0
         self._timeout = timeout
         self._retries = int(retries)
         self._backoff = float(backoff)
@@ -173,7 +186,23 @@ class Client:
         self._netlists_by_fid: dict[str, Netlist] = {}
         self._handles: dict[int, tuple[Any, str]] = {}
         self._binary = False
-        self._connect()
+        last: Exception | None = None
+        for _ in range(len(self._addresses)):
+            try:
+                self._connect()
+                break
+            except (ConnectionLost, OSError) as exc:
+                if len(self._addresses) == 1:
+                    raise
+                last = exc
+                self._drop_socket()
+                self._address_index = (
+                    self._address_index + 1
+                ) % len(self._addresses)
+        else:
+            raise ConnectionLost(
+                f"could not connect to any of {self._addresses}: {last}"
+            )
 
     # ----------------------------------------------------------- lifecycle
 
@@ -206,7 +235,7 @@ class Client:
 
     def _connect(self) -> None:
         """Open a fresh socket and run the format handshake."""
-        kind, target = parse_address(self.address)
+        kind, target = parse_address(self._addresses[self._address_index])
         if kind == "unix":
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             sock.settimeout(self._timeout)
@@ -248,6 +277,11 @@ class Client:
             except (ConnectionLost, OSError) as exc:
                 last = exc
                 self._drop_socket()
+                # Rotate through the failover endpoints: the next
+                # attempt tries the next front end in the list.
+                self._address_index = (
+                    self._address_index + 1
+                ) % len(self._addresses)
                 continue
             self.counters["reconnects"] += 1
             self._netlist_ids.clear()

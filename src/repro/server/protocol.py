@@ -136,6 +136,7 @@ ERR_OVERLOADED = "overloaded"  # per-netlist queue past its high-water mark
 ERR_DEADLINE = "deadline-exceeded"  # request outlived the server deadline
 ERR_BAD_FRAME = "bad-frame"  # frame read fully but undecodable
 ERR_POISON_SHARD = "poison-shard"  # a shard payload reproducibly kills workers
+ERR_UNAVAILABLE = "unavailable"  # no live backend can take the request (router)
 ERR_INTERNAL = "internal"  # unexpected server-side failure
 
 

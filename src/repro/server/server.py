@@ -153,6 +153,13 @@ class LotServer:
     dispatch_timeout:
         Forwarded to the shared session's executor — the pool-level
         watchdog against hung workers (``REPRO_DISPATCH_TIMEOUT``).
+    backend_id:
+        Set when this server runs as one backend of a
+        :class:`repro.router.Router` federation.  Purely
+        observability + chaos plumbing: the id rides the ``ping``
+        banner and ``stats``, and the exec thread arms the
+        ``router.backend`` injection point with it — which is how the
+        chaos suite SIGKILLs *a specific backend* mid-request.
 
     Run it blocking with :meth:`run` (the ``repro-server`` CLI does), or
     in a thread via :func:`repro.server.testing.running_server`.
@@ -172,6 +179,7 @@ class LotServer:
         request_timeout: float | None = None,
         drain_timeout: float | None = None,
         dispatch_timeout: float | None = None,
+        backend_id: int | None = None,
     ):
         if socket_path is not None and port:
             raise ValueError("pass either port or socket_path, not both")
@@ -191,6 +199,7 @@ class LotServer:
         self._max_queue_depth = max_queue_depth
         self._request_timeout = request_timeout
         self._drain_timeout = max(0.0, float(drain_timeout))
+        self._backend_id = backend_id
         self._session = Session(
             engine=engine,
             workers=workers,
@@ -525,6 +534,11 @@ class LotServer:
     def _run_job(self, fn: Callable[[], Any]) -> Any:
         """Run one pipeline job on the exec thread (chaos-instrumented)."""
         chaos.fire("server.job")  # delay faults sleep here, off the loop
+        if self._backend_id is not None:
+            # Federation seam: lets a schedule SIGKILL *this* backend
+            # (by id) mid-request, which the router must absorb by
+            # rerouting to the ring's next node.
+            chaos.fire("router.backend", index=self._backend_id)
         return fn()
 
     def _netlist_for(self, params: dict) -> tuple[str, Netlist]:
@@ -554,11 +568,14 @@ class LotServer:
     # ------------------------------------------------------------------ ops
 
     async def _op_ping(self, params: dict, binary: bool) -> dict:
-        return {
+        banner = {
             "pong": True,
             "server": "repro-server",
             "protocol": PROTOCOL_VERSION,
         }
+        if self._backend_id is not None:
+            banner["backend_id"] = self._backend_id
+        return banner
 
     async def _op_register_netlist(self, params: dict, binary: bool) -> dict:
         netlist = self._obj_param(params, "netlist")
@@ -729,6 +746,7 @@ class LotServer:
         stats = await self._run_queued(_EXPERIMENT_QUEUE, job)
         stats["server"] = {
             "protocol": PROTOCOL_VERSION,
+            "backend_id": self._backend_id,
             "connections_open": self._connections_open,
             "connections_total": self._connections_total,
             "requests_by_op": dict(self._counters),

@@ -17,11 +17,11 @@ the thread — a clean teardown even if the body raised.
 
 from __future__ import annotations
 
-import threading
 from contextlib import contextmanager
 from typing import Iterator
 
 from repro.server.server import LotServer
+from repro.testing import running_app
 
 __all__ = ["running_server"]
 
@@ -34,14 +34,7 @@ def running_server(timeout: float = 60.0, **server_kwargs) -> Iterator[LotServer
     workers, max_contexts, ...); the default endpoint is an ephemeral
     TCP port on localhost — read ``server.address``.
     """
-    server = LotServer(**server_kwargs)
-    thread = threading.Thread(
-        target=server.run, name="repro-server", daemon=True
-    )
-    thread.start()
-    try:
-        server.wait_started(timeout)
+    with running_app(
+        LotServer(**server_kwargs), name="repro-server", timeout=timeout
+    ) as server:
         yield server
-    finally:
-        server.request_shutdown()
-        thread.join(timeout)

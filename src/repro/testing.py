@@ -1,0 +1,345 @@
+"""Reusable process/cluster harness for tests, docs, and smoke tools.
+
+Three layers, each usable on its own:
+
+* :func:`running_app` — run any in-process service object that follows
+  the ``run()`` / ``wait_started()`` / ``request_shutdown()`` contract
+  (:class:`~repro.server.LotServer`, :class:`~repro.gateway.Gateway`,
+  :class:`~repro.router.Router`) on a daemon thread, yield it
+  listening, and tear it down even when the body raises.  The
+  per-package ``running_server`` / ``running_gateway`` /
+  ``running_router`` helpers are thin wrappers over this.
+* :class:`ServerProcess` / :func:`spawn_server` — spawn a real
+  subprocess (``python -m repro.server ...`` by default), parse its
+  one-line startup announcement for the bound address (so ``--port 0``
+  ephemeral binds work), capture everything it prints for failure
+  diagnostics, and expose ``kill()`` / ``terminate()`` / ``stop()``
+  handles.  The spawned environment inherits ``os.environ`` — chaos
+  schedules installed via :func:`repro.chaos.install` therefore reach
+  the child through ``REPRO_CHAOS``.
+* :func:`running_cluster` — N subprocess backends plus (optionally) an
+  in-thread :class:`~repro.router.Router` federating them: the
+  one-liner behind every multi-node test in this repo::
+
+      from repro.testing import running_cluster
+
+      with running_cluster(n_backends=3) as cluster:
+          with cluster.client() as client:
+              client.ping()
+          cluster.kill_backend(0)       # SIGKILL, mid-flight
+          cluster.restart_backend(0)    # same port, re-admitted
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+from contextlib import ExitStack, contextmanager
+from pathlib import Path
+from typing import Iterator, Sequence
+
+__all__ = [
+    "Cluster",
+    "ServerProcess",
+    "running_app",
+    "running_cluster",
+    "spawn_server",
+]
+
+_SRC_DIR = str(Path(__file__).resolve().parents[1])
+
+
+@contextmanager
+def running_app(app, name: str, timeout: float = 60.0) -> Iterator:
+    """Yield ``app`` listening on a daemon thread; stop it on exit.
+
+    ``app`` is any object with the service-lifecycle trio ``run()``
+    (blocking), ``wait_started(timeout)``, and ``request_shutdown()``.
+    """
+    thread = threading.Thread(target=app.run, name=name, daemon=True)
+    thread.start()
+    try:
+        app.wait_started(timeout)
+        yield app
+    finally:
+        app.request_shutdown()
+        thread.join(timeout)
+        if thread.is_alive():  # pragma: no cover - diagnostics
+            raise RuntimeError(f"{name} thread did not stop in time")
+
+
+class ServerProcess:
+    """A spawned service subprocess with announce parsing and log capture.
+
+    The child must print one line starting with ``announce`` once it is
+    accepting connections (every ``repro-*`` CLI does); the remainder of
+    that line is the bound address, exposed as :attr:`address`.  All
+    stdout/stderr output is captured continuously — read :attr:`log`
+    when something goes wrong.
+    """
+
+    def __init__(
+        self,
+        argv: Sequence[str],
+        announce: str,
+        env: dict[str, str] | None = None,
+        startup_timeout: float = 60.0,
+        name: str | None = None,
+    ):
+        self.argv = list(argv)
+        self.name = name or self.argv[-1]
+        self.address: str | None = None
+        self._announce = announce
+        self._lines: list[str] = []
+        self._announced = threading.Event()
+        self._proc = subprocess.Popen(
+            self.argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            bufsize=1,
+            env=env,
+        )
+        self._reader = threading.Thread(
+            target=self._pump, name=f"{self.name}-log", daemon=True
+        )
+        self._reader.start()
+        if not self._announced.wait(startup_timeout):
+            self.stop()
+            raise TimeoutError(
+                f"{self.name} did not announce within {startup_timeout}s; "
+                f"log so far:\n{self.log}"
+            )
+        if self.address is None:
+            self.stop()
+            raise RuntimeError(
+                f"{self.name} exited before announcing; log:\n{self.log}"
+            )
+
+    def _pump(self) -> None:
+        stream = self._proc.stdout
+        assert stream is not None
+        for line in stream:
+            self._lines.append(line)
+            if not self._announced.is_set() and line.startswith(self._announce):
+                self.address = line[len(self._announce):].strip()
+                self._announced.set()
+        self._announced.set()  # EOF: unblock the startup waiter
+
+    @property
+    def log(self) -> str:
+        """Everything the process has printed so far."""
+        return "".join(self._lines)
+
+    @property
+    def pid(self) -> int:
+        return self._proc.pid
+
+    @property
+    def alive(self) -> bool:
+        return self._proc.poll() is None
+
+    @property
+    def returncode(self) -> int | None:
+        return self._proc.returncode
+
+    def kill(self) -> None:
+        """SIGKILL — the unplanned-death end of the spectrum."""
+        if self.alive:
+            self._proc.kill()
+
+    def terminate(self) -> None:
+        """SIGTERM — the graceful-drain path."""
+        if self.alive:
+            self._proc.terminate()
+
+    def send_signal(self, signum: int) -> None:
+        if self.alive:
+            self._proc.send_signal(signum)
+
+    def wait(self, timeout: float = 30.0) -> int:
+        returncode = self._proc.wait(timeout)
+        self._reader.join(timeout)
+        return returncode
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Terminate, escalate to kill if the drain window passes."""
+        if self.alive:
+            self.terminate()
+            try:
+                self._proc.wait(timeout)
+            except subprocess.TimeoutExpired:
+                self.kill()
+                self._proc.wait(timeout)
+        self._reader.join(timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        state = "alive" if self.alive else f"exited({self.returncode})"
+        return f"ServerProcess({self.name}, {self.address}, {state})"
+
+
+def spawn_server(
+    *cli_args,
+    module: str = "repro.server",
+    announce: str = "repro-server listening on",
+    env: dict[str, str] | None = None,
+    startup_timeout: float = 60.0,
+) -> ServerProcess:
+    """Spawn ``python -m <module> <cli_args...>`` and wait for its announce.
+
+    The child's ``PYTHONPATH`` is prefixed with this checkout's ``src``
+    directory so the subprocess imports the same code under test.
+    """
+    argv = [sys.executable, "-m", module, *(str(arg) for arg in cli_args)]
+    child_env = dict(os.environ if env is None else env)
+    existing = child_env.get("PYTHONPATH")
+    child_env["PYTHONPATH"] = (
+        _SRC_DIR if not existing else _SRC_DIR + os.pathsep + existing
+    )
+    return ServerProcess(
+        argv,
+        announce=announce,
+        env=child_env,
+        startup_timeout=startup_timeout,
+        name=module,
+    )
+
+
+class Cluster:
+    """N subprocess backends behind an (optional) in-thread router.
+
+    Connect to :attr:`address` — the router's endpoint when one is
+    running, else the sole backend's.  Fault-injection handles:
+    :meth:`kill_backend` (SIGKILL), :meth:`terminate_backend`
+    (graceful), :meth:`restart_backend` (same port by default, so ring
+    placement — and therefore backend cache warmth — is preserved).
+    """
+
+    def __init__(
+        self,
+        backends: list[ServerProcess],
+        backend_args: Sequence[str],
+        router=None,
+    ):
+        self.backends = backends
+        self.router = router
+        self._backend_args = list(backend_args)
+
+    @property
+    def address(self) -> str:
+        if self.router is not None:
+            return self.router.address
+        if len(self.backends) != 1:
+            raise RuntimeError(
+                "a router-less cluster with several backends has no "
+                "single address; use cluster.backend_addresses"
+            )
+        return self.backends[0].address
+
+    @property
+    def backend_addresses(self) -> list[str]:
+        return [backend.address for backend in self.backends]
+
+    def client(self, **client_kwargs):
+        """A :class:`repro.server.Client` connected to :attr:`address`."""
+        from repro.server.client import Client
+
+        return Client(self.address, **client_kwargs)
+
+    def kill_backend(self, index: int) -> None:
+        self.backends[index].kill()
+
+    def terminate_backend(self, index: int) -> None:
+        self.backends[index].terminate()
+
+    def restart_backend(
+        self, index: int, same_port: bool = True, startup_timeout: float = 60.0
+    ) -> ServerProcess:
+        """Replace backend ``index`` with a fresh process.
+
+        ``same_port=True`` rebinds the old address (the listener socket
+        is ``SO_REUSEADDR``), so the ring mapping is untouched and the
+        router simply re-admits the node; ``same_port=False`` binds an
+        ephemeral port and swaps ring membership via the router's admin
+        ops.
+        """
+        old = self.backends[index]
+        old_address = old.address
+        if old.alive:
+            old.kill()
+            old.wait()
+        port = old_address.rsplit(":", 1)[1] if same_port else "0"
+        replacement = spawn_server(
+            "--port",
+            port,
+            "--backend-id",
+            index,
+            *self._backend_args,
+            startup_timeout=startup_timeout,
+        )
+        self.backends[index] = replacement
+        if self.router is not None:
+            if not same_port and old_address != replacement.address:
+                try:
+                    self.router.remove_backend(old_address)
+                except Exception:
+                    pass  # already ejected/removed
+            # add_backend is idempotent and immediately (re-)marks the
+            # node up — no waiting on the next health probe.
+            self.router.add_backend(replacement.address)
+        return replacement
+
+    def stop(self, timeout: float = 10.0) -> None:
+        for backend in self.backends:
+            backend.stop(timeout)
+
+
+@contextmanager
+def running_cluster(
+    n_backends: int = 2,
+    router: bool = True,
+    workers: int = 1,
+    server_args: Sequence[str] = (),
+    router_kwargs: dict | None = None,
+    timeout: float = 120.0,
+) -> Iterator[Cluster]:
+    """Yield a running :class:`Cluster` of ``n_backends`` lot servers.
+
+    Each backend is a real subprocess (``python -m repro.server --port 0
+    --workers <workers> --backend-id <i> <server_args...>``); with
+    ``router=True`` an in-thread :class:`~repro.router.Router`
+    federates them and ``cluster.address`` is the router's endpoint.
+    Extra ``router_kwargs`` go to the :class:`Router` constructor.
+    """
+    if n_backends < 1:
+        raise ValueError(f"n_backends must be >= 1, got {n_backends}")
+    backend_args = ["--workers", str(workers), *(str(arg) for arg in server_args)]
+    with ExitStack() as stack:
+        backends: list[ServerProcess] = []
+        for index in range(n_backends):
+            process = spawn_server(
+                "--port", 0, "--backend-id", index, *backend_args,
+                startup_timeout=timeout,
+            )
+            stack.callback(process.stop)
+            backends.append(process)
+        cluster = Cluster(backends, backend_args)
+        if router:
+            from repro.router.router import Router
+
+            cluster.router = stack.enter_context(
+                running_app(
+                    Router(
+                        backends=[b.address for b in backends],
+                        **(router_kwargs or {}),
+                    ),
+                    name="repro-router",
+                    timeout=timeout,
+                )
+            )
+        yield cluster
+        # Stop backends before the ExitStack tears the router down so
+        # shutdown never waits on the router's drain window.
+        cluster.stop()

@@ -1,4 +1,13 @@
-"""Suite-wide fixtures: the /dev/shm hygiene invariant.
+"""Suite-wide fixtures.
+
+Two things live here:
+
+* The shared serving-tier fixtures (``chip`` / ``alu`` / ``recipe`` /
+  ``patterns`` / ``reference``) used by the server, gateway, and
+  router suites — one definition instead of three copies, and the
+  expensive ``reference`` pipeline (the direct-:class:`Session` run
+  every front end must match bit-for-bit) is built once per session.
+* The /dev/shm hygiene invariant.
 
 Every shared-memory segment this codebase creates is named ``repro_*``
 (see ``repro.runtime.wire._create_segment``), precisely so that leaks
@@ -17,6 +26,45 @@ import os
 import time
 
 import pytest
+
+from repro.api import Session
+from repro.atpg.random_gen import random_patterns
+from repro.circuit.generators import c17, simple_alu
+from repro.manufacturing.process import ProcessRecipe
+
+
+@pytest.fixture(scope="session")
+def chip():
+    return c17()
+
+
+@pytest.fixture(scope="session")
+def alu():
+    return simple_alu(2)
+
+
+@pytest.fixture(scope="session")
+def recipe():
+    return ProcessRecipe(
+        defect_density=3.0, clustering=0.5, mean_defect_radius=0.15
+    )
+
+
+@pytest.fixture(scope="session")
+def patterns(chip):
+    return random_patterns(chip, 32, seed=3)
+
+
+@pytest.fixture(scope="session")
+def reference(chip, recipe, patterns):
+    """The direct in-process pipeline every front end must match bit-for-bit."""
+    with Session(workers=1) as session:
+        lot = session.fabricate(chip, recipe, 12, dies_per_wafer=4, seed=7)
+        program = session.build_program(chip, patterns)
+        result = session.test(lot, program)
+        report = session.run_experiment("fig1")
+    return lot, program, result, report
+
 
 _SHM_DIR = "/dev/shm"
 

@@ -42,38 +42,9 @@ def _no_leaked_chaos():
     chaos.uninstall()
 
 
-@pytest.fixture(scope="module")
-def chip():
-    return c17()
-
-
-@pytest.fixture(scope="module")
-def alu():
-    return simple_alu(2)
-
-
-@pytest.fixture(scope="module")
-def recipe():
-    return ProcessRecipe(
-        defect_density=3.0, clustering=0.5, mean_defect_radius=0.15
-    )
-
-
-@pytest.fixture(scope="module")
-def patterns(chip):
-    return random_patterns(chip, 32, seed=3)
-
-
-@pytest.fixture(scope="module")
-def reference(chip, recipe, patterns):
-    """The direct in-process pipeline the gateway must match bit-for-bit."""
-    with Session(workers=1) as session:
-        lot = session.fabricate(chip, recipe, 12, dies_per_wafer=4, seed=7)
-        program = session.build_program(chip, patterns)
-        result = session.test(lot, program)
-        report = session.run_experiment("fig1")
-    return lot, program, result, report
-
+# Shared chip / alu / recipe / patterns / reference fixtures live in
+# tests/conftest.py — one definition for the server, gateway, and
+# router suites.
 
 # ----------------------------------------------------------------- codec
 

@@ -1,0 +1,193 @@
+"""Property suite for the federation hash ring.
+
+Hypothesis pins the two claims the ring's docstring makes:
+
+* **Balance** — keys spread near-uniformly: with ``replicas`` vnodes
+  per node, every node's share of a large key population stays within
+  a multiplicative band of the fair share.
+* **Minimal disruption** — adding (or removing) one of N nodes remaps
+  only ~1/N of the keys, and *every* remapped key moves to (from) the
+  changed node: survivors never trade keys among themselves.  That
+  exactness is what keeps backend compile caches warm across
+  membership changes.
+
+Plus deterministic unit checks for membership, lookup, preference
+order, and the bounded-load rule.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.router.ring import HashRing, bounded_choice
+
+# Fingerprint-like keys: what the router actually hashes.
+def _keys(n, salt=""):
+    return [
+        hashlib.sha256(f"{salt}key-{i}".encode()).hexdigest() for i in range(n)
+    ]
+
+
+_NODE_NAMES = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+
+class TestMembership:
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert len(ring) == 0
+        assert ring.owner("anything") is None
+        assert ring.preference("anything") == []
+        assert ring.spread(["a", "b"]) == {}
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing(["a", "b"])
+        ring.add("a")
+        assert ring.nodes == ("a", "b")
+        ring.remove("c")  # unknown: no-op
+        ring.remove("b")
+        ring.remove("b")
+        assert ring.nodes == ("a",)
+        assert "a" in ring and "b" not in ring
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.owner(k) == "only" for k in _keys(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+        with pytest.raises(ValueError):
+            HashRing().add("")
+
+    def test_placement_is_deterministic(self):
+        keys = _keys(200)
+        a = HashRing(["n0", "n1", "n2"])
+        b = HashRing(["n2", "n0", "n1"])  # insertion order is irrelevant
+        assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+
+
+class TestPreference:
+    def test_head_is_owner_and_covers_all_nodes(self):
+        ring = HashRing([f"n{i}" for i in range(5)])
+        for key in _keys(100):
+            preference = ring.preference(key)
+            assert preference[0] == ring.owner(key)
+            assert sorted(preference) == sorted(ring.nodes)
+
+    def test_failover_order_matches_ring_after_removal(self):
+        # The node a key fails over to is exactly its owner once the
+        # dead node leaves the ring.
+        ring = HashRing([f"n{i}" for i in range(4)])
+        for key in _keys(100):
+            first, second = ring.preference(key)[:2]
+            survivor = HashRing([n for n in ring.nodes if n != first])
+            assert survivor.owner(key) == second
+
+
+@settings(max_examples=30, deadline=None)
+@given(nodes=_NODE_NAMES)
+def test_spread_is_balanced(nodes):
+    """Every node's share stays within a band of the fair share."""
+    keys = _keys(3000)
+    ring = HashRing(nodes)
+    counts = ring.spread(keys)
+    assert sum(counts.values()) == len(keys)
+    fair = len(keys) / len(nodes)
+    # With 96 vnodes the per-node share has relative std ~ 1/sqrt(96)
+    # ≈ 0.10; a 2.2x band is ~12 sigma on the high side yet still
+    # catches gross placement bugs (all keys on one node, dead arcs).
+    for node, count in counts.items():
+        assert count <= 2.2 * fair, (node, count, fair)
+        assert count >= fair / 4.0, (node, count, fair)
+
+
+@settings(max_examples=20, deadline=None)
+@given(nodes=_NODE_NAMES, data=st.data())
+def test_adding_one_node_remaps_about_one_nth(nodes, data):
+    """Growth remaps ~1/(N+1) of keys — and only *onto* the new node."""
+    new_node = data.draw(
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=12,
+        ).filter(lambda name: name not in nodes)
+    )
+    keys = _keys(10_000)
+    before = HashRing(nodes)
+    owners_before = {k: before.owner(k) for k in keys}
+    after = HashRing(nodes)
+    after.add(new_node)
+    moved = 0
+    for key in keys:
+        owner = after.owner(key)
+        if owner != owners_before[key]:
+            moved += 1
+            # Exactness: a remapped key can only have moved to the
+            # new arrival, never between survivors.
+            assert owner == new_node, (key, owners_before[key], owner)
+    expected = len(keys) / (len(nodes) + 1)
+    assert moved <= 2.2 * expected, (moved, expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(nodes=_NODE_NAMES, data=st.data())
+def test_removing_one_node_remaps_only_its_keys(nodes, data):
+    """Shrink remaps exactly the departed node's keys, nobody else's."""
+    victim = data.draw(st.sampled_from(list(nodes)))
+    keys = _keys(10_000)
+    before = HashRing(nodes)
+    owners_before = {k: before.owner(k) for k in keys}
+    after = HashRing(nodes)
+    after.remove(victim)
+    for key in keys:
+        owner = after.owner(key)
+        if owners_before[key] == victim:
+            assert owner != victim
+        else:
+            # Survivors keep every key they had: zero collateral churn.
+            assert owner == owners_before[key], (key, owners_before[key], owner)
+
+
+class TestBoundedChoice:
+    def test_unloaded_ring_picks_the_owner(self):
+        assert bounded_choice(["a", "b", "c"], {}) == "a"
+
+    def test_hot_owner_is_skipped(self):
+        # a is far past 1.25 * fair share; the next preferred node wins.
+        assert bounded_choice(["a", "b", "c"], {"a": 10, "b": 0, "c": 0}) == "b"
+
+    def test_everyone_at_cap_falls_back_to_owner(self):
+        loads = {"a": 100, "b": 100, "c": 100}
+        assert bounded_choice(["a", "b", "c"], loads, factor=0.5) == "a"
+
+    def test_empty_preference(self):
+        assert bounded_choice([], {"a": 1}) is None
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            bounded_choice(["a"], {}, factor=0)
+
+    def test_cap_bounds_skew_under_sequential_load(self):
+        # Simulate the router's actual loop: place 600 requests for a
+        # *single* hot key, decrementing nothing — the cap must spread
+        # the pile-up instead of burying the owner.
+        ring = HashRing([f"n{i}" for i in range(4)])
+        loads = {node: 0 for node in ring.nodes}
+        preference = ring.preference("hot-fingerprint")
+        for _ in range(600):
+            node = bounded_choice(preference, loads, factor=1.25)
+            loads[node] += 1
+        total = sum(loads.values())
+        cap = 1.25 * (total + 1) / 4
+        assert all(load <= cap + 1 for load in loads.values()), loads

@@ -19,8 +19,6 @@ import os
 import signal
 import socket
 import struct
-import subprocess
-import sys
 import threading
 
 import numpy as np
@@ -33,35 +31,12 @@ from repro.manufacturing.process import ProcessRecipe
 from repro.server import Client, RemoteError, netlist_fingerprint, parse_address
 from repro.server.protocol import encode_frame, recv_frame
 from repro.server.testing import running_server
+from repro.testing import spawn_server
 
 
-@pytest.fixture(scope="module")
-def chip():
-    return c17()
-
-
-@pytest.fixture(scope="module")
-def recipe():
-    return ProcessRecipe(
-        defect_density=3.0, clustering=0.5, mean_defect_radius=0.15
-    )
-
-
-@pytest.fixture(scope="module")
-def patterns(chip):
-    return random_patterns(chip, 32, seed=3)
-
-
-@pytest.fixture(scope="module")
-def reference(chip, recipe, patterns):
-    """The direct in-process pipeline the server must match bit-for-bit."""
-    with Session(workers=1) as session:
-        lot = session.fabricate(chip, recipe, 12, dies_per_wafer=4, seed=7)
-        program = session.build_program(chip, patterns)
-        result = session.test(lot, program)
-        report = session.run_experiment("fig1")
-    return lot, program, result, report
-
+# Shared chip / recipe / patterns / reference fixtures live in
+# tests/conftest.py — one definition for the server, gateway, and
+# router suites.
 
 # ------------------------------------------------------------ bit-identity
 
@@ -363,31 +338,14 @@ class TestGracefulDrain:
         # The repro-server process must treat Ctrl-C as graceful drain:
         # no KeyboardInterrupt traceback, exit code 0, and the one-line
         # drain summary on stdout.
-        import repro
-
-        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-        env = dict(os.environ)
-        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.server", "--port", "0", "--workers", "1"],
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-            env=env,
-        )
+        proc = spawn_server("--port", 0, "--workers", 1)
         try:
-            banner = proc.stdout.readline().strip()
-            assert banner.startswith("repro-server listening on ")
-            address = banner.rpartition(" ")[2]
-            with Client(address, timeout=30) as client:
+            with Client(proc.address, timeout=30) as client:
                 assert client.ping()["pong"] is True
                 proc.send_signal(signal.SIGINT)
-                out, err = proc.communicate(timeout=60)
+                assert proc.wait(60) == 0
         finally:
-            if proc.poll() is None:
-                proc.kill()
-                proc.communicate()
-        assert proc.returncode == 0, err
-        assert "drained 0 in-flight request(s)" in out
-        assert "KeyboardInterrupt" not in err
-        assert "Traceback" not in err
+            proc.kill()
+        assert "drained 0 in-flight request(s)" in proc.log
+        assert "KeyboardInterrupt" not in proc.log
+        assert "Traceback" not in proc.log

@@ -1,0 +1,319 @@
+"""Direct unit tests of the transport-agnostic serving plumbing.
+
+:mod:`repro.server.core` is exercised constantly through the server,
+gateway, and router suites, but always end-to-end — a primitive's edge
+case (FIFO eviction order, the bool/int JSON trap, retry_after scaling)
+can regress without any black-box test noticing which piece broke.
+These tests pin each primitive's contract in isolation.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.server.core import (
+    MISSING,
+    HandleRegistry,
+    JobQueues,
+    ReplayCache,
+    RequestError,
+    param,
+)
+from repro.server.protocol import ERR_BAD_REQUEST, ERR_OVERLOADED
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ---------------------------------------------------------------- param
+
+
+class TestParam:
+    def test_present_and_typed(self):
+        assert param({"n": 3}, "n", int) == 3
+        assert param({"s": "x"}, "s", (str, int)) == "x"
+        assert param({"f": 1.5}, "f", None) == 1.5  # kinds=None: anything
+
+    def test_missing_uses_default(self):
+        assert param({}, "n", int, default=7) == 7
+        assert param({}, "n", int, default=None) is None
+
+    def test_missing_without_default_is_bad_request(self):
+        with pytest.raises(RequestError) as err:
+            param({}, "n", int)
+        assert err.value.code == ERR_BAD_REQUEST
+
+    def test_wrong_type_is_bad_request(self):
+        with pytest.raises(RequestError) as err:
+            param({"n": "3"}, "n", int)
+        assert err.value.code == ERR_BAD_REQUEST
+
+    def test_bool_is_not_an_int(self):
+        # JSON blurs bool/int; the protocol must not: True is a valid
+        # Python int but an invalid chip count.
+        with pytest.raises(RequestError):
+            param({"n": True}, "n", int)
+        assert param({"flag": True}, "flag", bool) is True
+        assert param({"n": 1}, "n", (int, bool)) == 1
+
+    def test_default_is_not_type_checked(self):
+        # A None default passes through even for int params.
+        assert param({}, "seed", int, default=None) is None
+
+    def test_missing_sentinel_is_not_a_value(self):
+        assert param({"x": None}, "x", None) is None  # explicit None != missing
+        assert MISSING is not None
+
+
+# ------------------------------------------------------- HandleRegistry
+
+
+class TestHandleRegistry:
+    def test_handles_are_prefixed_and_monotonic(self):
+        registry = HandleRegistry("lot", max_handles=8)
+        first, second = registry.add(object()), registry.add(object())
+        assert first == "lot-1" and second == "lot-2"
+
+    def test_fifo_eviction_past_bound(self):
+        registry = HandleRegistry("lot", max_handles=2)
+        kept = [registry.add(index) for index in range(3)]
+        assert len(registry) == 2
+        assert registry.get(kept[0]) is None  # oldest dropped
+        assert registry.get(kept[1]) == 1
+        assert registry.get(kept[2]) == 2
+
+    def test_shared_counter_never_reuses_numbers(self):
+        # Lot and program registries share one counter so handles never
+        # collide across kinds even when a client mixes them up.
+        counter = [0]
+        lots = HandleRegistry("lot", max_handles=4, counter=counter)
+        programs = HandleRegistry("prog", max_handles=4, counter=counter)
+        handles = [lots.add("a"), programs.add("b"), lots.add("c")]
+        assert handles == ["lot-1", "prog-2", "lot-3"]
+
+    def test_unknown_handle_is_none(self):
+        registry = HandleRegistry("lot", max_handles=2)
+        assert registry.get("lot-999") is None
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            HandleRegistry("lot", max_handles=0)
+
+
+# ---------------------------------------------------------- ReplayCache
+
+
+class TestReplayCache:
+    def test_miss_then_hit(self):
+        cache = ReplayCache()
+        assert cache.lookup("c1", 1) is None
+        cache.store("c1", 1, {"ok": True})
+        assert cache.lookup("c1", 1) == {"ok": True}
+        assert cache.hits == 1
+
+    def test_per_client_fifo_eviction(self):
+        cache = ReplayCache(per_client=2, clients=4)
+        for rid in range(3):
+            cache.store("c1", rid, rid)
+        assert cache.lookup("c1", 0) is None  # oldest response evicted
+        assert cache.lookup("c1", 1) == 1
+        assert cache.lookup("c1", 2) == 2
+
+    def test_client_count_fifo_eviction(self):
+        cache = ReplayCache(per_client=2, clients=2)
+        cache.store("c1", 1, "a")
+        cache.store("c2", 1, "b")
+        cache.store("c3", 1, "c")
+        assert cache.lookup("c1", 1) is None  # oldest client evicted
+        assert cache.lookup("c2", 1) == "b"
+        assert cache.lookup("c3", 1) == "c"
+
+    def test_lookup_refreshes_client_recency(self):
+        cache = ReplayCache(per_client=2, clients=2)
+        cache.store("c1", 1, "a")
+        cache.store("c2", 1, "b")
+        cache.lookup("c1", 1)  # touch c1: now c2 is the eviction candidate
+        cache.store("c3", 1, "c")
+        assert cache.lookup("c1", 1) == "a"
+        assert cache.lookup("c2", 1) is None
+
+    def test_distinct_rids_do_not_collide(self):
+        cache = ReplayCache()
+        cache.store("c1", 1, "first")
+        cache.store("c1", 2, "second")
+        assert cache.lookup("c1", 1) == "first"
+        assert cache.lookup("c1", 2) == "second"
+        assert cache.hits == 2
+
+
+# ------------------------------------------------------------ JobQueues
+
+
+async def _inline_runner(key, fn):
+    return fn()
+
+
+class TestJobQueues:
+    def test_submit_returns_result(self):
+        async def scenario():
+            queues = JobQueues(_inline_runner)
+            try:
+                return await queues.submit("k", lambda: 41 + 1)
+            finally:
+                await queues.aclose()
+
+        assert run(scenario()) == 42
+
+    def test_runner_exception_propagates(self):
+        async def scenario():
+            queues = JobQueues(_inline_runner)
+
+            def boom():
+                raise RuntimeError("pipeline exploded")
+
+            try:
+                with pytest.raises(RuntimeError, match="pipeline exploded"):
+                    await queues.submit("k", boom)
+                # The queue survives a failed job.
+                return await queues.submit("k", lambda: "still alive")
+            finally:
+                await queues.aclose()
+
+        assert run(scenario()) == "still alive"
+
+    def test_per_key_fifo_order(self):
+        async def scenario():
+            order = []
+
+            async def runner(key, fn):
+                return fn()
+
+            queues = JobQueues(runner)
+            try:
+                jobs = [
+                    queues.submit("k", lambda i=i: order.append(i))
+                    for i in range(5)
+                ]
+                await asyncio.gather(*jobs)
+            finally:
+                await queues.aclose()
+            return order
+
+        assert run(scenario()) == [0, 1, 2, 3, 4]
+
+    def test_pending_counts_queued_plus_in_flight(self):
+        async def scenario():
+            release = asyncio.Event()
+            observed = {}
+
+            async def runner(key, fn):
+                await release.wait()
+                return fn()
+
+            queues = JobQueues(runner)
+            try:
+                jobs = [
+                    asyncio.ensure_future(queues.submit("k", lambda: None))
+                    for _ in range(3)
+                ]
+                await asyncio.sleep(0.01)  # consumer now holds one job
+                observed["pending"] = queues.pending("k")
+                observed["depth"] = queues.queue_depths()["k"]
+                observed["total"] = queues.total_pending()
+                observed["by_queue"] = queues.pending_by_queue()
+                release.set()
+                await asyncio.gather(*jobs)
+                observed["after"] = queues.pending("k")
+                observed["by_queue_after"] = queues.pending_by_queue()
+            finally:
+                await queues.aclose()
+            return observed
+
+        observed = run(scenario())
+        # qsize alone would say 2 — the in-flight job must count too.
+        assert observed["pending"] == 3
+        assert observed["depth"] == 2
+        assert observed["total"] == 3
+        assert observed["by_queue"] == {"k": 3}
+        assert observed["after"] == 0
+        assert observed["by_queue_after"] == {}
+
+    def test_overload_rejection_with_retry_after_hint(self):
+        async def scenario():
+            release = asyncio.Event()
+
+            async def runner(key, fn):
+                await release.wait()
+                return fn()
+
+            queues = JobQueues(runner, max_queue_depth=2)
+            try:
+                jobs = [
+                    asyncio.ensure_future(queues.submit("k", lambda: None))
+                    for _ in range(2)
+                ]
+                await asyncio.sleep(0.01)
+                with pytest.raises(RequestError) as err:
+                    await queues.submit("k", lambda: None)
+                release.set()
+                await asyncio.gather(*jobs)
+            finally:
+                await queues.aclose()
+            return err.value, queues.overload_rejections
+
+        error, rejections = run(scenario())
+        assert error.code == ERR_OVERLOADED
+        assert error.retry_after == round(0.05 * 2, 3)  # scaled to backlog
+        assert rejections == 1
+
+    def test_overload_is_per_key(self):
+        async def scenario():
+            release = asyncio.Event()
+
+            async def runner(key, fn):
+                await release.wait()
+                return fn()
+
+            queues = JobQueues(runner, max_queue_depth=1)
+            try:
+                blocked = asyncio.ensure_future(
+                    queues.submit("hot", lambda: "hot")
+                )
+                await asyncio.sleep(0.01)
+                with pytest.raises(RequestError):
+                    await queues.submit("hot", lambda: None)
+                # A different key is unaffected by the hot key's backlog.
+                other = asyncio.ensure_future(
+                    queues.submit("cold", lambda: "cold")
+                )
+                await asyncio.sleep(0.01)
+                release.set()
+                return await asyncio.gather(blocked, other)
+            finally:
+                await queues.aclose()
+
+        assert run(scenario()) == ["hot", "cold"]
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            JobQueues(_inline_runner, max_queue_depth=0)
+
+    def test_aclose_cancels_consumers(self):
+        async def scenario():
+            started = asyncio.Event()
+
+            async def runner(key, fn):
+                started.set()
+                await asyncio.sleep(3600)
+
+            queues = JobQueues(runner)
+            job = asyncio.ensure_future(queues.submit("k", lambda: None))
+            await started.wait()
+            await queues.aclose()
+            assert queues.queue_depths() == {}
+            job.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await job
+
+        run(scenario())

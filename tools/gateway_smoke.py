@@ -18,8 +18,6 @@ Usage::
 from __future__ import annotations
 
 import json
-import os
-import subprocess
 import sys
 import urllib.request
 from pathlib import Path
@@ -65,21 +63,17 @@ def main() -> int:
         program = session.build_program(chip, patterns)
         expected = session.test(lot, program)
 
-    env = dict(os.environ)
-    env["PYTHONPATH"] = SRC + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-    )
-    proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.gateway", "--port", "0"],
-        stdout=subprocess.PIPE,
-        text=True,
-        env=env,
+    from repro.testing import spawn_server
+
+    proc = spawn_server(
+        "--port",
+        0,
+        module="repro.gateway",
+        announce="repro-gateway listening on",
     )
     try:
-        announce = proc.stdout.readline().strip()
-        print(announce)
-        assert announce.startswith("repro-gateway listening on "), announce
-        base = announce.rsplit(" ", 1)[-1]
+        base = proc.address
+        print(f"repro-gateway listening on {base}")
 
         with urllib.request.urlopen(base + "/healthz", timeout=30) as response:
             health = json.loads(response.read())
@@ -142,7 +136,7 @@ def main() -> int:
 
         _call(base + "/v1/shutdown", "POST", {}, "smoke-a", 100)
         code = proc.wait(timeout=60)
-        assert code == 0, f"gateway exited {code}"
+        assert code == 0, f"gateway exited {code}\n{proc.log}"
     except BaseException:
         proc.kill()
         raise

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the federation tier.
+
+What the CI router job runs: spawn **two** real ``repro-server``
+backends as subprocesses plus a router federating them, drive a full
+``test_lot`` round trip through the router, check the result is
+bit-identical to a direct in-process ``Session``, then SIGKILL one
+backend and prove the federation heals — the same pipeline repeats
+through failover, still bit-identical, with the router's
+``backend_deaths`` / ``reroutes`` counters showing the recovery really
+happened.  Exits 0 on success.
+
+Usage::
+
+    PYTHONPATH=src python tools/router_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+sys.path.insert(0, SRC)
+
+
+def main() -> int:
+    from repro.api import Session
+    from repro.atpg.random_gen import random_patterns
+    from repro.circuit.generators import c17
+    from repro.manufacturing.process import ProcessRecipe
+    from repro.router import HashRing
+    from repro.server import netlist_fingerprint
+    from repro.testing import running_cluster
+
+    chip = c17()
+    recipe = ProcessRecipe(
+        defect_density=3.0, clustering=0.5, mean_defect_radius=0.15
+    )
+    patterns = random_patterns(chip, 24, seed=3)
+
+    with Session(workers=1) as session:
+        lot = session.fabricate(chip, recipe, 12, dies_per_wafer=4, seed=7)
+        program = session.build_program(chip, patterns)
+        expected = session.test(lot, program)
+
+    with running_cluster(n_backends=2) as cluster:
+        print(f"repro-router listening on {cluster.address}")
+        print(f"backends: {', '.join(cluster.backend_addresses)}")
+        with cluster.client() as client:
+            assert client.ping()["backends_up"] == 2
+
+            routed_lot = client.fabricate(chip, recipe, 12, dies_per_wafer=4, seed=7)
+            routed_program = client.build_program(chip, patterns)
+            result = client.test(routed_lot, routed_program)
+            assert routed_lot.chips == lot.chips, "fabricated lots differ"
+            assert result.records == expected.records, "test records differ"
+
+            # SIGKILL the backend that owns this netlist's shard: the
+            # worst-case victim, every routed request was landing there.
+            owner = HashRing(cluster.backend_addresses).owner(
+                netlist_fingerprint(chip)
+            )
+            cluster.kill_backend(cluster.backend_addresses.index(owner))
+            print(f"killed shard owner {owner}")
+
+            healed_lot = client.fabricate(chip, recipe, 12, dies_per_wafer=4, seed=7)
+            healed_program = client.build_program(chip, patterns)
+            healed = client.test(healed_lot, healed_program)
+            assert healed_lot.chips == lot.chips, "post-kill lots differ"
+            assert healed.records == expected.records, "post-kill records differ"
+
+            stats = client.stats()["router"]
+            assert stats["backend_deaths"] >= 1, stats
+            assert stats["reroutes"] >= 1, stats
+            assert stats["netlist_reuploads"] >= 1, stats
+
+    print(
+        "router smoke: round trip bit-identical, shard-owner SIGKILL "
+        f"healed ({stats['backend_deaths']} death(s), "
+        f"{stats['reroutes']} reroute(s)), clean teardown (exit 0)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

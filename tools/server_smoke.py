@@ -14,8 +14,6 @@ Usage::
 
 from __future__ import annotations
 
-import os
-import subprocess
 import sys
 from pathlib import Path
 
@@ -30,6 +28,7 @@ def main() -> int:
     from repro.circuit.generators import c17
     from repro.manufacturing.process import ProcessRecipe
     from repro.server import Client
+    from repro.testing import spawn_server
 
     chip = c17()
     recipe = ProcessRecipe(
@@ -42,23 +41,10 @@ def main() -> int:
         program = session.build_program(chip, patterns)
         expected = session.test(lot, program)
 
-    env = dict(os.environ)
-    env["PYTHONPATH"] = SRC + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-    )
-    proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.server", "--port", "0", "--max-contexts", "8"],
-        stdout=subprocess.PIPE,
-        text=True,
-        env=env,
-    )
+    proc = spawn_server("--port", 0, "--max-contexts", 8)
     try:
-        announce = proc.stdout.readline().strip()
-        print(announce)
-        assert announce.startswith("repro-server listening on "), announce
-        address = announce.rsplit(" ", 1)[-1]
-
-        with Client(address) as client:
+        print(f"repro-server listening on {proc.address}")
+        with Client(proc.address) as client:
             assert client.ping()["pong"] is True
             server_lot = client.fabricate(chip, recipe, 12, dies_per_wafer=4, seed=7)
             server_program = client.build_program(chip, patterns)
@@ -70,7 +56,7 @@ def main() -> int:
             assert stats["server"]["requests_by_op"]["test_lot"] == 1
             client.shutdown_server()
         code = proc.wait(timeout=60)
-        assert code == 0, f"server exited {code}"
+        assert code == 0, f"server exited {code}\n{proc.log}"
     except BaseException:
         proc.kill()
         raise
