@@ -18,7 +18,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-dac81-fault-coverage",
-    version="0.6.0",
+    version="0.7.0",
     description=(
         "Reproduction of Agrawal, Seth & Agrawal, 'LSI Product Quality "
         "and Fault Coverage' (DAC 1981): analytic reject-rate model plus "
@@ -29,6 +29,14 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.10",
     install_requires=["numpy"],
+    # Optional fast backends for the batch engine (see
+    # docs/architecture.md "Engine-backend matrix"): the kernel engines
+    # degrade to a NumPy executor when these are absent, so neither is
+    # ever required for correctness.
+    extras_require={
+        "jit": ["numba"],
+        "gpu": ["cupy"],
+    },
     entry_points={
         "console_scripts": [
             "repro-experiments=repro.experiments.runner:main",

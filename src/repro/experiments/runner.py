@@ -34,6 +34,7 @@ import time
 from pathlib import Path
 
 from repro.api import Session, resolve_session
+from repro.simulator import ENGINES
 from repro.experiments import example, fig1, fig234, fig5, fig6, fineline, table1
 from repro.runtime import resolve_workers
 
@@ -121,11 +122,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("batch", "compiled", "event"),
+        choices=sorted(ENGINES),
         default="batch",
         help=(
             "fault-simulation engine for the Monte-Carlo experiments "
-            "(default: batch, the fault-parallel NumPy engine). Note: "
+            "(default: batch, the fault-parallel NumPy engine; "
+            "'batch-jit'/'batch-gpu' run the kernel backends when "
+            "numba/CuPy are installed, 'auto' picks per shape). Note: "
             "lot testing needs multi-fault word-level machines, so with "
             "'event' the wafer tester falls back to the serial compiled "
             "loop; 'event' governs the coverage-curve fault simulation."

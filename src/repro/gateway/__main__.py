@@ -20,6 +20,7 @@ import argparse
 from repro.experiments.runner import _parse_workers
 from repro.gateway.gateway import Gateway
 from repro.server.__main__ import _positive_float, _positive_int
+from repro.simulator import ENGINES
 
 __all__ = ["main"]
 
@@ -43,7 +44,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("batch", "compiled", "event"),
+        choices=sorted(ENGINES),
         default="batch",
         help="fault-simulation engine of every session (default: %(default)s)",
     )

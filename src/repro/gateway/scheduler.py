@@ -44,7 +44,15 @@ __all__ = ["SessionScheduler"]
 # Scheduler-owned stats keys that must not be key-wise summed across
 # lanes: the chaos schedule is process-global, so every lane reports the
 # same total and summing would multiply it by the lane count.
-_GLOBAL_KEYS = ("chaos_injections",)
+# Session.stats() keys that report process-global counters: every lane
+# sees the same value, so summing across lanes would multiply them by
+# the lane count.  The scheduler reports them once instead.
+_GLOBAL_KEYS = (
+    "chaos_injections",
+    "kernel_blocks_numpy",
+    "kernel_blocks_jit",
+    "kernel_blocks_gpu",
+)
 
 
 class _Lane:
@@ -216,15 +224,16 @@ class SessionScheduler:
     def session_stats(self) -> dict[str, int]:
         """Key-wise sum of every lane's ``Session.stats()`` ever opened."""
         per_lane = []
-        chaos_total = 0
+        global_totals = {key: 0 for key in _GLOBAL_KEYS}
         for lane in self._lanes.values():
             stats = lane.session.stats()
-            chaos_total = stats.get("chaos_injections", 0)  # process-global
             for key in _GLOBAL_KEYS:
-                stats.pop(key, None)
+                # Process-global: every lane reports the same number, so
+                # keep one copy instead of summing per lane.
+                global_totals[key] = stats.pop(key, 0)
             per_lane.append(stats)
         total = aggregate_stats([self._retired_stats, *per_lane])
-        total["chaos_injections"] = chaos_total
+        total.update(global_totals)
         return total
 
     def stats(self) -> dict:

@@ -19,6 +19,7 @@ import argparse
 
 from repro.experiments.runner import _parse_workers
 from repro.server.server import LotServer
+from repro.simulator import ENGINES
 
 __all__ = ["main"]
 
@@ -68,7 +69,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("batch", "compiled", "event"),
+        choices=sorted(ENGINES),
         default="batch",
         help="fault-simulation engine of the shared session (default: %(default)s)",
     )

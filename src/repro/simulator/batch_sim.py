@@ -100,6 +100,7 @@ class BatchCompiledCircuit:
             )
             out_idx = self._index[name]
             self._ops.append((kind, invert, in_idx, out_idx))
+        self._max_fanin = max((len(op[2]) for op in self._ops), default=0)
 
     @property
     def num_signals(self) -> int:
@@ -179,7 +180,18 @@ class BatchCompiledCircuit:
         """
         stem_forces, pin_overrides = self._compile_machines(machines)
         num_rows = len(machines) + 1
-        values = np.zeros((num_rows, self._num_signals), dtype=_U64)
+        # Every column is either an input (filled below) or a gate output
+        # (written by its gate in topological order), so empty is safe.
+        values = np.empty((num_rows, self._num_signals), dtype=_U64)
+        # One reduction accumulator and one operand-gather scratch are
+        # reused by every gate via ``out=`` — the block loop allocates no
+        # per-gate temporaries.
+        acc = np.empty(num_rows, dtype=_U64)
+        gather = (
+            np.empty((num_rows, self._max_fanin), dtype=_U64)
+            if pin_overrides
+            else None
+        )
 
         for name, idx in zip(self._input_names, self._input_indices):
             try:
@@ -196,23 +208,26 @@ class BatchCompiledCircuit:
             override = pin_overrides.get(out_idx)
             if override is not None:
                 rows, pin_list, words = override
-                operands = values[:, in_idx]  # gather copy (rows, fanin)
+                operands = gather[:, : len(in_idx)]
+                np.take(values, in_idx, axis=1, out=operands)
                 operands[rows, pin_list] = words
                 if kind == _REDUCE_BUF:
                     word = operands[:, 0]
                 else:
-                    word = _REDUCE_UFUNC[kind].reduce(operands, axis=1)
+                    word = _REDUCE_UFUNC[kind].reduce(
+                        operands, axis=1, out=acc
+                    )
             elif kind == _REDUCE_BUF:
                 word = values[:, in_idx[0]]
             else:
                 # Column-view accumulation avoids the gather on the (vastly
                 # more common) gates with no pin override.
                 ufunc = _REDUCE_UFUNC[kind]
-                word = ufunc(values[:, in_idx[0]], values[:, in_idx[1]])
+                word = ufunc(values[:, in_idx[0]], values[:, in_idx[1]], out=acc)
                 for j in range(2, len(in_idx)):
-                    word = ufunc(word, values[:, in_idx[j]])
+                    word = ufunc(word, values[:, in_idx[j]], out=acc)
             if invert:
-                word = ~word
+                word = np.bitwise_not(word, out=acc)
             values[:, out_idx] = word
             force = stem_forces.get(out_idx)
             if force is not None:

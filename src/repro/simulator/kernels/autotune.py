@@ -1,0 +1,107 @@
+"""Shape-aware backend autotuner for the kernel engine.
+
+``make_engine("auto")`` must pick the fastest available executor for the
+workload actually flowing through it — and the right answer genuinely
+depends on shape: the JIT kernel wins big on wide fault batches (hundreds
+of machine rows amortize its per-row loop across cores), while tiny
+blocks can sit below the kernel-dispatch break-even where the NumPy
+executor's vectorized per-gate path is fine.  Guessing from first
+principles would bake this machine's tradeoffs into code; measuring once
+per process is cheap and always right.
+
+So the autotuner runs a **one-time calibration probe**: the first block
+of a given shape class runs on *every* available backend, the results
+are asserted bit-identical (a free differential test in production), the
+timings decide the winner, and the decision is cached under
+``(netlist fingerprint, machine-count bucket)``.  Buckets are powers of
+two — a 900-row fault batch and a 1000-row one share a decision, but a
+16-row PODEM remnant batch gets its own.  Every later block of that
+shape dispatches straight to the winner with a dict lookup.
+
+The module also keeps the process-global per-backend block counters
+surfaced as ``kernel_blocks_*`` in :meth:`repro.api.session.Session.stats`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BACKEND_BLOCKS",
+    "bucket",
+    "cached_decision",
+    "calibrate",
+    "note_block",
+    "reset",
+]
+
+# Blocks executed per backend in this process, across every engine
+# instance (sessions, pool workers each count their own process).
+BACKEND_BLOCKS: dict[str, int] = {"numpy": 0, "jit": 0, "gpu": 0}
+
+# (program fingerprint, row bucket) -> winning backend name.
+_DECISIONS: dict[tuple[str, int], str] = {}
+
+
+def bucket(num_rows: int) -> int:
+    """Shape class for a machine count: the next power of two."""
+    if num_rows <= 1:
+        return 1
+    return 1 << (num_rows - 1).bit_length()
+
+
+def cached_decision(fingerprint: str, num_rows: int) -> str | None:
+    """The winning backend for this shape class, if already calibrated."""
+    return _DECISIONS.get((fingerprint, bucket(num_rows)))
+
+
+def calibrate(
+    fingerprint: str,
+    num_rows: int,
+    candidates: Sequence[tuple[str, Callable[[], np.ndarray]]],
+) -> tuple[str, np.ndarray]:
+    """Probe every candidate backend on the real block and pick a winner.
+
+    ``candidates`` maps backend name to a thunk that evaluates the block
+    from scratch and returns the full value matrix.  Each thunk runs
+    twice — once untimed to absorb one-time costs (JIT compilation,
+    device upload), once timed — and all results must be bit-identical
+    or the probe refuses to tune.  Returns ``(winner, winner_values)``
+    so the probing block's (already computed) result is reused.
+    """
+    key = (fingerprint, bucket(num_rows))
+    if len(candidates) == 1:
+        name, thunk = candidates[0]
+        _DECISIONS[key] = name
+        return name, thunk()
+    probes: list[tuple[float, str, np.ndarray]] = []
+    for name, thunk in candidates:
+        thunk()  # warm-up: JIT compile / kernel cache load / H2D setup
+        start = time.perf_counter()
+        values = thunk()
+        probes.append((time.perf_counter() - start, name, values))
+    base_name, base = probes[0][1], probes[0][2]
+    for _, name, values in probes[1:]:
+        if not np.array_equal(base, values):
+            raise RuntimeError(
+                f"autotune probe: backend {name!r} disagrees with "
+                f"{base_name!r} on circuit {fingerprint[:12]}"
+            )
+    best = min(probes, key=lambda probe: probe[0])
+    _DECISIONS[key] = best[1]
+    return best[1], best[2]
+
+
+def note_block(backend: str) -> None:
+    """Count one executed block against ``backend``."""
+    BACKEND_BLOCKS[backend] += 1
+
+
+def reset() -> None:
+    """Test hook: forget calibration decisions and zero the counters."""
+    _DECISIONS.clear()
+    for name in BACKEND_BLOCKS:
+        BACKEND_BLOCKS[name] = 0

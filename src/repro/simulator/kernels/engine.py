@@ -1,0 +1,320 @@
+"""Kernel-backed batch engines: ``batch-jit``, ``batch-gpu``, ``auto``.
+
+:class:`KernelBatchCircuit` is a drop-in
+:class:`~repro.simulator.batch_sim.BatchCompiledCircuit` whose
+``run_batch`` executes the lowered :class:`KernelProgram` through a
+pluggable backend instead of interpreting the per-gate op list:
+
+* ``numpy`` — the preallocated transposed reference executor; always
+  available, and the semantic baseline for everything faster;
+* ``jit`` — the numba row-parallel kernel (one compiled pass, zero
+  Python per gate);
+* ``gpu`` — the CuPy single-launch CUDA kernel;
+* ``auto`` — per-shape autotuned choice among whichever of the above
+  this process can actually run (see
+  :mod:`repro.simulator.kernels.autotune`).
+
+Requesting ``jit``/``gpu`` where numba/CuPy is missing degrades to the
+NumPy executor with a one-time warning — the engine keeps working and
+keeps its name, so configs are portable across differently-provisioned
+machines.  ``auto`` silently uses what exists; absence of an optional
+accelerator is normal there, not warning-worthy.
+
+Because every backend consumes the same IR and the same injection
+tables, a pickled engine ships **only arrays** to pool workers: numba
+state lives in module globals and is recreated lazily per process
+(``cache=True`` makes that a disk load after the first ever compile),
+so the PR 6 wire format and PR 7 crash-recovery paths are untouched.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.circuit.gates import WORD_MASK
+from repro.circuit.netlist import Netlist
+from repro.simulator.batch_sim import BatchCompiledCircuit, BatchEngine
+from repro.simulator.kernels import autotune
+from repro.simulator.kernels.gpu_exec import cupy_available, execute_gpu
+from repro.simulator.kernels.ir import InjectionTables, lower_program
+from repro.simulator.kernels.jit_exec import execute_jit, numba_available
+from repro.simulator.kernels.numpy_exec import execute_numpy
+from repro.simulator.sites import validate_fault_site
+
+__all__ = [
+    "KernelBatchCircuit",
+    "JitBatchEngine",
+    "GpuBatchEngine",
+    "AutoBatchEngine",
+    "reset_fallback_warnings",
+]
+
+_U64 = np.uint64
+_ZERO = _U64(0)
+_ONES = _U64(WORD_MASK)
+
+BACKENDS = ("numpy", "jit", "gpu", "auto")
+
+# Fault-record kinds (first element of a cached record tuple).
+_REC_PI = 0  # (col, unused, word): primary-input stem, forced at load
+_REC_STEM = 1  # (gate_pos, col, word): forced after the gate evaluates
+_REC_PIN = 2  # (gate_pos, pin, word): operand override before reduction
+
+_FALLBACK_WARNED: set[str] = set()
+
+
+def reset_fallback_warnings() -> None:
+    """Test hook: allow the one-time fallback warnings to fire again."""
+    _FALLBACK_WARNED.clear()
+
+
+def _warn_fallback(backend: str, message: str) -> None:
+    if backend not in _FALLBACK_WARNED:
+        _FALLBACK_WARNED.add(backend)
+        warnings.warn(message, RuntimeWarning, stacklevel=4)
+
+
+class KernelBatchCircuit(BatchCompiledCircuit):
+    """A batch circuit that runs the lowered kernel IR.
+
+    Construction lowers the compiled op list once into a
+    :class:`~repro.simulator.kernels.ir.KernelProgram`; per-fault
+    injection records are resolved (and their sites validated) once per
+    distinct fault and cached, so steady-state blocks only append
+    integers into flat injection tables — the Python work per block is
+    O(active faults), not O(faults × validation).
+    """
+
+    def __init__(self, netlist: Netlist, backend: str = "numpy"):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend {backend!r}; "
+                f"choose from {', '.join(BACKENDS)}"
+            )
+        super().__init__(netlist)
+        self.backend = backend
+        self.program = lower_program(netlist, self._index, self._ops)
+        # StuckAtFault -> (kind, a, b, word); see _REC_* above.
+        self._records: dict = {}
+
+    # ---------------------------------------------------------- fault records
+
+    def _fault_record(self, fault) -> tuple[int, int, int, np.uint64]:
+        rec = self._records.get(fault)
+        if rec is None:
+            validate_fault_site(self.netlist, fault)
+            word = _ONES if fault.value else _ZERO
+            if fault.is_branch:
+                pos = int(self.program.gate_pos[self._index[fault.gate]])
+                rec = (_REC_PIN, pos, fault.pin, word)
+            else:
+                col = self._index[fault.signal]
+                pos = int(self.program.gate_pos[col])
+                if pos < 0:
+                    rec = (_REC_PI, col, 0, word)
+                else:
+                    rec = (_REC_STEM, pos, col, word)
+            self._records[fault] = rec
+        return rec
+
+    def _build_tables(self, machines: Sequence[Sequence]) -> InjectionTables:
+        pi_row: list[int] = []
+        pi_col: list[int] = []
+        pi_word: list = []
+        stem_row: list[int] = []
+        stem_gate: list[int] = []
+        stem_col: list[int] = []
+        stem_word: list = []
+        pin_row: list[int] = []
+        pin_gate: list[int] = []
+        pin_pin: list[int] = []
+        pin_word: list = []
+        record = self._fault_record
+        for row, machine in enumerate(machines, start=1):
+            for fault in machine:
+                kind, a, b, word = record(fault)
+                if kind == _REC_STEM:
+                    stem_row.append(row)
+                    stem_gate.append(a)
+                    stem_col.append(b)
+                    stem_word.append(word)
+                elif kind == _REC_PIN:
+                    pin_row.append(row)
+                    pin_gate.append(a)
+                    pin_pin.append(b)
+                    pin_word.append(word)
+                else:
+                    pi_row.append(row)
+                    pi_col.append(a)
+                    pi_word.append(word)
+        return InjectionTables(
+            len(machines) + 1,
+            (pi_row, pi_col, pi_word),
+            (stem_row, stem_gate, stem_col, stem_word),
+            (pin_row, pin_gate, pin_pin, pin_word),
+        )
+
+    # ------------------------------------------------------------- evaluation
+
+    def _prefill(
+        self,
+        input_words: Mapping[str, int],
+        tables: InjectionTables,
+        num_rows: int,
+        transposed: bool,
+    ) -> np.ndarray:
+        """A fresh value matrix with inputs and PI stems loaded.
+
+        ``np.empty`` is safe: every column is either an input (filled
+        here) or a gate output (written by its gate in schedule order).
+        """
+        if transposed:
+            values = np.empty((self._num_signals, num_rows), dtype=_U64)
+            for name, idx in zip(self._input_names, self._input_indices):
+                try:
+                    word = input_words[name]
+                except KeyError:
+                    raise ValueError(
+                        f"missing input word for {name!r}"
+                    ) from None
+                values[idx, :] = _U64(word & WORD_MASK)
+            if tables.pi_row.size:
+                values[tables.pi_col, tables.pi_row] = tables.pi_word
+        else:
+            values = np.empty((num_rows, self._num_signals), dtype=_U64)
+            for name, idx in zip(self._input_names, self._input_indices):
+                try:
+                    word = input_words[name]
+                except KeyError:
+                    raise ValueError(
+                        f"missing input word for {name!r}"
+                    ) from None
+                values[:, idx] = _U64(word & WORD_MASK)
+            if tables.pi_row.size:
+                values[tables.pi_row, tables.pi_col] = tables.pi_word
+        return values
+
+    def _execute(
+        self,
+        backend: str,
+        input_words: Mapping[str, int],
+        tables: InjectionTables,
+        num_rows: int,
+    ) -> np.ndarray:
+        """Run one block on a concrete backend; returns the value matrix
+        in the canonical ``(num_rows, num_signals)`` orientation (a
+        transposed view for the column-major executors)."""
+        if backend == "jit":
+            values = self._prefill(input_words, tables, num_rows, False)
+            execute_jit(self.program, values, tables)
+            return values
+        values_t = self._prefill(input_words, tables, num_rows, True)
+        if backend == "gpu":
+            execute_gpu(self.program, values_t, tables)
+        else:
+            execute_numpy(self.program, values_t, tables)
+        return values_t.T
+
+    def _resolve_backend(self) -> str:
+        backend = self.backend
+        if backend == "jit" and not numba_available():
+            _warn_fallback(
+                "jit",
+                "numba is not installed; engine 'batch-jit' is falling "
+                "back to the NumPy kernel executor "
+                "(install the 'jit' extra — pip install '.[jit]' — to "
+                "enable it)",
+            )
+            return "numpy"
+        if backend == "gpu" and not cupy_available():
+            _warn_fallback(
+                "gpu",
+                "CuPy (or a CUDA device) is unavailable; engine "
+                "'batch-gpu' is falling back to the NumPy kernel "
+                "executor (install the 'gpu' extra — pip install "
+                "'.[gpu]' — to enable it)",
+            )
+            return "numpy"
+        return backend
+
+    def _available_backends(self) -> list[str]:
+        names = ["numpy"]
+        if numba_available():
+            names.append("jit")
+        if cupy_available():
+            names.append("gpu")
+        return names
+
+    def run_batch(
+        self,
+        input_words: Mapping[str, int],
+        machines: Sequence[Sequence],
+    ) -> np.ndarray:
+        tables = self._build_tables(machines)
+        num_rows = len(machines) + 1
+        backend = self._resolve_backend()
+        if backend == "auto":
+            fingerprint = self.program.fingerprint
+            backend = autotune.cached_decision(fingerprint, num_rows)
+            if backend is None:
+                candidates = [
+                    (
+                        name,
+                        lambda name=name: self._execute(
+                            name, input_words, tables, num_rows
+                        ),
+                    )
+                    for name in self._available_backends()
+                ]
+                backend, values = autotune.calibrate(
+                    fingerprint, num_rows, candidates
+                )
+                autotune.note_block(backend)
+                return values
+        values = self._execute(backend, input_words, tables, num_rows)
+        autotune.note_block(backend)
+        return values
+
+    # --------------------------------------------------------------- pickling
+
+    def __getstate__(self):
+        # Ship the IR, not the caches: records rebuild lazily (and
+        # revalidate in the worker), numba/CuPy state is module-global
+        # and recreated per process.
+        state = self.__dict__.copy()
+        state["_records"] = {}
+        return state
+
+
+class _KernelEngine(BatchEngine):
+    """Engine-protocol wrapper over a backend-bound kernel circuit."""
+
+    backend = "numpy"
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.batch = KernelBatchCircuit(netlist, backend=self.backend)
+
+
+class JitBatchEngine(_KernelEngine):
+    """``batch-jit``: the numba row-parallel kernel (NumPy fallback)."""
+
+    name = "batch-jit"
+    backend = "jit"
+
+
+class GpuBatchEngine(_KernelEngine):
+    """``batch-gpu``: the CuPy CUDA kernel (NumPy fallback)."""
+
+    name = "batch-gpu"
+    backend = "gpu"
+
+
+class AutoBatchEngine(_KernelEngine):
+    """``auto``: calibrated per-shape choice among available backends."""
+
+    name = "auto"
+    backend = "auto"

@@ -1,0 +1,174 @@
+"""CuPy GPU executor: the gate schedule as one CUDA kernel launch.
+
+Mirrors the numba kernel's algorithm — one thread per machine row, each
+thread walking the level-grouped schedule with row-CSR injection
+pointers — but as a ``cp.RawKernel`` so the whole 64-pattern block is a
+single kernel launch instead of hundreds of per-gate device ops.  The
+value matrix is held transposed (``(num_signals, num_rows)``), so
+consecutive threads (rows) touch consecutive addresses of each signal's
+row: every gate read and write is coalesced.
+
+Entirely behind a soft import: :func:`cupy_available` is the gate, and
+machines without CuPy (or without a device) fall back to the NumPy
+executor at engine level.  All bitwise uint64 arithmetic is exact on
+the device, so results are bit-identical to the CPU backends — the
+differential suite asserts it wherever a device exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator.kernels.ir import InjectionTables, KernelProgram
+
+__all__ = ["cupy_available", "execute_gpu"]
+
+try:  # soft dependency: optional GPU backend
+    import cupy as cp  # type: ignore
+
+    _HAVE_CUPY = True
+except ImportError:  # pragma: no cover - exercised on CuPy-less boxes
+    cp = None
+    _HAVE_CUPY = False
+
+_device_checked = False
+_device_usable = False
+
+
+def cupy_available() -> bool:
+    """True when CuPy is importable *and* a CUDA device answers."""
+    global _device_checked, _device_usable
+    if not _HAVE_CUPY:
+        return False
+    if not _device_checked:
+        _device_checked = True
+        try:  # pragma: no cover - requires real GPU hardware
+            cp.cuda.runtime.getDeviceCount()
+            cp.asarray(np.zeros(1, dtype=np.uint64)).sum()
+            _device_usable = True
+        except Exception:
+            _device_usable = False
+    return _device_usable
+
+
+_KERNEL_SOURCE = r"""
+extern "C" __global__
+void eval_rows(
+    unsigned long long *values,        // (num_signals, num_rows) transposed
+    const signed char *opcodes,
+    const unsigned char *invert,
+    const long long *op_idx,
+    const long long *op_ptr,
+    const long long *out_cols,
+    const long long *stem_ptr,
+    const long long *stem_gate,
+    const unsigned long long *stem_word,
+    const long long *pin_ptr,
+    const long long *pin_gate,
+    const long long *pin_pin,
+    const unsigned long long *pin_word,
+    const long long num_rows,
+    const long long num_gates)
+{
+    const long long r = blockIdx.x * (long long)blockDim.x + threadIdx.x;
+    if (r >= num_rows) return;
+    long long s = stem_ptr[r];
+    const long long s_end = stem_ptr[r + 1];
+    long long p = pin_ptr[r];
+    const long long p_end = pin_ptr[r + 1];
+    for (long long g = 0; g < num_gates; g++) {
+        const long long lo = op_ptr[g];
+        const long long hi = op_ptr[g + 1];
+        const int kind = opcodes[g];
+        unsigned long long word = values[op_idx[lo] * num_rows + r];
+        while (p < p_end && pin_gate[p] == g && pin_pin[p] == 0) {
+            word = pin_word[p];
+            p++;
+        }
+        for (long long j = lo + 1; j < hi; j++) {
+            unsigned long long operand = values[op_idx[j] * num_rows + r];
+            while (p < p_end && pin_gate[p] == g && pin_pin[p] == j - lo) {
+                operand = pin_word[p];
+                p++;
+            }
+            if (kind == 0)      word &= operand;   // OP_AND
+            else if (kind == 1) word |= operand;   // OP_OR
+            else                word ^= operand;   // OP_XOR
+        }
+        if (invert[g]) word = ~word;
+        while (s < s_end && stem_gate[s] == g) {
+            word = stem_word[s];
+            s++;
+        }
+        values[out_cols[g] * num_rows + r] = word;
+    }
+}
+"""
+
+_kernel = None
+_program_cache: dict[str, tuple] = {}
+
+
+def _get_kernel():  # pragma: no cover - requires real GPU hardware
+    global _kernel
+    if _kernel is None:
+        _kernel = cp.RawKernel(_KERNEL_SOURCE, "eval_rows")
+    return _kernel
+
+
+def _device_program(program: KernelProgram):  # pragma: no cover - GPU only
+    """The program's IR arrays resident on the device, cached by
+    fingerprint so repeated blocks reuse one upload per process."""
+    cached = _program_cache.get(program.fingerprint)
+    if cached is None:
+        cached = tuple(
+            cp.asarray(arr)
+            for arr in (
+                program.opcodes,
+                program.invert,
+                program.op_idx,
+                program.op_ptr,
+                program.out_cols,
+            )
+        )
+        _program_cache[program.fingerprint] = cached
+    return cached
+
+
+def execute_gpu(
+    program: KernelProgram,
+    values_t: np.ndarray,
+    tables: InjectionTables,
+) -> None:  # pragma: no cover - requires real GPU hardware
+    """Run the schedule on the device and copy the result back in place.
+
+    ``values_t`` is the transposed ``(num_signals, num_rows)`` uint64
+    matrix with inputs and primary-input stems loaded, exactly as for
+    the NumPy executor.
+    """
+    num_rows = values_t.shape[1]
+    stem_ptr, stem_gate, stem_word, pin_ptr, pin_gate, pin_pin, pin_word = (
+        tables.by_row()
+    )
+    d_values = cp.asarray(values_t)
+    d_ops = _device_program(program)
+    block = 128
+    grid = (num_rows + block - 1) // block
+    _get_kernel()(
+        (grid,),
+        (block,),
+        (
+            d_values,
+            *d_ops,
+            cp.asarray(stem_ptr),
+            cp.asarray(stem_gate),
+            cp.asarray(stem_word),
+            cp.asarray(pin_ptr),
+            cp.asarray(pin_gate),
+            cp.asarray(pin_pin),
+            cp.asarray(pin_word),
+            np.int64(num_rows),
+            np.int64(program.num_gates),
+        ),
+    )
+    cp.asnumpy(d_values, out=values_t)

@@ -39,6 +39,7 @@ from repro.runtime import (
     new_context_token,
     resolve_workers,
 )
+from repro.simulator import ENGINES, make_engine
 from repro.simulator.batch_sim import BatchCompiledCircuit
 from repro.simulator.parallel_sim import CompiledCircuit
 from repro.simulator.values import WORD_BITS, first_detecting_bits, pack_patterns
@@ -285,9 +286,10 @@ class WaferTester:
         compiled_circuit: CompiledCircuit | None = None,
         payload_format: str = "soa",
     ):
-        """``engine="batch"`` tests the lot chip-parallel; any other known
-        engine name falls back to the serial chip-at-a-time word-level loop
-        (multi-fault machines need word-level simulation either way).
+        """``engine="batch"`` (and the kernel-backed names ``batch-jit``,
+        ``batch-gpu``, ``auto``) tests the lot chip-parallel;
+        ``"compiled"``/``"event"`` fall back to the serial chip-at-a-time
+        word-level loop.
         ``workers`` shards the chip list over a process pool (``1`` =
         serial, ``"auto"`` = one per CPU) under either engine.
         ``executor`` injects a long-lived pool (a
@@ -302,10 +304,11 @@ class WaferTester:
         worker — bit-identical results, a fraction of the bytes;
         ``"objects"`` ships pickled chip objects (the differential-test
         baseline)."""
-        if engine not in ("batch", "compiled", "event"):
+        if engine not in ENGINES:
             raise ValueError(
-                f"tester engine must be one of 'batch', 'compiled', "
-                f"'event', got {engine!r}"
+                f"tester engine must be one of "
+                f"{', '.join(repr(name) for name in sorted(ENGINES))}, "
+                f"got {engine!r}"
             )
         if payload_format not in ("soa", "objects"):
             raise ValueError(
@@ -407,7 +410,7 @@ class WaferTester:
                 return plan.merge(
                     executor.map_shards(_test_lot_shard, context, tasks)
                 )
-        if self.engine != "batch":
+        if self.engine in ("compiled", "event"):
             return [self.test_chip(chip) for chip in chips]
         return _batched_first_fail(
             self._batch_circuit,
@@ -444,7 +447,7 @@ class WaferTester:
         skips re-shipping the compiled circuit and packed blocks.
         """
         if self._shard_context is None:
-            if self.engine == "batch":
+            if self.engine not in ("compiled", "event"):
                 self._shard_context = _LotShardContext(
                     blocks=tuple(self._blocks), batch=self._batch_circuit
                 )
@@ -459,5 +462,11 @@ class WaferTester:
     @property
     def _batch_circuit(self) -> BatchCompiledCircuit:
         if self._batch is None:
-            self._batch = BatchCompiledCircuit(self.program.netlist)
+            if self.engine == "batch":
+                self._batch = BatchCompiledCircuit(self.program.netlist)
+            else:
+                # Kernel-backed engine names ("batch-jit", "batch-gpu",
+                # "auto"): reuse the engine's own backend-bound circuit so
+                # lot testing runs through the same executor.
+                self._batch = make_engine(self.program.netlist, self.engine).batch
         return self._batch

@@ -7,6 +7,8 @@ circuits, including fanout-branch pin faults and multi-block (>64
 pattern) runs.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -29,6 +31,7 @@ from repro.simulator import (
     make_engine,
 )
 from repro.simulator.event_sim import EventSimulator
+from repro.simulator.kernels import cupy_available
 from repro.simulator.parallel_sim import CompiledCircuit
 from repro.simulator.values import pack_patterns
 from repro.tester.tester import WaferTester
@@ -147,7 +150,7 @@ class TestEngineSelection:
 
     def test_engines_satisfy_protocol(self):
         net = c17()
-        for name in ("batch", "compiled", "event"):
+        for name in ("batch", "compiled", "event", "batch-jit", "batch-gpu", "auto"):
             assert isinstance(make_engine(net, name), Engine)
 
     def test_instance_passes_through(self):
@@ -168,11 +171,22 @@ class TestEngineSelection:
             FaultSimulator(c17(), engine=BatchEngine(fanout_net()))
 
 
+# Kernel-backed engines join the differential suite unconditionally:
+# without numba they exercise the NumPy kernel executor (a distinct code
+# path from the interpreted batch loop), with numba the compiled kernel.
+# batch-gpu only differs from that fallback where a device exists.
+_DIFFERENTIAL_ENGINES = ("batch", "compiled", "event", "batch-jit", "auto") + (
+    ("batch-gpu",) if cupy_available() else ()
+)
+
+
 def _run_all_engines(net, patterns, faults=None):
-    return {
-        name: FaultSimulator(net, engine=name).run(patterns, faults=faults)
-        for name in ("batch", "compiled", "event")
-    }
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)  # jit/gpu fallbacks
+        return {
+            name: FaultSimulator(net, engine=name).run(patterns, faults=faults)
+            for name in _DIFFERENTIAL_ENGINES
+        }
 
 
 class TestDifferentialEngines:
@@ -185,8 +199,10 @@ class TestDifferentialEngines:
             for i in range(32)
         ]
         results = _run_all_engines(net, patterns)
-        assert results["batch"].first_detect == results["compiled"].first_detect
-        assert results["batch"].first_detect == results["event"].first_detect
+        for name in _DIFFERENTIAL_ENGINES[1:]:
+            assert (
+                results["batch"].first_detect == results[name].first_detect
+            ), name
         assert results["batch"].coverage == 1.0
 
     @given(st.integers(min_value=0, max_value=10_000))
@@ -200,7 +216,9 @@ class TestDifferentialEngines:
         patterns = random_patterns(net, 96, seed=seed + 1)
         results = _run_all_engines(net, patterns, faults=universe)
         reference = results["compiled"]
-        for name in ("batch", "event"):
+        for name in _DIFFERENTIAL_ENGINES:
+            if name == "compiled":
+                continue
             result = results[name]
             assert result.first_detect == reference.first_detect, name
             assert result.num_patterns == reference.num_patterns

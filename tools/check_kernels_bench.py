@@ -1,0 +1,144 @@
+"""Validate the schema of a ``BENCH_kernels.json`` record.
+
+CI's ``kernels`` job runs the kernel-backend benchmark in quick mode
+(with numba installed) and then this validator, so a JIT perf
+regression — or a bench refactor that silently stops recording the
+speedup — fails the PR instead of rotting quietly.
+
+Usage: ``python tools/check_kernels_bench.py benchmarks/BENCH_kernels.json``
+(add ``--quick`` when validating a ``BENCH_kernels_quick.json`` smoke
+record; without it, a quick-workload record is rejected so a smoke run
+can never masquerade as the committed full-workload snapshot).
+
+Two record shapes are valid:
+
+* a **full record** (``modes`` includes ``batch-jit``), whose JIT
+  speedup must clear the 3x acceptance bar on full workloads;
+* a **skip marker** (``skipped: true`` with a ``reason``), written by
+  machines without numba — it may carry informational ``batch`` /
+  ``kernel-numpy`` legs but claims nothing about the JIT.
+
+Exits 0 when the record is well-formed, 1 with a message otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_WORKLOAD_KEYS = {"circuit", "gates", "faults", "patterns", "quick"}
+REQUIRED_MODE_KEYS = {"mode", "seconds", "speedup"}
+
+# The acceptance bar from ISSUE 10: batch-jit >= 3x over the interpreted
+# batch engine on the canonical full workload.  Quick smoke records run
+# a workload too small to fully amortize per-block overhead, so they
+# only need a modest win over the baseline.
+MIN_FULL_JIT_SPEEDUP = 3.0
+MIN_QUICK_JIT_SPEEDUP = 1.2
+
+
+def _check_modes(record, errors, require_jit, expect_quick):
+    modes = record["modes"]
+    if not isinstance(modes, list) or not modes:
+        errors.append("modes must be a non-empty list")
+        return
+    seen = []
+    for entry in modes:
+        if not isinstance(entry, dict) or REQUIRED_MODE_KEYS - set(entry):
+            errors.append(
+                f"mode entry {entry!r} missing {sorted(REQUIRED_MODE_KEYS)}"
+            )
+            continue
+        seen.append(entry["mode"])
+        for field in ("seconds", "speedup"):
+            value = entry[field]
+            if not isinstance(value, (int, float)) or value <= 0:
+                errors.append(f"mode {entry['mode']!r}: {field} must be > 0")
+    required = ("batch", "kernel-numpy") + (
+        ("batch-jit",) if require_jit else ()
+    )
+    for required_mode in required:
+        if required_mode not in seen:
+            errors.append(f"missing required mode {required_mode!r}")
+    if not require_jit:
+        return
+    min_speedup = (
+        MIN_QUICK_JIT_SPEEDUP if expect_quick else MIN_FULL_JIT_SPEEDUP
+    )
+    for entry in modes:
+        if entry.get("mode") == "batch-jit" and isinstance(
+            entry.get("speedup"), (int, float)
+        ):
+            if entry["speedup"] < min_speedup:
+                errors.append(
+                    f"batch-jit speedup {entry['speedup']:.2f}x below the "
+                    f"{min_speedup:.1f}x bar for a "
+                    f"{'quick' if expect_quick else 'full'} record — "
+                    f"perf regression"
+                )
+
+
+def check(path: Path, expect_quick: bool = False) -> list[str]:
+    """Return a list of schema violations (empty = valid)."""
+    errors: list[str] = []
+    try:
+        record = json.loads(path.read_text())
+    except FileNotFoundError:
+        return [f"{path}: missing (did the benchmark run?)"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON ({exc})"]
+
+    skipped = bool(record.get("skipped", False))
+    if skipped:
+        if not record.get("reason"):
+            errors.append("skip marker must carry a 'reason'")
+        if expect_quick:
+            errors.append(
+                "quick records must be real measurements, not skip "
+                "markers (the kernels CI job installs numba)"
+            )
+
+    for key in ("python", "cpus", "workload", "modes"):
+        if key not in record:
+            errors.append(f"missing top-level key {key!r}")
+    if errors:
+        return errors
+
+    if not isinstance(record["cpus"], int) or record["cpus"] < 1:
+        errors.append(
+            f"cpus must be a positive integer, got {record['cpus']!r}"
+        )
+    missing = REQUIRED_WORKLOAD_KEYS - set(record["workload"])
+    if missing:
+        errors.append(f"workload missing keys {sorted(missing)}")
+    elif bool(record["workload"]["quick"]) != expect_quick:
+        expected = "quick" if expect_quick else "full"
+        errors.append(
+            f"workload is not a {expected} record "
+            f"(quick={record['workload']['quick']!r})"
+        )
+
+    _check_modes(
+        record, errors, require_jit=not skipped, expect_quick=expect_quick
+    )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    expect_quick = "--quick" in argv
+    argv = [arg for arg in argv if arg != "--quick"]
+    if len(argv) != 1:
+        print(__doc__)
+        return 2
+    errors = check(Path(argv[0]), expect_quick=expect_quick)
+    if errors:
+        for message in errors:
+            print(f"BENCH_kernels schema: {message}")
+        return 1
+    print(f"{argv[0]}: schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
